@@ -1,0 +1,42 @@
+//! Figure 1a/1b: the DRAM power-budget analysis and the HBM2 energy
+//! breakdown. Prints the reproduced series once, then benches the
+//! analytic model and a small HBM2 simulation slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgdram_core::experiments::{self, Scale};
+use fgdram_model::config::DramKind;
+use std::hint::black_box;
+
+fn print_fig1a() {
+    let (curve, techs) = experiments::fig1a();
+    println!("\nFigure 1a — max DRAM energy within 60 W:");
+    for p in &curve {
+        println!("  {:7.0} GB/s -> {:5.2} pJ/b", p.bandwidth.value(), p.max_energy.value());
+    }
+    for t in &techs {
+        println!("  {:<12} {:5.2} pJ/b", t.name, t.energy.value());
+    }
+}
+
+fn print_fig1b() {
+    let e = experiments::fig1b(Scale::quick()).expect("fig1b runs");
+    println!("\nFigure 1b — HBM2 access energy breakdown (quick scale): {e}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig1a();
+    print_fig1b();
+    c.bench_function("fig01a_budget_curve", |b| {
+        b.iter(|| black_box(experiments::fig1a()))
+    });
+    let mut g = c.benchmark_group("fig01b_hbm2_sim");
+    g.sample_size(10);
+    g.bench_function("hbm2_gups_tiny", |b| {
+        let w = fgdram_bench::workload("GUPS");
+        b.iter(|| black_box(fgdram_bench::tiny_sim(DramKind::Hbm2, &w)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figures 8 and 10: per-workload energy and performance of FGDRAM vs the
+//! iso-bandwidth QB-HBM baseline over the compute suite. Prints a
+//! quick-scale subset once (full fidelity lives in `regen-experiments`),
+//! then benches one end-to-end simulation per architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgdram_core::experiments::{self, Scale};
+use fgdram_model::config::DramKind;
+use std::hint::black_box;
+
+fn print_quick_subset() {
+    let kinds = [DramKind::QbHbm, DramKind::Fgdram];
+    let matrix = experiments::compute_matrix(&kinds, Scale::quick()).expect("matrix runs");
+    println!("\nFigures 8 + 10 (quick subset) — energy and speedup vs QB-HBM:");
+    println!(
+        "  {:<14} {:>10} {:>10} {:>9} {:>8} {:>8}",
+        "workload", "QB pJ/b", "FG pJ/b", "speedup", "QB util", "FG util"
+    );
+    for row in &matrix {
+        let qb = row.report(DramKind::QbHbm);
+        let fg = row.report(DramKind::Fgdram);
+        println!(
+            "  {:<14} {:>10.2} {:>10.2} {:>8.2}x {:>7.1}% {:>7.1}%",
+            row.workload.name,
+            qb.energy_per_bit.total().value(),
+            fg.energy_per_bit.total().value(),
+            fg.speedup_over(qb),
+            qb.utilisation * 100.0,
+            fg.utilisation * 100.0,
+        );
+    }
+    let s = experiments::summarise(&matrix, DramKind::QbHbm, DramKind::Fgdram);
+    println!(
+        "  subset gmean speedup {:.2}x, energy {:.2} -> {:.2} pJ/b",
+        s.gmean_speedup, s.base_energy, s.other_energy
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_quick_subset();
+    let mut g = c.benchmark_group("fig08_fig10");
+    g.sample_size(10);
+    for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+        g.bench_function(format!("gups_tiny_{}", kind.label()), |b| {
+            let w = fgdram_bench::workload("GUPS");
+            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w)));
+        });
+        g.bench_function(format!("stream_tiny_{}", kind.label()), |b| {
+            let w = fgdram_bench::workload("STREAM");
+            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 9: DRAM energy of the graphics suite on QB-HBM vs FGDRAM.
+//! Prints a quick subset once, then benches one tiled-workload simulation
+//! per architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgdram_core::experiments::{self, Scale};
+use fgdram_model::config::DramKind;
+use std::hint::black_box;
+
+fn print_quick_subset() {
+    let kinds = [DramKind::QbHbm, DramKind::Fgdram];
+    let matrix = experiments::graphics_matrix(&kinds, Scale::quick()).expect("matrix runs");
+    println!("\nFigure 9 (quick subset) — graphics energy per bit:");
+    for row in &matrix {
+        let qb = row.report(DramKind::QbHbm);
+        let fg = row.report(DramKind::Fgdram);
+        println!(
+            "  {:<8} QB {:>5.2} pJ/b -> FG {:>5.2} pJ/b ({:>4.0}%), speedup {:.2}x",
+            row.workload.name,
+            qb.energy_per_bit.total().value(),
+            fg.energy_per_bit.total().value(),
+            100.0 * fg.energy_per_bit.total().value() / qb.energy_per_bit.total().value(),
+            fg.speedup_over(qb),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_quick_subset();
+    let mut g = c.benchmark_group("fig09_graphics");
+    g.sample_size(10);
+    for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+        g.bench_function(format!("gfx00_tiny_{}", kind.label()), |b| {
+            let w = fgdram_bench::workload("gfx00");
+            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 11 / Section 5.4: FGDRAM vs the enhanced prior-work baseline
+//! QB-HBM+SALP+SC — average energy per component and near-identical
+//! performance. Prints a quick subset once, then benches the SALP+SC
+//! stack simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgdram_core::experiments::{self, Scale};
+use fgdram_model::config::DramKind;
+use std::hint::black_box;
+
+fn print_quick_subset() {
+    let kinds = [DramKind::QbHbm, DramKind::QbHbmSalpSc, DramKind::Fgdram];
+    let matrix = experiments::compute_matrix(&kinds, Scale::quick()).expect("matrix runs");
+    println!("\nFigure 11 (quick subset) — average energy per bit:");
+    for kind in kinds {
+        let mut acc = [0.0; 3];
+        for row in &matrix {
+            let e = row.report(kind).energy_per_bit;
+            acc[0] += e.activation.value();
+            acc[1] += e.data_movement.value();
+            acc[2] += e.io.value();
+        }
+        let n = matrix.len() as f64;
+        println!(
+            "  {:<16} act {:>5.2} + move {:>5.2} + io {:>5.2} = {:>5.2} pJ/b",
+            kind.label(),
+            acc[0] / n,
+            acc[1] / n,
+            acc[2] / n,
+            (acc[0] + acc[1] + acc[2]) / n
+        );
+    }
+    let perf = experiments::summarise(&matrix, DramKind::Fgdram, DramKind::QbHbmSalpSc);
+    println!("  SALP+SC performance vs FGDRAM: {:+.1}%", (perf.gmean_speedup - 1.0) * 100.0);
+}
+
+fn bench(c: &mut Criterion) {
+    print_quick_subset();
+    let mut g = c.benchmark_group("fig11_salp_sc");
+    g.sample_size(10);
+    g.bench_function("salp_sc_gups_tiny", |b| {
+        let w = fgdram_bench::workload("GUPS");
+        b.iter(|| black_box(fgdram_bench::tiny_sim(DramKind::QbHbmSalpSc, &w)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Library microbenchmarks: the hot paths every experiment leans on
+//! (address decode, device command issue, checker replay, stream
+//! generation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fgdram_dram::{DramDevice, ProtocolChecker};
+use fgdram_model::addr::{AddressMapper, PhysAddr, ReqId};
+use fgdram_model::cmd::{BankRef, DramCommand};
+use fgdram_model::config::{DramConfig, DramKind};
+use fgdram_model::stream::WarpInstruction;
+use fgdram_workloads::suites;
+use std::hint::black_box;
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut g = c.benchmark_group("address_mapper");
+    for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+        let cfg = DramConfig::new(kind);
+        let m = AddressMapper::new(&cfg).unwrap();
+        g.throughput(Throughput::Elements(1024));
+        g.bench_function(format!("decode_{}", kind.label()), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..1024u64 {
+                    acc ^= m.decode(PhysAddr(i * 4097 * 32)).channel;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A row open/stream/close cycle on one bank, the device's hot path.
+fn bench_device_issue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_issue");
+    for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+        g.bench_function(format!("row_cycle_{}", kind.label()), |b| {
+            b.iter_with_setup(
+                || DramDevice::new(DramConfig::new(kind)),
+                |mut dev| {
+                    let bank = BankRef { channel: 0, bank: 0 };
+                    let mut now = 0;
+                    for row in 0..64u32 {
+                        let act = DramCommand::Activate { bank, row, slice: 0 };
+                        now = dev.earliest(&act, now).unwrap();
+                        dev.issue(act, now).unwrap();
+                        for col in 0..4 {
+                            let rd = DramCommand::Read {
+                                bank,
+                                row,
+                                col,
+                                auto_precharge: col == 3,
+                                req: ReqId(0),
+                            };
+                            now = dev.earliest(&rd, now).unwrap();
+                            dev.issue(rd, now).unwrap();
+                        }
+                    }
+                    black_box(dev.total_counters().read_atoms)
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    // Record a trace once, then bench replay.
+    let cfg = DramConfig::new(DramKind::QbHbm);
+    let mut dev = DramDevice::new(cfg.clone());
+    dev.enable_trace();
+    let mut now = 0;
+    for row in 0..256u32 {
+        let bank = BankRef { channel: row % 64, bank: row % 4 };
+        let act = DramCommand::Activate { bank, row, slice: 0 };
+        now = dev.earliest(&act, now).unwrap();
+        dev.issue(act, now).unwrap();
+        let rd = DramCommand::Read { bank, row, col: 0, auto_precharge: true, req: ReqId(0) };
+        now = dev.earliest(&rd, now).unwrap();
+        dev.issue(rd, now).unwrap();
+    }
+    let trace = dev.take_trace();
+    let mut g = c.benchmark_group("protocol_checker");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("replay", |b| {
+        b.iter(|| {
+            let mut checker = ProtocolChecker::new(cfg.clone());
+            checker.check_trace(black_box(&trace)).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_streams");
+    for name in ["GUPS", "STREAM", "gfx00"] {
+        let w = suites::by_name(name).unwrap();
+        g.bench_function(format!("generate_{name}"), |b| {
+            let mut s = w.stream_for_warp(7, 3840);
+            let mut buf = WarpInstruction::default();
+            b.iter(|| {
+                buf.clear();
+                s.fill_next(&mut buf);
+                black_box(buf.sectors.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapper, bench_device_issue, bench_checker, bench_streams);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Tables 2 and 3 and the Section 5.3 area table, rendered from the
+//! models, plus benches of their construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgdram_core::experiments;
+use std::hint::black_box;
+
+fn print_tables() {
+    println!("\nTable 2 — DRAM configurations (HBM2 / QB-HBM / FGDRAM):");
+    for row in experiments::table2() {
+        println!("  {:<28} {:>10} {:>10} {:>14}", row.name, row.values[0], row.values[1], row.values[2]);
+    }
+    println!("\nTable 3 — DRAM energy (HBM2 / QB-HBM / FGDRAM):");
+    for row in experiments::table3() {
+        println!(
+            "  {:<36} {:>8.2} {:>8.2} {:>8.2}",
+            row.name, row.values[0], row.values[1], row.values[2]
+        );
+    }
+    println!("\nSection 5.3 — die area vs HBM2:");
+    for (kind, total, comps) in experiments::area_table() {
+        println!("  {:<16} +{:.2}%", kind.label(), total * 100.0);
+        for (name, frac) in comps {
+            println!("     {:<58} +{:.2}%", name, frac * 100.0);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    c.bench_function("table2_render", |b| b.iter(|| black_box(experiments::table2())));
+    c.bench_function("table3_render", |b| b.iter(|| black_box(experiments::table3())));
+    c.bench_function("area_model", |b| b.iter(|| black_box(experiments::area_table())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

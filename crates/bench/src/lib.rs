@@ -1,0 +1,45 @@
+//! # fgdram-bench
+//!
+//! Benchmark harness for the FGDRAM reproduction.
+//!
+//! * `benches/` — one Criterion bench per paper table/figure. Each bench
+//!   prints a reduced-scale rendition of its table/figure once, then
+//!   measures the simulator work that produces it.
+//! * `src/bin/regen_experiments.rs` — regenerates every table and figure
+//!   at full scale and rewrites `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+use fgdram_core::report::SimReport;
+use fgdram_core::system::SystemBuilder;
+use fgdram_model::config::{DramConfig, DramKind};
+use fgdram_model::units::Ns;
+use fgdram_workloads::{suites, Workload};
+
+/// Tiny simulation used inside Criterion measurement loops: long enough to
+/// exercise every code path, short enough to iterate.
+pub fn tiny_sim(kind: DramKind, workload: &Workload) -> SimReport {
+    sim_with(kind, workload, 2_000, 6_000)
+}
+
+/// Simulation at explicit warm-up/window.
+pub fn sim_with(kind: DramKind, workload: &Workload, warmup: Ns, window: Ns) -> SimReport {
+    SystemBuilder::new(kind)
+        .workload(workload.clone())
+        .run(warmup, window)
+        .expect("simulation runs")
+}
+
+/// Simulation with a custom DRAM config (ablations).
+pub fn sim_with_config(cfg: DramConfig, workload: &Workload, warmup: Ns, window: Ns) -> SimReport {
+    SystemBuilder::new(cfg.kind)
+        .dram_config(cfg)
+        .workload(workload.clone())
+        .run(warmup, window)
+        .expect("simulation runs")
+}
+
+/// Looks up a workload that must exist.
+pub fn workload(name: &str) -> Workload {
+    suites::by_name(name).expect("workload in suite")
+}

@@ -1,0 +1,401 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Simulation-backed figures are driven through [`run_matrix`], which runs
+//! a workload list across architectures at a chosen [`Scale`]; analytic
+//! figures (1a, Table 2, Table 3, area) come straight from the models.
+//! The `regen-experiments` binary in `fgdram-bench` renders these into
+//! `EXPERIMENTS.md`; the Criterion benches exercise the same entry points
+//! at [`Scale::quick`].
+
+use fgdram_energy::area::AreaModel;
+use fgdram_energy::budget::{self, BudgetPoint, TechPoint};
+use fgdram_energy::floorplan::EnergyProfile;
+use fgdram_energy::meter::EnergyPerBit;
+use fgdram_model::config::{DramConfig, DramKind};
+use fgdram_model::units::Ns;
+use fgdram_workloads::{suites, Workload};
+
+use crate::report::SimReport;
+use crate::system::{SimError, SystemBuilder};
+
+/// Simulation effort: the full windows used for `EXPERIMENTS.md`, or a
+/// quick subset for CI/benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Warm-up time before measurement.
+    pub warmup: Ns,
+    /// Measurement window.
+    pub window: Ns,
+    /// Cap on the number of workloads per suite (`None` = all).
+    pub max_workloads: Option<usize>,
+}
+
+impl Scale {
+    /// Full-fidelity scale used to regenerate `EXPERIMENTS.md`.
+    pub fn full() -> Self {
+        Scale { warmup: 20_000, window: 100_000, max_workloads: None }
+    }
+
+    /// Reduced scale for benches and smoke tests.
+    pub fn quick() -> Self {
+        Scale { warmup: 8_000, window: 30_000, max_workloads: Some(4) }
+    }
+
+    fn cap<'a>(&self, list: &'a [Workload]) -> &'a [Workload] {
+        match self.max_workloads {
+            Some(n) => &list[..n.min(list.len())],
+            None => list,
+        }
+    }
+}
+
+/// One workload simulated across several architectures.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// The workload.
+    pub workload: Workload,
+    /// One report per architecture, in input order.
+    pub reports: Vec<SimReport>,
+}
+
+impl MatrixRow {
+    /// The report for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not part of the matrix run.
+    pub fn report(&self, kind: DramKind) -> &SimReport {
+        self.reports.iter().find(|r| r.kind == kind).expect("kind simulated")
+    }
+}
+
+/// Runs `workloads` x `kinds` full-system simulations.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn run_matrix(
+    workloads: &[Workload],
+    kinds: &[DramKind],
+    scale: Scale,
+) -> Result<Vec<MatrixRow>, SimError> {
+    workloads
+        .iter()
+        .map(|w| {
+            let reports = kinds
+                .iter()
+                .map(|&k| {
+                    SystemBuilder::new(k).workload(w.clone()).run(scale.warmup, scale.window)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(MatrixRow { workload: w.clone(), reports })
+        })
+        .collect()
+}
+
+/// Runs the compute suite (Figures 8/10/11) across `kinds`.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn compute_matrix(kinds: &[DramKind], scale: Scale) -> Result<Vec<MatrixRow>, SimError> {
+    run_matrix(scale.cap(&suites::compute_suite()), kinds, scale)
+}
+
+/// Runs the graphics suite (Figure 9) across `kinds`.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn graphics_matrix(kinds: &[DramKind], scale: Scale) -> Result<Vec<MatrixRow>, SimError> {
+    run_matrix(scale.cap(&suites::graphics_suite()), kinds, scale)
+}
+
+/// Figure 1a: the 60 W power-budget curve plus reference technologies.
+pub fn fig1a() -> (Vec<BudgetPoint>, Vec<TechPoint>) {
+    let curve = budget::budget_curve(budget::DEFAULT_DRAM_BUDGET, &budget::fig1a_bandwidth_grid());
+    (curve, vec![budget::GDDR5, budget::HBM2, budget::TARGET_2PJ])
+}
+
+/// Figure 1b: average HBM2 access energy per component, from simulating
+/// the compute suite on the HBM2 stack (capped by the scale's workload
+/// limit for quick runs).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn fig1b(scale: Scale) -> Result<EnergyPerBit, SimError> {
+    let suite = suites::compute_suite();
+    let rows = run_matrix(scale.cap(&suite), &[DramKind::Hbm2], scale)?;
+    let mut acc = EnergyPerBit::default();
+    for row in &rows {
+        let e = row.reports[0].energy_per_bit;
+        acc.activation += e.activation;
+        acc.data_movement += e.data_movement;
+        acc.io += e.io;
+    }
+    let n = rows.len() as f64;
+    acc.activation = acc.activation / n;
+    acc.data_movement = acc.data_movement / n;
+    acc.io = acc.io / n;
+    Ok(acc)
+}
+
+/// One row of the Table 2 rendering.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Parameter name.
+    pub name: &'static str,
+    /// One value per architecture (HBM2, QB-HBM, FGDRAM).
+    pub values: [String; 3],
+}
+
+/// Table 2: DRAM configurations, rendered from the actual config structs.
+pub fn table2() -> Vec<Table2Row> {
+    let cfgs = [
+        DramConfig::new(DramKind::Hbm2),
+        DramConfig::new(DramKind::QbHbm),
+        DramConfig::new(DramKind::Fgdram),
+    ];
+    let s = |f: &dyn Fn(&DramConfig) -> String| -> [String; 3] {
+        [f(&cfgs[0]), f(&cfgs[1]), f(&cfgs[2])]
+    };
+    vec![
+        Table2Row { name: "channels (grains)/stack", values: s(&|c| c.channels.to_string()) },
+        Table2Row {
+            name: "banks/channel",
+            values: s(&|c| {
+                if c.kind == DramKind::Fgdram {
+                    format!("{} pseudobanks", c.banks_per_channel)
+                } else {
+                    c.banks_per_channel.to_string()
+                }
+            }),
+        },
+        Table2Row {
+            name: "row size/activate (B)",
+            values: s(&|c| c.activation_bytes.to_string()),
+        },
+        Table2Row {
+            name: "bandwidth/channel (GB/s)",
+            values: s(&|c| format!("{:.0}", c.channel_bandwidth().value())),
+        },
+        Table2Row {
+            name: "bandwidth/stack (GB/s)",
+            values: s(&|c| format!("{:.0}", c.stack_bandwidth().value())),
+        },
+        Table2Row { name: "tBURST (ns)", values: s(&|c| c.timing.t_burst.to_string()) },
+        Table2Row { name: "tCCDL (ns)", values: s(&|c| c.timing.t_ccd_l.to_string()) },
+        Table2Row { name: "tCCDS (ns)", values: s(&|c| c.timing.t_ccd_s.to_string()) },
+        Table2Row {
+            name: "activates in tFAW",
+            values: s(&|c| c.timing.acts_in_faw.to_string()),
+        },
+    ]
+}
+
+/// One row of the Table 3 rendering (per-op energies at 50% activity).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Component name.
+    pub name: &'static str,
+    /// HBM2 / QB-HBM / FGDRAM values.
+    pub values: [f64; 3],
+}
+
+/// Table 3: per-operation energies from the floorplan model.
+pub fn table3() -> Vec<Table3Row> {
+    let p = [
+        EnergyProfile::for_kind(DramKind::Hbm2),
+        EnergyProfile::for_kind(DramKind::QbHbm),
+        EnergyProfile::for_kind(DramKind::Fgdram),
+    ];
+    let act = [
+        p[0].activation(1024).value(),
+        p[1].activation(1024).value(),
+        p[2].activation(256).value(),
+    ];
+    vec![
+        Table3Row { name: "Row activation (pJ)", values: act },
+        Table3Row {
+            name: "Pre-GSA data movement (pJ/b)",
+            values: [p[0].pre_gsa().value(), p[1].pre_gsa().value(), p[2].pre_gsa().value()],
+        },
+        Table3Row {
+            name: "Post-GSA data movement (pJ/b) @50%",
+            values: [
+                p[0].post_gsa(0.5).value(),
+                p[1].post_gsa(0.5).value(),
+                p[2].post_gsa(0.5).value(),
+            ],
+        },
+        Table3Row {
+            name: "I/O (pJ/b) @50%",
+            values: [
+                p[0].io(0.5, 0.5).value(),
+                p[1].io(0.5, 0.5).value(),
+                p[2].io(0.5, 0.5).value(),
+            ],
+        },
+    ]
+}
+
+/// One architecture's area result: kind, total overhead fraction, and the
+/// named component contributions.
+pub type AreaRow = (DramKind, f64, Vec<(String, f64)>);
+
+/// Section 5.3: area overheads relative to an HBM2 die.
+pub fn area_table() -> Vec<AreaRow> {
+    DramKind::ALL
+        .iter()
+        .map(|&k| {
+            let m = AreaModel::for_kind(k);
+            let comps =
+                m.components().iter().map(|c| (c.name.to_string(), c.fraction)).collect();
+            (k, m.total_overhead(), comps)
+        })
+        .collect()
+}
+
+/// Suite-level aggregates for Figures 8/10/11 derived from a matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteSummary {
+    /// Geometric-mean speedup over the first architecture in the matrix.
+    pub gmean_speedup: f64,
+    /// Arithmetic-mean energy per bit of the first architecture.
+    pub base_energy: f64,
+    /// Arithmetic-mean energy per bit of the compared architecture.
+    pub other_energy: f64,
+    /// Mean activation-energy reduction (fraction).
+    pub activation_reduction: f64,
+    /// Mean data-movement-energy reduction (fraction).
+    pub movement_reduction: f64,
+    /// Mean read-latency reduction (fraction).
+    pub latency_reduction: f64,
+}
+
+/// Summarises `other` vs `base` (both must be present in every row).
+pub fn summarise(matrix: &[MatrixRow], base: DramKind, other: DramKind) -> SuiteSummary {
+    let n = matrix.len().max(1) as f64;
+    let mut log_speedup = 0.0;
+    let (mut be, mut oe) = (0.0, 0.0);
+    let (mut ba, mut oa) = (0.0, 0.0);
+    let (mut bm, mut om) = (0.0, 0.0);
+    let (mut bl, mut ol) = (0.0, 0.0);
+    for row in matrix {
+        let b = row.report(base);
+        let o = row.report(other);
+        log_speedup += o.speedup_over(b).max(1e-9).ln();
+        be += b.energy_per_bit.total().value();
+        oe += o.energy_per_bit.total().value();
+        ba += b.energy_per_bit.activation.value();
+        oa += o.energy_per_bit.activation.value();
+        bm += b.energy_per_bit.data_movement.value();
+        om += o.energy_per_bit.data_movement.value();
+        bl += b.avg_read_latency_ns;
+        ol += o.avg_read_latency_ns;
+    }
+    SuiteSummary {
+        gmean_speedup: (log_speedup / n).exp(),
+        base_energy: be / n,
+        other_energy: oe / n,
+        activation_reduction: 1.0 - oa / ba.max(1e-12),
+        movement_reduction: 1.0 - om / bm.max(1e-12),
+        latency_reduction: 1.0 - ol / bl.max(1e-12),
+    }
+}
+
+/// Section 2.2 ablation: graphics performance with a 128 B atom vs 32 B
+/// on the QB-HBM stack. Returns the mean slowdown fraction (positive =
+/// the 128 B atom is slower, the paper's 17%).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn ablation_atom128(scale: Scale) -> Result<f64, SimError> {
+    let suite = suites::graphics_suite();
+    let workloads = scale.cap(&suite);
+    let mut log_ratio = 0.0;
+    for w in workloads {
+        let base =
+            SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(scale.warmup, scale.window)?;
+        let big = SystemBuilder::new(DramKind::QbHbm)
+            .dram_config(DramConfig::qb_hbm_atom128())
+            .workload(w.clone())
+            .run(scale.warmup, scale.window)?;
+        log_ratio += big.speedup_over(&base).max(1e-9).ln();
+    }
+    Ok(1.0 - (log_ratio / workloads.len().max(1) as f64).exp())
+}
+
+/// Section 2.3 ablation: compute performance of the deep-bank-group
+/// 4x-HBM derivative vs QB-HBM. Returns the mean slowdown fraction (the
+/// paper's 10.6%).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn ablation_deep_bank_groups(scale: Scale) -> Result<f64, SimError> {
+    // Memory-intensive applications first: they are the ones the deep
+    // bank grouping hurts, and a capped quick run should see them.
+    let mut suite = suites::compute_suite();
+    suite.sort_by_key(|w| !w.memory_intensive);
+    let workloads = scale.cap(&suite);
+    let mut log_ratio = 0.0;
+    for w in workloads {
+        let base =
+            SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(scale.warmup, scale.window)?;
+        let deep = SystemBuilder::new(DramKind::QbHbm)
+            .dram_config(DramConfig::qb_hbm_deep_bank_groups())
+            .workload(w.clone())
+            .run(scale.warmup, scale.window)?;
+        log_ratio += deep.speedup_over(&base).max(1e-9).ln();
+    }
+    Ok(1.0 - (log_ratio / workloads.len().max(1) as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_matches_paper_anchors() {
+        let (curve, techs) = fig1a();
+        assert_eq!(curve.len(), 5);
+        assert_eq!(techs.len(), 3);
+        // 4 TB/s point demands < 2 pJ/b.
+        assert!(curve.last().unwrap().max_energy.value() < 2.0);
+    }
+
+    #[test]
+    fn table2_has_expected_rows() {
+        let t = table2();
+        assert!(t.len() >= 9);
+        let chan = &t[0];
+        assert_eq!(chan.values, ["16".to_string(), "64".to_string(), "512".to_string()]);
+    }
+
+    #[test]
+    fn table3_matches_energy_model() {
+        let t = table3();
+        assert!((t[0].values[0] - 909.0).abs() < 1.0);
+        assert!((t[0].values[2] - 227.0).abs() < 1.0);
+        assert!((t[3].values[0] - 0.80).abs() < 0.01);
+    }
+
+    #[test]
+    fn area_table_matches_section53() {
+        let rows = area_table();
+        let get = |k: DramKind| rows.iter().find(|(kk, _, _)| *kk == k).unwrap().1;
+        assert!((get(DramKind::QbHbm) - 0.0857).abs() < 1e-4);
+        assert!((get(DramKind::Fgdram) - 0.1036).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scale_caps_workloads() {
+        let q = Scale::quick();
+        let suite = suites::compute_suite();
+        assert_eq!(q.cap(&suite).len(), 4);
+        assert_eq!(Scale::full().cap(&suite).len(), 26);
+    }
+}

@@ -1,0 +1,37 @@
+//! # fgdram-core
+//!
+//! System-level composition for the FGDRAM (MICRO 2017) reproduction: a
+//! [`SystemBuilder`] wires the Table 1 GPU front end, the sectored L2, the
+//! throughput-optimized memory controller, and any of the Table 2 DRAM
+//! stacks into one event-stepped simulation, and [`SimReport`] carries the
+//! measurements every figure in the paper is drawn from.
+//!
+//! ## Examples
+//!
+//! ```no_run
+//! use fgdram_core::SystemBuilder;
+//! use fgdram_model::config::DramKind;
+//! use fgdram_workloads::suites;
+//!
+//! // Figure 10, one bar: GUPS on FGDRAM vs the QB-HBM baseline.
+//! let gups = suites::by_name("GUPS").expect("in suite");
+//! let base = SystemBuilder::new(DramKind::QbHbm)
+//!     .workload(gups.clone())
+//!     .run(20_000, 100_000)?;
+//! let fg = SystemBuilder::new(DramKind::Fgdram)
+//!     .workload(gups)
+//!     .run(20_000, 100_000)?;
+//! println!("GUPS speedup: {:.2}x", fg.speedup_over(&base));
+//! # Ok::<(), fgdram_core::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod system;
+
+pub use report::SimReport;
+pub use system::{SimError, System, SystemBuilder};

@@ -1,0 +1,147 @@
+//! Simulation reports: the numbers every figure in the paper is built from.
+
+use fgdram_energy::meter::{EnergyBreakdown, EnergyPerBit};
+use fgdram_model::config::DramKind;
+use fgdram_model::units::{GbPerSec, Ns};
+
+/// Everything measured over one simulation window.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// DRAM architecture simulated.
+    pub kind: DramKind,
+    /// Measurement window length (after warm-up).
+    pub window_ns: Ns,
+    /// Warp memory instructions retired in the window (the performance
+    /// metric; the paper normalises it to the QB-HBM baseline).
+    pub retired: u64,
+    /// DRAM atoms read in the window.
+    pub read_atoms: u64,
+    /// DRAM atoms written in the window.
+    pub write_atoms: u64,
+    /// Row activations in the window.
+    pub activates: u64,
+    /// Refresh commands in the window.
+    pub refreshes: u64,
+    /// Achieved DRAM data bandwidth.
+    pub bandwidth: GbPerSec,
+    /// Achieved bandwidth over the stack's peak.
+    pub utilisation: f64,
+    /// Controller row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// L2 sector hit rate.
+    pub l2_hit_rate: f64,
+    /// Mean read latency, enqueue to last data beat (controller-side).
+    pub avg_read_latency_ns: f64,
+    /// 95th-percentile read latency (log2-bucket resolution).
+    pub p95_read_latency_ns: u64,
+    /// Coefficient of variation of per-channel atom counts (0 = perfectly
+    /// balanced; large = camping that the address swizzle should prevent).
+    pub channel_imbalance_cv: f64,
+    /// Total energy over the window by component.
+    pub energy: EnergyBreakdown,
+    /// Energy per useful DRAM bit (the paper's pJ/b axes).
+    pub energy_per_bit: EnergyPerBit,
+}
+
+impl SimReport {
+    /// Performance as retired warp instructions per microsecond.
+    pub fn perf(&self) -> f64 {
+        if self.window_ns == 0 {
+            0.0
+        } else {
+            self.retired as f64 * 1000.0 / self.window_ns as f64
+        }
+    }
+
+    /// This report's performance normalised to `baseline` (Figure 10's
+    /// y-axis).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.perf();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.perf() / b
+        }
+    }
+
+    /// Atoms transferred per activation (row locality proxy).
+    pub fn atoms_per_activate(&self) -> f64 {
+        if self.activates == 0 {
+            0.0
+        } else {
+            (self.read_atoms + self.write_atoms) as f64 / self.activates as f64
+        }
+    }
+}
+
+impl core::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:<14} {:<15} bw {:7.1} GB/s ({:4.1}%)  perf {:9.1} instr/us  {:>6.2} pJ/b \
+             (act {:.2} mv {:.2} io {:.2})  lat {:5.0} ns  hit {:4.1}%",
+            self.workload,
+            self.kind.label(),
+            self.bandwidth.value(),
+            self.utilisation * 100.0,
+            self.perf(),
+            self.energy_per_bit.total().value(),
+            self.energy_per_bit.activation.value(),
+            self.energy_per_bit.data_movement.value(),
+            self.energy_per_bit.io.value(),
+            self.avg_read_latency_ns,
+            self.row_hit_rate * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(retired: u64, window: Ns) -> SimReport {
+        SimReport {
+            workload: "t".into(),
+            kind: DramKind::QbHbm,
+            window_ns: window,
+            retired,
+            read_atoms: 100,
+            write_atoms: 50,
+            activates: 30,
+            refreshes: 0,
+            bandwidth: GbPerSec::new(10.0),
+            utilisation: 0.1,
+            row_hit_rate: 0.5,
+            l2_hit_rate: 0.5,
+            avg_read_latency_ns: 100.0,
+            p95_read_latency_ns: 256,
+            channel_imbalance_cv: 0.0,
+            energy: EnergyBreakdown::default(),
+            energy_per_bit: EnergyPerBit::default(),
+        }
+    }
+
+    #[test]
+    fn perf_and_speedup() {
+        let base = report(1000, 10_000);
+        let fast = report(1900, 10_000);
+        assert_eq!(base.perf(), 100.0);
+        assert!((fast.speedup_over(&base) - 1.9).abs() < 1e-9);
+        assert_eq!(report(0, 0).perf(), 0.0);
+    }
+
+    #[test]
+    fn atoms_per_activate() {
+        let r = report(1, 1);
+        assert_eq!(r.atoms_per_activate(), 5.0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = report(1, 1000).to_string();
+        assert!(s.contains("QB-HBM"));
+        assert!(s.contains("pJ/b"));
+    }
+}

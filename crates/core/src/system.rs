@@ -1,0 +1,477 @@
+//! Full-system composition: GPU front end, sectored L2, memory controller,
+//! and DRAM stack, advanced by one event-stepped loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use fgdram_ctrl::Controller;
+use fgdram_dram::{DramDevice, ProtocolError};
+use fgdram_energy::floorplan::{EnergyProfile, IoTechnology};
+use fgdram_energy::meter::{DataActivity, EnergyMeter, OpCounts};
+use fgdram_gpu::{Gpu, L2Access, L2Cache, SectorAccess};
+use fgdram_model::addr::{MemRequest, PhysAddr, ReqId};
+use fgdram_model::cmd::TimedCommand;
+use fgdram_model::config::{ConfigError, CtrlConfig, DramConfig, DramKind, GpuConfig};
+use fgdram_model::units::{GbPerSec, Ns};
+use fgdram_workloads::Workload;
+
+use crate::report::SimReport;
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// Invalid configuration.
+    Config(ConfigError),
+    /// The scheduler issued an illegal DRAM command (internal bug).
+    Protocol(ProtocolError),
+    /// The system stopped making progress (internal bug).
+    Stalled {
+        /// Time of the stall.
+        at: Ns,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "configuration error: {e}"),
+            SimError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            SimError::Stalled { at } => write!(f, "simulation stalled at {at} ns"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<ProtocolError> for SimError {
+    fn from(e: ProtocolError) -> Self {
+        SimError::Protocol(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Read data for this fill request reaches the L2.
+    Fill(ReqId),
+    /// A load sector reaches its warp.
+    Wake(u64),
+}
+
+/// Builder for a [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use fgdram_core::SystemBuilder;
+/// use fgdram_model::config::DramKind;
+/// use fgdram_workloads::suites;
+///
+/// let report = SystemBuilder::new(DramKind::Fgdram)
+///     .workload(suites::by_name("STREAM").expect("in suite"))
+///     .run(2_000, 5_000)?;
+/// assert!(report.bandwidth.value() > 0.0);
+/// # Ok::<(), fgdram_core::SimError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    dram: DramConfig,
+    ctrl: CtrlConfig,
+    gpu: GpuConfig,
+    workload: Option<Workload>,
+    io_tech: IoTechnology,
+    trace: bool,
+}
+
+impl SystemBuilder {
+    /// Starts from the Table 2 configuration of `kind` and the Table 1 GPU.
+    pub fn new(kind: DramKind) -> Self {
+        let dram = DramConfig::new(kind);
+        SystemBuilder {
+            ctrl: CtrlConfig::for_dram(&dram),
+            dram,
+            gpu: GpuConfig::default(),
+            workload: None,
+            io_tech: IoTechnology::Podl,
+            trace: false,
+        }
+    }
+
+    /// Replaces the DRAM configuration (for ablations), re-deriving the
+    /// controller sizing for its channel count.
+    pub fn dram_config(mut self, cfg: DramConfig) -> Self {
+        self.ctrl = CtrlConfig::for_dram(&cfg);
+        self.dram = cfg;
+        self
+    }
+
+    /// Replaces the controller policy.
+    pub fn ctrl_config(mut self, cfg: CtrlConfig) -> Self {
+        self.ctrl = cfg;
+        self
+    }
+
+    /// Replaces the GPU configuration.
+    pub fn gpu_config(mut self, cfg: GpuConfig) -> Self {
+        self.gpu = cfg;
+        self
+    }
+
+    /// Sets the workload (required). The workload's `mlp` overrides the
+    /// GPU's per-warp outstanding limit, and its L2 sector size must match
+    /// the DRAM atom (enforced in [`Self::build`]).
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Records the full DRAM command trace (for the protocol checker).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Selects the I/O signaling technology for energy accounting
+    /// (Section 3.5): PODL is the paper's conservative baseline, GRS the
+    /// constant-current alternative with organic-package reach.
+    pub fn io_technology(mut self, tech: IoTechnology) -> Self {
+        self.io_tech = tech;
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] for invalid geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload was set.
+    pub fn build(self) -> Result<System, SimError> {
+        let workload = self.workload.expect("SystemBuilder requires a workload");
+        let mut gpu_cfg = self.gpu;
+        gpu_cfg.max_outstanding_per_warp = workload.mlp.max(1);
+        // The L2 sector is the DRAM atom (Section 2.2 / Table 1).
+        gpu_cfg.l2.sector_bytes = self.dram.atom_bytes;
+        self.dram.validate()?;
+        let mut dev = DramDevice::new(self.dram.clone());
+        if self.trace {
+            dev.enable_trace();
+        }
+        let ctrl = Controller::new(&self.dram, self.ctrl)?;
+        let n_warps = gpu_cfg.sms * gpu_cfg.warps_per_sm;
+        let gpu = Gpu::new(gpu_cfg.clone(), workload.streams(n_warps));
+        let l2 = L2Cache::new(gpu_cfg.l2, 16_384);
+        let mut profile = EnergyProfile::for_kind(self.dram.kind);
+        if self.io_tech == IoTechnology::Grs {
+            profile = profile.with_grs();
+        }
+        Ok(System {
+            meter: EnergyMeter::with_profile(&self.dram, profile),
+            activity: DataActivity {
+                toggle_rate: workload.toggle_rate,
+                ones_density: workload.ones_density,
+            },
+            cfg: self.dram,
+            gpu_cfg,
+            workload_name: workload.name,
+            dev,
+            ctrl,
+            gpu,
+            l2,
+            events: BinaryHeap::new(),
+            fill_dest: HashMap::new(),
+            retry_reqs: VecDeque::new(),
+            l2_blocked: VecDeque::new(),
+            access_buf: Vec::new(),
+            completion_buf: Vec::new(),
+            now: 0,
+            next_req: 0,
+            ctrl_next: 0,
+            last_issue: 0,
+        })
+    }
+
+    /// Builds, warms up for `warmup` ns, measures for `window` ns, and
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`].
+    pub fn run(self, warmup: Ns, window: Ns) -> Result<SimReport, SimError> {
+        let mut sys = self.build()?;
+        sys.run_for(warmup)?;
+        sys.reset_stats();
+        sys.run_for(window)?;
+        Ok(sys.report(window))
+    }
+}
+
+/// A complete simulated node: GPU + L2 + controller + DRAM stack.
+#[derive(Debug)]
+pub struct System {
+    cfg: DramConfig,
+    gpu_cfg: GpuConfig,
+    workload_name: String,
+    meter: EnergyMeter,
+    activity: DataActivity,
+    dev: DramDevice,
+    ctrl: Controller,
+    gpu: Gpu,
+    l2: L2Cache,
+    events: BinaryHeap<Reverse<(Ns, Event)>>,
+    fill_dest: HashMap<u64, PhysAddr>,
+    retry_reqs: VecDeque<MemRequest>,
+    l2_blocked: VecDeque<SectorAccess>,
+    access_buf: Vec<SectorAccess>,
+    completion_buf: Vec<fgdram_model::cmd::Completion>,
+    now: Ns,
+    next_req: u64,
+    ctrl_next: Ns,
+    last_issue: Ns,
+}
+
+/// Backpressure thresholds: stop issuing new GPU work above these.
+const MAX_L2_BLOCKED: usize = 1_024;
+const MAX_RETRY: usize = 8_192;
+
+impl System {
+    /// Current simulated time.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// The DRAM configuration in effect.
+    pub fn dram_config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The DRAM device (counters, per-channel state).
+    pub fn device(&self) -> &DramDevice {
+        &self.dev
+    }
+
+    /// The controller (statistics).
+    pub fn controller(&self) -> &Controller {
+        &self.ctrl
+    }
+
+    /// The L2 cache (statistics).
+    pub fn l2(&self) -> &L2Cache {
+        &self.l2
+    }
+
+    /// The GPU front end (statistics).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Takes the recorded DRAM command trace (empty unless built
+    /// [`SystemBuilder::with_trace`]).
+    pub fn take_trace(&mut self) -> Vec<TimedCommand> {
+        self.dev.take_trace()
+    }
+
+    /// Zeroes all statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.dev.reset_counters();
+        self.ctrl.reset_stats();
+        self.l2.reset_stats();
+        self.gpu.reset_stats();
+    }
+
+    /// Advances simulated time by `duration`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Protocol`] on scheduler bugs, [`SimError::Stalled`] when
+    /// progress stops entirely.
+    pub fn run_for(&mut self, duration: Ns) -> Result<(), SimError> {
+        let end = self.now.saturating_add(duration);
+        while self.now < end {
+            self.step(end)?;
+        }
+        Ok(())
+    }
+
+    fn schedule(&mut self, at: Ns, ev: Event) {
+        self.events.push(Reverse((at, ev)));
+    }
+
+    fn step(&mut self, end: Ns) -> Result<(), SimError> {
+        let now = self.now;
+
+        // 1. Deliver due events.
+        while let Some(&Reverse((t, ev))) = self.events.peek() {
+            if t > now {
+                break;
+            }
+            self.events.pop();
+            match ev {
+                Event::Fill(req) => {
+                    if let Some(sector) = self.fill_dest.remove(&req.0) {
+                        let xbar = self.gpu_cfg.xbar_latency;
+                        let core = self.gpu_cfg.core_latency;
+                        for token in self.l2.fill_done(sector) {
+                            self.schedule(now + xbar + core, Event::Wake(token));
+                        }
+                    }
+                }
+                Event::Wake(token) => {
+                    self.gpu.sector_done(fgdram_gpu::AccessToken::from_u64(token), now);
+                }
+            }
+        }
+
+        // 2. Retry requests the controller previously rejected.
+        while let Some(&req) = self.retry_reqs.front() {
+            if self.ctrl.try_enqueue(req, now) {
+                self.retry_reqs.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 3. Retry sector accesses the L2 previously blocked.
+        while let Some(&access) = self.l2_blocked.front() {
+            if self.process_access(access, now) {
+                self.l2_blocked.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 4. Issue new GPU work unless backpressured.
+        if self.l2_blocked.len() < MAX_L2_BLOCKED && self.retry_reqs.len() < MAX_RETRY {
+            let dt = (now - self.last_issue).clamp(1, 8) as usize;
+            let budget = self.gpu_cfg.issue_per_ns * dt;
+            let mut buf = std::mem::take(&mut self.access_buf);
+            buf.clear();
+            self.gpu.issue(now, budget, &mut buf);
+            self.last_issue = now;
+            for access in buf.drain(..) {
+                if !self.process_access(access, now) {
+                    self.l2_blocked.push_back(access);
+                }
+            }
+            self.access_buf = buf;
+        }
+
+        // 5. Turn L2 evictions into DRAM writes.
+        for wb in self.l2.take_writebacks() {
+            self.next_req += 1;
+            let req = MemRequest { id: ReqId(self.next_req), addr: wb, is_write: true };
+            if !self.ctrl.try_enqueue(req, now) {
+                self.retry_reqs.push_back(req);
+            }
+        }
+
+        // 6. Run the memory controller.
+        if now >= self.ctrl_next {
+            self.completion_buf.clear();
+            let mut comps = std::mem::take(&mut self.completion_buf);
+            self.ctrl_next = self.ctrl.tick(&mut self.dev, now, &mut comps)?;
+            let xbar = self.gpu_cfg.xbar_latency;
+            for c in comps.drain(..) {
+                if !c.is_write {
+                    self.schedule(c.at + xbar, Event::Fill(c.req));
+                }
+            }
+            self.completion_buf = comps;
+        }
+
+        // 7. Advance to the next interesting time.
+        let mut next = end;
+        if let Some(&Reverse((t, _))) = self.events.peek() {
+            next = next.min(t);
+        }
+        next = next.min(self.ctrl_next);
+        if let Some(t) = self.gpu.next_event() {
+            next = next.min(t);
+        }
+        if !self.retry_reqs.is_empty() || !self.l2_blocked.is_empty() {
+            next = next.min(now + 1);
+        }
+        if next == Ns::MAX {
+            return Err(SimError::Stalled { at: now });
+        }
+        self.now = next.max(now + 1).min(end.max(now + 1));
+        Ok(())
+    }
+
+    /// Routes one sector access through the L2; `false` means blocked
+    /// (caller must retry).
+    fn process_access(&mut self, access: SectorAccess, now: Ns) -> bool {
+        match self.l2.access(access.addr, access.is_store, access.token.as_u64()) {
+            L2Access::Hit => {
+                let done = now + self.gpu_cfg.l2.hit_latency + 2 * self.gpu_cfg.xbar_latency;
+                self.schedule(done, Event::Wake(access.token.as_u64()));
+                true
+            }
+            L2Access::StoreDone | L2Access::Merged => true,
+            L2Access::Miss { fill } => {
+                self.next_req += 1;
+                let req = MemRequest { id: ReqId(self.next_req), addr: fill, is_write: false };
+                self.fill_dest.insert(self.next_req, fill);
+                if !self.ctrl.try_enqueue(req, now) {
+                    self.retry_reqs.push_back(req);
+                }
+                true
+            }
+            L2Access::Blocked => false,
+        }
+    }
+
+    /// Builds a report over the last `window` ns (call after
+    /// [`Self::reset_stats`] + [`Self::run_for`]).
+    pub fn report(&self, window: Ns) -> SimReport {
+        let k = self.dev.total_counters();
+        let ops = OpCounts {
+            activates: k.activates,
+            read_atoms: k.read_atoms,
+            write_atoms: k.write_atoms,
+        };
+        let energy = self.meter.energy(&ops, self.activity);
+        let bits = self.meter.data_bits(&ops);
+        let bytes = (k.read_atoms + k.write_atoms) * self.cfg.atom_bytes;
+        let bandwidth = GbPerSec::from_bytes_over(bytes, window);
+        let peak = self.cfg.stack_bandwidth();
+        let cs = self.ctrl.stats();
+        // Per-channel balance: the swizzle should spread traffic evenly.
+        let per_channel: Vec<f64> = (0..self.cfg.channels as u32)
+            .map(|ch| {
+                let k = self.dev.channel_counters(ch);
+                (k.read_atoms + k.write_atoms) as f64
+            })
+            .collect();
+        let mean = per_channel.iter().sum::<f64>() / per_channel.len().max(1) as f64;
+        let var = per_channel.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / per_channel.len().max(1) as f64;
+        let channel_imbalance_cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        SimReport {
+            workload: self.workload_name.clone(),
+            kind: self.cfg.kind,
+            window_ns: window,
+            retired: self.gpu.stats().retired,
+            read_atoms: k.read_atoms,
+            write_atoms: k.write_atoms,
+            activates: k.activates,
+            refreshes: k.refreshes,
+            bandwidth,
+            utilisation: if peak.value() > 0.0 { bandwidth.value() / peak.value() } else { 0.0 },
+            row_hit_rate: cs.hit_rate(),
+            l2_hit_rate: self.l2.stats().hit_rate(),
+            avg_read_latency_ns: cs.read_latency.stat().mean(),
+            p95_read_latency_ns: cs.read_latency.quantile(0.95),
+            channel_imbalance_cv,
+            energy,
+            energy_per_bit: energy.per_bit(bits),
+        }
+    }
+}

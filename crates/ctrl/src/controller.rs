@@ -1,0 +1,337 @@
+//! The stack-level memory controller: address decode, per-channel
+//! schedulers, and the tick loop.
+
+use fgdram_dram::{DramDevice, ProtocolError};
+use fgdram_model::addr::{AddressMapper, MemRequest};
+use fgdram_model::cmd::Completion;
+use fgdram_model::config::{ConfigError, CtrlConfig, DramConfig};
+use fgdram_model::units::Ns;
+
+use crate::scheduler::{ChannelSched, Pending, Step};
+use crate::stats::CtrlStats;
+
+/// GPU memory controller for one DRAM stack.
+///
+/// The controller owns request queues and scheduling; the [`DramDevice`]
+/// (owned by the caller) owns timing truth. Every command is issued at a
+/// time the device itself reported legal, so a [`ProtocolError`] escaping
+/// [`Controller::tick`] indicates a scheduler bug, not a workload effect.
+///
+/// # Examples
+///
+/// ```
+/// use fgdram_ctrl::Controller;
+/// use fgdram_dram::DramDevice;
+/// use fgdram_model::addr::{MemRequest, PhysAddr, ReqId};
+/// use fgdram_model::config::{CtrlConfig, DramConfig, DramKind};
+///
+/// let cfg = DramConfig::new(DramKind::Fgdram);
+/// let mut dev = DramDevice::new(cfg.clone());
+/// let mut ctrl = Controller::new(&cfg, CtrlConfig::default())?;
+/// ctrl.try_enqueue(MemRequest { id: ReqId(1), addr: PhysAddr(0x1000), is_write: false }, 0);
+/// let mut done = Vec::new();
+/// let mut now = 0;
+/// while done.is_empty() {
+///     now = ctrl.tick(&mut dev, now, &mut done)?.max(now + 1);
+/// }
+/// assert_eq!(done[0].req, ReqId(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Controller {
+    mapper: AddressMapper,
+    scheds: Vec<ChannelSched>,
+    seq: u64,
+    stats: CtrlStats,
+}
+
+/// Upper bound on commands one channel may issue within a single tick
+/// (defensive cap; normal operation issues a handful).
+const MAX_STEPS_PER_TICK: usize = 64;
+
+impl Controller {
+    /// Builds a controller for `dram` with policy `ctrl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the DRAM geometry is invalid.
+    pub fn new(dram: &DramConfig, ctrl: CtrlConfig) -> Result<Self, ConfigError> {
+        let mapper = AddressMapper::new(dram)?;
+        let channels = dram.channels;
+        let scheds = (0..channels)
+            .map(|ch| {
+                // Stagger refresh across channels to avoid refresh storms.
+                let phase = dram.timing.t_refi * (ch as u64 + 1) / channels as u64;
+                ChannelSched::new(
+                    ch as u32,
+                    dram.banks_per_channel,
+                    dram.atoms_per_activation() as u32,
+                    dram.is_grain_based(),
+                    ctrl,
+                    dram.timing.t_refi,
+                    phase,
+                )
+            })
+            .collect();
+        Ok(Controller { mapper, scheds, seq: 0, stats: CtrlStats::new() })
+    }
+
+    /// The controller's address mapping.
+    pub fn mapper(&self) -> &AddressMapper {
+        &self.mapper
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Zeroes accumulated statistics (end-of-warmup bookkeeping).
+    pub fn reset_stats(&mut self) {
+        self.stats = CtrlStats::new();
+    }
+
+    /// Total queued requests.
+    pub fn pending(&self) -> usize {
+        self.scheds.iter().map(ChannelSched::pending).sum()
+    }
+
+    /// Whether the target channel queue can accept `req` right now.
+    pub fn can_accept(&self, req: &MemRequest) -> bool {
+        let loc = self.mapper.decode(req.addr);
+        self.scheds[loc.channel as usize].can_accept(req.is_write)
+    }
+
+    /// Enqueues `req`, returning `false` (and counting a rejection) when
+    /// the target queue is full — the caller should retry later.
+    pub fn try_enqueue(&mut self, req: MemRequest, now: Ns) -> bool {
+        let loc = self.mapper.decode(req.addr);
+        let sched = &mut self.scheds[loc.channel as usize];
+        if !sched.can_accept(req.is_write) {
+            self.stats.rejected.incr();
+            return false;
+        }
+        self.seq += 1;
+        if req.is_write {
+            self.stats.writes_accepted.incr();
+        } else {
+            self.stats.reads_accepted.incr();
+        }
+        sched.enqueue(Pending { req, loc, arrived: now, seq: self.seq }, now);
+        self.stats.queue_depth.record(sched.pending() as u64);
+        true
+    }
+
+    /// Runs every channel scheduler that is due at `now`, appending data
+    /// completions to `out`. Returns the earliest time any channel next
+    /// needs attention.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtocolError`] here means the scheduler issued an illegal
+    /// command — an internal bug, never a workload condition.
+    pub fn tick(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        out: &mut Vec<Completion>,
+    ) -> Result<Ns, ProtocolError> {
+        let mut next = Ns::MAX;
+        for sched in &mut self.scheds {
+            if now >= sched.next_try {
+                for _ in 0..MAX_STEPS_PER_TICK {
+                    match sched.step(dev, now, &mut self.stats)? {
+                        Step::Issued(Some(c)) => out.push(c),
+                        Step::Issued(None) => {}
+                        Step::Sleep(t) => {
+                            sched.next_try = t.max(now + 1);
+                            break;
+                        }
+                    }
+                }
+            }
+            next = next.min(sched.next_try);
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::addr::{PhysAddr, ReqId};
+    use fgdram_model::config::DramKind;
+
+    fn setup(kind: DramKind) -> (DramDevice, Controller) {
+        let cfg = DramConfig::new(kind);
+        let dev = DramDevice::new(cfg.clone());
+        let ctrl = Controller::new(&cfg, CtrlConfig::default()).unwrap();
+        (dev, ctrl)
+    }
+
+    fn run_until_drained(dev: &mut DramDevice, ctrl: &mut Controller, limit: Ns) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while ctrl.pending() > 0 && now < limit {
+            let next = ctrl.tick(dev, now, &mut out).unwrap();
+            now = next.max(now + 1);
+        }
+        out
+    }
+
+    #[test]
+    fn single_read_completes_with_expected_latency() {
+        let (mut dev, mut ctrl) = setup(DramKind::QbHbm);
+        let req = MemRequest { id: ReqId(1), addr: PhysAddr(0), is_write: false };
+        assert!(ctrl.try_enqueue(req, 0));
+        let done = run_until_drained(&mut dev, &mut ctrl, 10_000);
+        assert_eq!(done.len(), 1);
+        // ACT at ~0, RD at tRCD=16, data end at 16+tCL+tBURST = 34.
+        assert_eq!(done[0].at, 34);
+        assert_eq!(ctrl.stats().activates.get(), 1);
+    }
+
+    #[test]
+    fn row_hits_are_reordered_ahead_of_conflicts() {
+        let (mut dev, mut ctrl) = setup(DramKind::QbHbm);
+        let m = ctrl.mapper().clone();
+        use fgdram_model::addr::Location;
+        // Three requests to one bank: row A, row B (conflict), row A again.
+        let a0 = m.encode(Location { channel: 0, bank: 0, row: 10, col: 0 });
+        let b0 = m.encode(Location { channel: 0, bank: 0, row: 20, col: 0 });
+        let a1 = m.encode(Location { channel: 0, bank: 0, row: 10, col: 1 });
+        for (i, addr) in [a0, b0, a1].into_iter().enumerate() {
+            assert!(ctrl.try_enqueue(
+                MemRequest { id: ReqId(i as u64), addr, is_write: false },
+                0
+            ));
+        }
+        let done = run_until_drained(&mut dev, &mut ctrl, 10_000);
+        assert_eq!(done.len(), 3);
+        // FR-FCFS: the second row-A access (id 2) completes before row B.
+        let pos =
+            |id: u64| done.iter().position(|c| c.req == ReqId(id)).unwrap();
+        assert!(pos(2) < pos(1), "row hit should bypass the conflict");
+        assert!(ctrl.stats().row_hits.get() >= 1);
+        // The last row-10 hit sees no further reuse, so the controller
+        // closes the row via auto-precharge instead of an explicit
+        // conflict precharge.
+        assert!(
+            ctrl.stats().auto_precharges.get() + ctrl.stats().conflict_precharges.get() >= 1
+        );
+    }
+
+    #[test]
+    fn writes_drain_in_batches() {
+        let (mut dev, mut ctrl) = setup(DramKind::QbHbm);
+        // Fill past the high watermark with writes to one channel.
+        let m = ctrl.mapper().clone();
+        use fgdram_model::addr::Location;
+        let mut sent = 0;
+        'outer: for row in 0..128u32 {
+            for col in 0..4u32 {
+                let addr = m.encode(Location { channel: 1, bank: (row % 4), row, col });
+                if !ctrl.try_enqueue(
+                    MemRequest { id: ReqId(sent), addr, is_write: true },
+                    0,
+                ) {
+                    break 'outer;
+                }
+                sent += 1;
+            }
+        }
+        // Enough to cross the high watermark and trigger batch draining.
+        assert!(sent as usize >= CtrlConfig::default().write_high_watermark, "filled {sent}");
+        let done = run_until_drained(&mut dev, &mut ctrl, 100_000);
+        assert_eq!(done.len(), sent as usize);
+        assert!(ctrl.stats().drain_entries.get() >= 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_full() {
+        let (_, mut ctrl) = setup(DramKind::QbHbm);
+        let m = ctrl.mapper().clone();
+        use fgdram_model::addr::Location;
+        let mut accepted = 0u64;
+        for i in 0..100_000u64 {
+            let addr = m.encode(Location {
+                channel: 0,
+                bank: (i % 4) as u32,
+                row: (i / 4) as u32 % 16_384,
+                col: 0,
+            });
+            if ctrl.try_enqueue(MemRequest { id: ReqId(i), addr, is_write: false }, 0) {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        // read_queue_depth plus the crossbar overflow queue.
+        let cfg = CtrlConfig::default();
+        assert_eq!(accepted as usize, cfg.read_queue_depth + cfg.xbar_queue_depth);
+        assert_eq!(ctrl.stats().rejected.get(), 1);
+        assert!(!ctrl.can_accept(&MemRequest {
+            id: ReqId(0),
+            addr: m.encode(Location { channel: 0, bank: 0, row: 0, col: 0 }),
+            is_write: false
+        }));
+    }
+
+    #[test]
+    fn fgdram_grain_conflicts_are_resolved() {
+        let (mut dev, mut ctrl) = setup(DramKind::Fgdram);
+        let m = ctrl.mapper().clone();
+        use fgdram_model::addr::Location;
+        // Pseudobank 0 row 3 and pseudobank 1 row 7 share subarray 0.
+        let a = m.encode(Location { channel: 0, bank: 0, row: 3, col: 0 });
+        let b = m.encode(Location { channel: 0, bank: 1, row: 7, col: 0 });
+        ctrl.try_enqueue(MemRequest { id: ReqId(0), addr: a, is_write: false }, 0);
+        ctrl.try_enqueue(MemRequest { id: ReqId(1), addr: b, is_write: false }, 0);
+        let done = run_until_drained(&mut dev, &mut ctrl, 100_000);
+        assert_eq!(done.len(), 2, "both requests complete despite the conflict");
+    }
+
+    #[test]
+    fn refresh_happens_periodically() {
+        let (mut dev, mut ctrl) = setup(DramKind::QbHbm);
+        let mut out = Vec::new();
+        let mut now = 0;
+        // Idle controller for ~3 refresh intervals.
+        while now < 12_000 {
+            let next = ctrl.tick(&mut dev, now, &mut out).unwrap();
+            now = next.max(now + 1);
+        }
+        let expected = dev.config().channels as u64 * 2; // >= 2 per channel
+        assert!(
+            ctrl.stats().refreshes.get() >= expected,
+            "refreshes {} < {expected}",
+            ctrl.stats().refreshes.get()
+        );
+    }
+
+    #[test]
+    fn sequential_stream_gets_high_hit_rate() {
+        let (mut dev, mut ctrl) = setup(DramKind::QbHbm);
+        let mut now = 0;
+        let mut out = Vec::new();
+        let mut issued = 0u64;
+        let mut next_addr = 0u64;
+        while issued < 2_000 || ctrl.pending() > 0 {
+            while issued < 2_000
+                && ctrl.try_enqueue(
+                    MemRequest { id: ReqId(issued), addr: PhysAddr(next_addr), is_write: false },
+                    now,
+                )
+            {
+                issued += 1;
+                next_addr += 32;
+            }
+            let next = ctrl.tick(&mut dev, now, &mut out).unwrap();
+            now = next.max(now + 1);
+            assert!(now < 1_000_000, "stream run diverged");
+        }
+        assert_eq!(out.len(), 2_000);
+        let s = ctrl.stats();
+        assert!(s.hit_rate() > 0.8, "hit rate {}", s.hit_rate());
+    }
+}

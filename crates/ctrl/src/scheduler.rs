@@ -1,0 +1,575 @@
+//! Per-channel (per-grain-group) FR-FCFS scheduler.
+//!
+//! Implements the paper's throughput-optimized controller (Section 4.1):
+//! deep per-bank request queues with row-hit-first reordering, batched
+//! write draining between watermarks, open-page policy with
+//! conflict-triggered and idle-timeout precharges, opportunistic
+//! auto-precharge when no queued request can reuse the open row, and the
+//! FGDRAM-specific subarray-conflict avoidance of Section 3.3.
+
+use std::collections::VecDeque;
+
+use fgdram_dram::{DramDevice, ProtocolError, Rule};
+use fgdram_model::addr::{Location, MemRequest};
+use fgdram_model::cmd::{BankRef, Completion, DramCommand};
+use fgdram_model::config::{CtrlConfig, PagePolicy};
+use fgdram_model::units::Ns;
+
+use crate::stats::CtrlStats;
+
+/// A queued request with its decoded location and arrival order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pending {
+    pub req: MemRequest,
+    pub loc: Location,
+    pub arrived: Ns,
+    pub seq: u64,
+}
+
+/// Result of one scheduling attempt.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Step {
+    /// A command was issued (with the data completion for columns).
+    Issued(Option<Completion>),
+    /// Nothing issuable before this time.
+    Sleep(Ns),
+}
+
+const FAR_FUTURE: Ns = Ns::MAX / 4;
+
+#[derive(Debug)]
+pub(crate) struct ChannelSched {
+    channel: u32,
+    banks: usize,
+    atoms_per_activation: u32,
+    cfg: CtrlConfig,
+    grain_based: bool,
+    read_q: Vec<VecDeque<Pending>>,
+    write_q: Vec<VecDeque<Pending>>,
+    /// Crossbar partition queue: holds arrivals while the per-bank
+    /// scheduler queues are full.
+    overflow: VecDeque<Pending>,
+    reads: usize,
+    writes: usize,
+    draining: bool,
+    refresh_due: Ns,
+    refresh_interval: Ns,
+    last_activity: Ns,
+    pub next_try: Ns,
+}
+
+impl ChannelSched {
+    pub fn new(
+        channel: u32,
+        banks: usize,
+        atoms_per_activation: u32,
+        grain_based: bool,
+        cfg: CtrlConfig,
+        refresh_interval: Ns,
+        refresh_phase: Ns,
+    ) -> Self {
+        ChannelSched {
+            channel,
+            banks,
+            atoms_per_activation,
+            cfg,
+            grain_based,
+            read_q: (0..banks).map(|_| VecDeque::new()).collect(),
+            write_q: (0..banks).map(|_| VecDeque::new()).collect(),
+            overflow: VecDeque::new(),
+            reads: 0,
+            writes: 0,
+            draining: false,
+            refresh_due: refresh_phase.max(1),
+            refresh_interval,
+            last_activity: 0,
+            next_try: 0,
+        }
+    }
+
+    pub fn pending(&self) -> usize {
+        self.reads + self.writes + self.overflow.len()
+    }
+
+    pub fn can_accept(&self, is_write: bool) -> bool {
+        let direct = if is_write {
+            self.writes < self.cfg.write_buffer_depth
+        } else {
+            self.reads < self.cfg.read_queue_depth
+        };
+        direct || self.overflow.len() < self.cfg.xbar_queue_depth
+    }
+
+    pub fn enqueue(&mut self, p: Pending, now: Ns) {
+        let room = if p.req.is_write {
+            self.writes < self.cfg.write_buffer_depth
+        } else {
+            self.reads < self.cfg.read_queue_depth
+        };
+        if room && self.overflow.is_empty() {
+            self.enqueue_direct(p);
+        } else {
+            self.overflow.push_back(p);
+        }
+        self.next_try = self.next_try.min(now);
+    }
+
+    fn enqueue_direct(&mut self, p: Pending) {
+        let bank = p.loc.bank as usize;
+        if p.req.is_write {
+            self.write_q[bank].push_back(p);
+            self.writes += 1;
+        } else {
+            self.read_q[bank].push_back(p);
+            self.reads += 1;
+        }
+    }
+
+    /// Moves overflow arrivals into the scheduler queues as room appears.
+    fn drain_overflow(&mut self) {
+        while let Some(p) = self.overflow.front() {
+            let room = if p.req.is_write {
+                self.writes < self.cfg.write_buffer_depth
+            } else {
+                self.reads < self.cfg.read_queue_depth
+            };
+            if !room {
+                break;
+            }
+            let p = self.overflow.pop_front().expect("checked front");
+            self.enqueue_direct(p);
+        }
+    }
+
+    #[inline]
+    fn slice_of(&self, loc: &Location) -> u32 {
+        loc.col / self.atoms_per_activation
+    }
+
+    fn bank_ref(&self, bank: u32) -> BankRef {
+        BankRef { channel: self.channel, bank }
+    }
+
+    /// One scheduling attempt at `now`.
+    pub fn step(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        stats: &mut CtrlStats,
+    ) -> Result<Step, ProtocolError> {
+        self.drain_overflow();
+        let refresh_due = self.cfg.refresh_enabled && now >= self.refresh_due;
+        let mut wake = if self.cfg.refresh_enabled { self.refresh_due } else { FAR_FUTURE };
+
+        // Write drain hysteresis.
+        if !self.draining && self.writes >= self.cfg.write_high_watermark {
+            self.draining = true;
+            stats.drain_entries.incr();
+        } else if self.draining && self.writes <= self.cfg.write_low_watermark {
+            self.draining = false;
+        }
+        let use_writes = self.draining || self.reads == 0;
+
+        if self.reads + self.writes > 0 {
+            // Pass 1: row-buffer hits keep flowing even while a refresh
+            // quiesces (rows must drain before they can close anyway).
+            if let Some(step) = self.try_column(dev, now, use_writes, stats, &mut wake)? {
+                return Ok(step);
+            }
+            // Pass 2: activates / conflict precharges — but no new rows
+            // once a refresh is due.
+            if !refresh_due {
+                if let Some(step) = self.try_activate(dev, now, use_writes, stats, &mut wake)? {
+                    return Ok(step);
+                }
+            }
+        }
+        if refresh_due {
+            return self.step_refresh(dev, now, stats, wake);
+        }
+        // Pass 3: close rows idle past the timeout.
+        let wake = self.maybe_idle_close(dev, now, stats, wake)?;
+        Ok(Step::Sleep(wake.max(now + 1)))
+    }
+
+    /// Quiesce-and-refresh: close open rows as their fences pass, then
+    /// issue the refresh.
+    fn step_refresh(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        stats: &mut CtrlStats,
+        mut wake: Ns,
+    ) -> Result<Step, ProtocolError> {
+        let mut any_open = false;
+        for b in 0..self.banks as u32 {
+            let open: Vec<(u32, u32)> = dev
+                .channel(self.channel)
+                .bank(b)
+                .open_rows()
+                .map(|o| (o.row, o.slice))
+                .collect();
+            for (row, slice) in open {
+                any_open = true;
+                let cmd = DramCommand::Precharge { bank: self.bank_ref(b), row: Some(row), slice };
+                let e = dev.earliest(&cmd, now)?;
+                if e <= now {
+                    dev.issue(cmd, now)?;
+                    stats.refresh_precharges.incr();
+                    return Ok(Step::Issued(None));
+                }
+                wake = wake.min(e);
+            }
+        }
+        if !any_open {
+            let cmd = DramCommand::Refresh { channel: self.channel };
+            let e = dev.earliest(&cmd, now)?;
+            if e <= now {
+                dev.issue(cmd, now)?;
+                stats.refreshes.incr();
+                self.refresh_due += self.refresh_interval;
+                return Ok(Step::Issued(None));
+            }
+            wake = wake.min(e);
+        }
+        Ok(Step::Sleep(wake.max(now + 1)))
+    }
+
+    fn queue(&self, is_write: bool) -> &Vec<VecDeque<Pending>> {
+        if is_write {
+            &self.write_q
+        } else {
+            &self.read_q
+        }
+    }
+
+    /// Finds and issues a row-buffer hit; `Ok(None)` when no hit is
+    /// issuable at `now` (earliest times folded into `wake`).
+    ///
+    /// Among per-bank oldest hits, the *earliest-issuable* one wins — this
+    /// is the Figure 4 bank-group rotation: alternating groups keeps
+    /// columns tCCDS apart where strict age order would serialise
+    /// same-group accesses at tCCDL.
+    fn try_column(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        use_writes: bool,
+        stats: &mut CtrlStats,
+        wake: &mut Ns,
+    ) -> Result<Option<Step>, ProtocolError> {
+        let scan = self.cfg.reorder_window.max(1);
+        let mut best: Option<(Ns, u64, usize, usize)> = None;
+        for b in 0..self.banks {
+            let ch = dev.channel(self.channel);
+            let mut candidate: Option<(usize, &Pending)> = None;
+            for (i, p) in self.queue(use_writes)[b].iter().take(scan).enumerate() {
+                let slice = self.slice_of(&p.loc);
+                let hit = ch
+                    .bank(b as u32)
+                    .open_at(p.loc.row, slice)
+                    .is_some_and(|o| o.row == p.loc.row);
+                if hit {
+                    candidate = Some((i, p));
+                    break; // first hit in FIFO order is this bank's oldest
+                }
+            }
+            let Some((i, p)) = candidate else { continue };
+            let e = ch
+                .earliest_col(b as u32, p.loc.row, self.slice_of(&p.loc), p.req.is_write, now)
+                .map(|t| t.max(now))
+                .unwrap_or(Ns::MAX);
+            if best.is_none_or(|(be, bs, _, _)| (e, p.seq) < (be, bs)) {
+                best = Some((e, p.seq, b, i));
+            }
+        }
+        let Some((e_hint, _, bank, idx)) = best else { return Ok(None) };
+        if e_hint > now {
+            *wake = (*wake).min(e_hint);
+            return Ok(None);
+        }
+        let p = self.queue(use_writes)[bank][idx];
+        let slice = self.slice_of(&p.loc);
+        let auto_precharge = self.cfg.page_policy == PagePolicy::Closed
+            || !self.row_reusable(bank, idx, use_writes, p.loc.row, slice);
+        let bankref = self.bank_ref(bank as u32);
+        let cmd = if p.req.is_write {
+            DramCommand::Write { bank: bankref, row: p.loc.row, col: p.loc.col, auto_precharge, req: p.req.id }
+        } else {
+            DramCommand::Read { bank: bankref, row: p.loc.row, col: p.loc.col, auto_precharge, req: p.req.id }
+        };
+        let e = dev.earliest(&cmd, now)?;
+        if e > now {
+            // The shared command bus (not the channel) must be busy.
+            *wake = (*wake).min(e);
+            return Ok(None);
+        }
+        let completion = dev.issue(cmd, now)?;
+        let removed = if use_writes {
+            self.writes -= 1;
+            self.write_q[bank].remove(idx)
+        } else {
+            self.reads -= 1;
+            self.read_q[bank].remove(idx)
+        }
+        .expect("scheduled request present");
+        stats.row_hits.incr();
+        if auto_precharge {
+            stats.auto_precharges.incr();
+        }
+        if let Some(c) = completion {
+            if !removed.req.is_write {
+                stats.record_read_latency(removed.arrived, c.at);
+            }
+        }
+        self.last_activity = now;
+        Ok(Some(Step::Issued(completion)))
+    }
+
+    /// True when another queued request (read or write) can still use the
+    /// open (`row`, `slice`) of `bank`, so the row should stay open.
+    fn row_reusable(&self, bank: usize, skip_idx: usize, skip_writes: bool, row: u32, slice: u32) -> bool {
+        let scan = self.cfg.reorder_window.max(1);
+        let matches = |p: &Pending| p.loc.row == row && self.slice_of(&p.loc) == slice;
+        self.read_q[bank]
+            .iter()
+            .take(scan)
+            .enumerate()
+            .any(|(i, p)| (skip_writes || i != skip_idx) && matches(p))
+            || self.write_q[bank]
+                .iter()
+                .take(scan)
+                .enumerate()
+                .any(|(i, p)| (!skip_writes || i != skip_idx) && matches(p))
+    }
+
+    /// Tries to open a row (or clear a conflict) for the oldest
+    /// front-of-queue request per bank.
+    fn try_activate(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        use_writes: bool,
+        stats: &mut CtrlStats,
+        wake: &mut Ns,
+    ) -> Result<Option<Step>, ProtocolError> {
+        // Front requests per bank, oldest first.
+        let mut fronts: Vec<(u64, usize)> = (0..self.banks)
+            .filter_map(|b| self.queue(use_writes)[b].front().map(|p| (p.seq, b)))
+            .collect();
+        fronts.sort_unstable();
+        for (_, b) in fronts {
+            let p = *self.queue(use_writes)[b].front().expect("front exists");
+            let slice = self.slice_of(&p.loc);
+            let bankref = self.bank_ref(b as u32);
+            // Already open with the right row: handled by try_column (it
+            // was not issuable now; its wake time is already folded in).
+            let open = dev.channel(self.channel).bank(b as u32).open_at(p.loc.row, slice).copied();
+            if let Some(o) = open {
+                if o.row == p.loc.row {
+                    continue;
+                }
+                // Conflict: close the loser — unless the active queue still
+                // has hits for it, which FR-FCFS will serve first.
+                if self.row_has_pending(b, o.row, o.slice, use_writes) {
+                    *wake = (*wake).min(now + 4);
+                    continue;
+                }
+                if let Some(step) = self.try_precharge(
+                    dev,
+                    now,
+                    bankref,
+                    o.row,
+                    o.slice,
+                    &mut stats.conflict_precharges,
+                    wake,
+                )? {
+                    return Ok(Some(step));
+                }
+                continue;
+            }
+            let cmd = DramCommand::Activate { bank: bankref, row: p.loc.row, slice };
+            match dev.earliest(&cmd, now) {
+                Ok(e) if e <= now => {
+                    dev.issue(cmd, now)?;
+                    stats.activates.incr();
+                    self.last_activity = now;
+                    return Ok(Some(Step::Issued(None)));
+                }
+                Ok(e) => *wake = (*wake).min(e),
+                Err(err) => {
+                    if let Some(step) = self.resolve_act_block(
+                        dev, now, b as u32, &p, err.rule, use_writes, stats, wake,
+                    )? {
+                        return Ok(Some(step));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Handles structural activate rejections by precharging whichever
+    /// open row blocks the request.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_act_block(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        bank: u32,
+        p: &Pending,
+        rule: Rule,
+        use_writes: bool,
+        stats: &mut CtrlStats,
+        wake: &mut Ns,
+    ) -> Result<Option<Step>, ProtocolError> {
+        let sub_of = |row: u32| row / dev.config().rows_per_subarray() as u32;
+        let want_sub = sub_of(p.loc.row);
+        match rule {
+            Rule::SubarrayConflict if self.grain_based => {
+                // The sibling pseudobank holds a different row of the same
+                // subarray (Section 3.3): close it.
+                for sib in 0..self.banks as u32 {
+                    if sib == bank {
+                        continue;
+                    }
+                    let blocking = dev
+                        .channel(self.channel)
+                        .bank(sib)
+                        .open_rows()
+                        .find(|o| o.row != p.loc.row && sub_of(o.row) == want_sub)
+                        .map(|o| (o.row, o.slice));
+                    if let Some((row, slice)) = blocking {
+                        if self.row_has_pending(sib as usize, row, slice, use_writes) {
+                            *wake = (*wake).min(now + 4);
+                            return Ok(None);
+                        }
+                        return self.try_precharge(
+                            dev,
+                            now,
+                            self.bank_ref(sib),
+                            row,
+                            slice,
+                            &mut stats.conflict_precharges,
+                            wake,
+                        );
+                    }
+                }
+                Ok(None)
+            }
+            Rule::AdjacentSubarray => {
+                // SALP: a neighbouring subarray's open row shares the
+                // sense-amp stripe; close it.
+                let blocking = dev
+                    .channel(self.channel)
+                    .bank(bank)
+                    .open_rows()
+                    .find(|o| sub_of(o.row).abs_diff(want_sub) == 1)
+                    .map(|o| (o.row, o.slice));
+                if let Some((row, slice)) = blocking {
+                    if self.row_has_pending(bank as usize, row, slice, use_writes) {
+                        *wake = (*wake).min(now + 4);
+                        return Ok(None);
+                    }
+                    return self.try_precharge(
+                        dev,
+                        now,
+                        self.bank_ref(bank),
+                        row,
+                        slice,
+                        &mut stats.conflict_precharges,
+                        wake,
+                    );
+                }
+                Ok(None)
+            }
+            // ActOnOpenRow is handled by the conflict path in
+            // `try_activate` before `earliest` is consulted; anything else
+            // here is unexpected but non-fatal for scheduling.
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether the active queue (within the reorder window) still targets
+    /// the open (`row`, `slice`) of `bank`.
+    fn row_has_pending(&self, bank: usize, row: u32, slice: u32, use_writes: bool) -> bool {
+        let scan = self.cfg.reorder_window.max(1);
+        self.queue(use_writes)[bank]
+            .iter()
+            .take(scan)
+            .any(|p| p.loc.row == row && self.slice_of(&p.loc) == slice)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_precharge(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        bank: BankRef,
+        row: u32,
+        slice: u32,
+        counter: &mut fgdram_model::stats::Counter,
+        wake: &mut Ns,
+    ) -> Result<Option<Step>, ProtocolError> {
+        let cmd = DramCommand::Precharge { bank, row: Some(row), slice };
+        let e = dev.earliest(&cmd, now)?;
+        if e <= now {
+            dev.issue(cmd, now)?;
+            counter.incr();
+            self.last_activity = now;
+            return Ok(Some(Step::Issued(None)));
+        }
+        *wake = (*wake).min(e);
+        Ok(None)
+    }
+
+    /// Closes rows whose bank has no pending work once they have idled past
+    /// the configured timeout. Returns the (possibly earlier) wake time.
+    fn maybe_idle_close(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        stats: &mut CtrlStats,
+        wake: Ns,
+    ) -> Result<Ns, ProtocolError> {
+        if self.cfg.idle_row_timeout == 0 {
+            return Ok(wake);
+        }
+        let deadline = self.last_activity + self.cfg.idle_row_timeout;
+        let mut wake = wake;
+        if now < deadline {
+            let has_open = (0..self.banks as u32)
+                .any(|b| dev.channel(self.channel).bank(b).any_open());
+            if has_open {
+                wake = wake.min(deadline);
+            }
+            return Ok(wake);
+        }
+        for b in 0..self.banks as u32 {
+            if !self.read_q[b as usize].is_empty() || !self.write_q[b as usize].is_empty() {
+                continue;
+            }
+            let open = dev
+                .channel(self.channel)
+                .bank(b)
+                .open_rows()
+                .next()
+                .map(|o| (o.row, o.slice));
+            if let Some((row, slice)) = open {
+                if let Some(step) = self.try_precharge(
+                    dev,
+                    now,
+                    self.bank_ref(b),
+                    row,
+                    slice,
+                    &mut stats.timeout_precharges,
+                    &mut wake,
+                )? {
+                    let _ = step;
+                    return Ok(wake.min(now + 1));
+                }
+            }
+        }
+        Ok(wake)
+    }
+}

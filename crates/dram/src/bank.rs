@@ -1,0 +1,268 @@
+//! Per-bank (per-pseudobank) row-buffer state machine.
+//!
+//! One [`Bank`] owns a set of *row slots*. Baseline HBM2/QB-HBM banks have a
+//! single slot (one open row). With SALP every subarray gets its own slot,
+//! and with subchannels every (subarray, slice) pair does — each slot keeps
+//! its own tRC/tRAS/tRP/tRCD bookkeeping, which is exactly the
+//! semi-independence those techniques buy.
+
+use fgdram_model::config::{DramConfig, TimingParams};
+use fgdram_model::units::Ns;
+
+use crate::error::Rule;
+
+/// An activated row resident in sense amplifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenRow {
+    /// The open row index (bank-relative).
+    pub row: u32,
+    /// Subchannel slice that was activated.
+    pub slice: u32,
+    /// First column command allowed (activate + tRCD).
+    pub ready_at: Ns,
+    /// Earliest legal precharge (tRAS, then pushed by tRTP/tWR).
+    pub earliest_pre: Ns,
+    /// When the activate issued (for tRC accounting of interest).
+    pub act_at: Ns,
+}
+
+/// Row-buffer and row-timing state for one bank.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    open: Vec<Option<OpenRow>>,
+    next_act: Vec<Ns>,
+    last_act: Option<Ns>,
+    open_count: usize,
+    salp: bool,
+    slices: u32,
+    rows_per_subarray: u32,
+    timing: TimingParams,
+}
+
+impl Bank {
+    /// New all-closed bank for `cfg`.
+    pub fn new(cfg: &DramConfig) -> Self {
+        let slices = cfg.slices_per_row() as u32;
+        let domains = if cfg.salp { cfg.subarrays_per_bank } else { 1 } * slices as usize;
+        Bank {
+            open: vec![None; domains],
+            next_act: vec![0; domains],
+            last_act: None,
+            open_count: 0,
+            salp: cfg.salp,
+            slices,
+            rows_per_subarray: cfg.rows_per_subarray() as u32,
+            timing: cfg.timing,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, row: u32, slice: u32) -> usize {
+        let sub = if self.salp { row / self.rows_per_subarray } else { 0 };
+        (sub * self.slices + slice) as usize
+    }
+
+    /// The open row covering (`row`, `slice`), if any row is open there.
+    pub fn open_at(&self, row: u32, slice: u32) -> Option<&OpenRow> {
+        self.open[self.slot(row, slice)].as_ref()
+    }
+
+    /// True when any slot holds an open row.
+    pub fn any_open(&self) -> bool {
+        self.open_count > 0
+    }
+
+    /// Iterates currently open rows.
+    pub fn open_rows(&self) -> impl Iterator<Item = &OpenRow> + '_ {
+        self.open.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Earliest time an activate of (`row`, `slice`) may issue at or after
+    /// `at`, considering this bank's state only (channel adds tRRD/tFAW).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::ActOnOpenRow`] when the slot still holds a row (precharge
+    /// first), [`Rule::AdjacentSubarray`] when SALP's shared sense-amp
+    /// stripe blocks the neighbouring subarray.
+    pub fn earliest_act(&self, row: u32, slice: u32, at: Ns) -> Result<Ns, Rule> {
+        let slot = self.slot(row, slice);
+        if self.open[slot].is_some() {
+            return Err(Rule::ActOnOpenRow);
+        }
+        if self.salp && self.adjacent_open(row) {
+            return Err(Rule::AdjacentSubarray);
+        }
+        // Shared row decoder: consecutive activates to the same bank keep
+        // at least tRRD between them even across subarrays.
+        let decoder_free = self.last_act.map_or(0, |t| t + self.timing.t_rrd);
+        Ok(at.max(self.next_act[slot]).max(decoder_free))
+    }
+
+    fn adjacent_open(&self, row: u32) -> bool {
+        let sub = row / self.rows_per_subarray;
+        let subarrays = self.open.len() as u32 / self.slices;
+        let check = |s: u32| -> bool {
+            (0..self.slices).any(|sl| self.open[(s * self.slices + sl) as usize].is_some())
+        };
+        (sub > 0 && check(sub - 1)) || (sub + 1 < subarrays && check(sub + 1))
+    }
+
+    /// Records an accepted activate.
+    pub fn activate(&mut self, row: u32, slice: u32, at: Ns) {
+        let slot = self.slot(row, slice);
+        debug_assert!(self.open[slot].is_none());
+        self.open[slot] = Some(OpenRow {
+            row,
+            slice,
+            ready_at: at + self.timing.t_rcd,
+            earliest_pre: at + self.timing.t_ras,
+            act_at: at,
+        });
+        self.next_act[slot] = at + self.timing.t_rc;
+        self.last_act = Some(at);
+        self.open_count += 1;
+    }
+
+    /// Earliest column command to (`row`, `slice`) (tRCD gate only).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::RowNotOpen`] when the slot is closed or holds another row.
+    pub fn col_ready(&self, row: u32, slice: u32) -> Result<Ns, Rule> {
+        match self.open_at(row, slice) {
+            Some(o) if o.row == row => Ok(o.ready_at),
+            _ => Err(Rule::RowNotOpen),
+        }
+    }
+
+    /// Pushes the precharge fence after a read issued at `col_at`.
+    pub fn note_read(&mut self, row: u32, slice: u32, col_at: Ns) {
+        let t_rtp = self.timing.t_rtp;
+        let slot = self.slot(row, slice);
+        if let Some(o) = self.open[slot].as_mut() {
+            o.earliest_pre = o.earliest_pre.max(col_at + t_rtp);
+        }
+    }
+
+    /// Pushes the precharge fence after a write whose data finishes at
+    /// `data_end` (write recovery).
+    pub fn note_write(&mut self, row: u32, slice: u32, data_end: Ns) {
+        let t_wr = self.timing.t_wr;
+        let slot = self.slot(row, slice);
+        if let Some(o) = self.open[slot].as_mut() {
+            o.earliest_pre = o.earliest_pre.max(data_end + t_wr);
+        }
+    }
+
+    /// Earliest precharge of the slot holding (`row`, `slice`).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::PreNothingOpen`] when nothing is open there.
+    pub fn earliest_pre(&self, row: u32, slice: u32) -> Result<Ns, Rule> {
+        self.open_at(row, slice)
+            .map(|o| o.earliest_pre)
+            .ok_or(Rule::PreNothingOpen)
+    }
+
+    /// Records an accepted precharge of the slot at `at`.
+    pub fn precharge(&mut self, row: u32, slice: u32, at: Ns) {
+        let slot = self.slot(row, slice);
+        if self.open[slot].take().is_some() {
+            self.open_count -= 1;
+        }
+        self.next_act[slot] = self.next_act[slot].max(at + self.timing.t_rp);
+    }
+
+    /// Blocks every slot until `until` (used for refresh).
+    pub fn block_until(&mut self, until: Ns) {
+        for t in &mut self.next_act {
+            *t = (*t).max(until);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::config::DramKind;
+
+    fn bank(kind: DramKind) -> Bank {
+        Bank::new(&DramConfig::new(kind))
+    }
+
+    #[test]
+    fn baseline_bank_single_open_row() {
+        let mut b = bank(DramKind::QbHbm);
+        assert_eq!(b.earliest_act(100, 0, 5).unwrap(), 5);
+        b.activate(100, 0, 5);
+        assert!(b.any_open());
+        // Row 200 shares the single slot: blocked until precharge.
+        assert_eq!(b.earliest_act(200, 0, 10), Err(Rule::ActOnOpenRow));
+        // Column gated by tRCD.
+        assert_eq!(b.col_ready(100, 0).unwrap(), 5 + 16);
+        assert_eq!(b.col_ready(200, 0), Err(Rule::RowNotOpen));
+        // Precharge gated by tRAS.
+        assert_eq!(b.earliest_pre(100, 0).unwrap(), 5 + 29);
+        b.precharge(100, 0, 40);
+        assert!(!b.any_open());
+        // Next activate gated by tRP after precharge and tRC after act.
+        let e = b.earliest_act(200, 0, 0).unwrap();
+        assert_eq!(e, 56); // max(pre 40 + tRP 16, act 5 + tRC 45)
+    }
+
+    #[test]
+    fn read_and_write_push_precharge_fence() {
+        let mut b = bank(DramKind::QbHbm);
+        b.activate(7, 0, 0);
+        b.note_read(7, 0, 100);
+        assert_eq!(b.earliest_pre(7, 0).unwrap(), 104); // +tRTP
+        b.note_write(7, 0, 200);
+        assert_eq!(b.earliest_pre(7, 0).unwrap(), 216); // +tWR
+    }
+
+    #[test]
+    fn salp_subarrays_independent_but_adjacent_blocked() {
+        let mut b = bank(DramKind::QbHbmSalpSc);
+        // Rows 0 and 5*512 are in subarrays 0 and 5: both can open.
+        b.activate(0, 0, 0);
+        let e = b.earliest_act(5 * 512, 0, 0).unwrap();
+        assert_eq!(e, 2); // decoder tRRD gap only, no tRC serialisation
+        b.activate(5 * 512, 0, 2);
+        assert_eq!(b.open_rows().count(), 2);
+        // Subarray 1 is adjacent to open subarray 0.
+        assert_eq!(b.earliest_act(512, 0, 50), Err(Rule::AdjacentSubarray));
+        // Subarray 3 is fine (neighbours 2 and 4 closed).
+        assert!(b.earliest_act(3 * 512, 0, 50).is_ok());
+    }
+
+    #[test]
+    fn subchannel_slices_activate_independently() {
+        let mut b = bank(DramKind::QbHbmSalpSc);
+        b.activate(0, 0, 0);
+        // Same subarray, same row, different slice: its own slot.
+        assert!(b.earliest_act(0, 1, 10).is_ok());
+        b.activate(0, 1, 10);
+        assert_eq!(b.col_ready(0, 1).unwrap(), 26);
+        // Same slice again: occupied.
+        assert_eq!(b.earliest_act(0, 1, 20), Err(Rule::ActOnOpenRow));
+    }
+
+    #[test]
+    fn block_until_delays_all_slots() {
+        let mut b = bank(DramKind::QbHbm);
+        b.block_until(500);
+        assert_eq!(b.earliest_act(0, 0, 0).unwrap(), 500);
+    }
+
+    #[test]
+    fn fgdram_pseudobank_is_single_slot() {
+        let mut b = bank(DramKind::Fgdram);
+        b.activate(9, 0, 0);
+        assert_eq!(b.earliest_act(10, 0, 0), Err(Rule::ActOnOpenRow));
+        let open: Vec<_> = b.open_rows().collect();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].row, 9);
+    }
+}

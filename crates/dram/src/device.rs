@@ -1,0 +1,459 @@
+//! The whole DRAM stack: channels/grains plus shared command channels.
+//!
+//! The command interface mirrors HBM2's split row/column command buses
+//! (Section 3.3): activates and precharges travel on the row bus, reads and
+//! writes on the column bus, and — for FGDRAM — eight grains share one
+//! command channel, with activates occupying the row bus for 4 ns (the
+//! long row address) and column commands 2 ns.
+
+use fgdram_model::cmd::{Completion, DramCommand, TimedCommand};
+use fgdram_model::config::DramConfig;
+use fgdram_model::units::Ns;
+
+use crate::channel::{Channel, ChannelCounters, Reject};
+use crate::error::{ProtocolError, Rule};
+
+/// Split row/column command-bus occupancy for one command channel.
+#[derive(Debug, Clone, Copy, Default)]
+struct CmdBus {
+    row_busy_until: Ns,
+    col_busy_until: Ns,
+}
+
+/// A full DRAM stack device model.
+///
+/// # Examples
+///
+/// ```
+/// use fgdram_dram::DramDevice;
+/// use fgdram_model::cmd::{BankRef, DramCommand};
+/// use fgdram_model::config::{DramConfig, DramKind};
+/// use fgdram_model::addr::ReqId;
+///
+/// let mut dev = DramDevice::new(DramConfig::new(DramKind::Fgdram));
+/// let bank = BankRef { channel: 0, bank: 0 };
+/// let act = DramCommand::Activate { bank, row: 42, slice: 0 };
+/// let at = dev.earliest(&act, 0)?;
+/// dev.issue(act, at)?;
+/// let rd = DramCommand::Read { bank, row: 42, col: 0, auto_precharge: false, req: ReqId(1) };
+/// let at = dev.earliest(&rd, at)?;
+/// let done = dev.issue(rd, at)?.expect("reads complete");
+/// assert!(done.at > at);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DramDevice {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    cmd_buses: Vec<CmdBus>,
+    trace: Option<Vec<TimedCommand>>,
+}
+
+impl DramDevice {
+    /// Builds an idle device for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`DramConfig::validate`]; construct configs
+    /// through [`DramConfig::new`] or validate custom ones first.
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate().expect("invalid DramConfig");
+        DramDevice {
+            channels: (0..cfg.channels).map(|_| Channel::new(&cfg)).collect(),
+            cmd_buses: vec![CmdBus::default(); cfg.cmd_channels()],
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Read access to one channel/grain.
+    pub fn channel(&self, ch: u32) -> &Channel {
+        &self.channels[ch as usize]
+    }
+
+    /// Begins recording every accepted command (for the protocol checker).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<TimedCommand> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Aggregated operation counters across all channels.
+    pub fn total_counters(&self) -> ChannelCounters {
+        let mut total = ChannelCounters::default();
+        for c in &self.channels {
+            let k = c.counters();
+            total.activates += k.activates;
+            total.read_atoms += k.read_atoms;
+            total.write_atoms += k.write_atoms;
+            total.refreshes += k.refreshes;
+            total.precharges += k.precharges;
+        }
+        total
+    }
+
+    /// Per-channel counters.
+    pub fn channel_counters(&self, ch: u32) -> &ChannelCounters {
+        self.channels[ch as usize].counters()
+    }
+
+    /// Zeroes every channel's operation counters (end-of-warmup).
+    pub fn reset_counters(&mut self) {
+        for c in &mut self.channels {
+            c.reset_counters();
+        }
+    }
+
+    #[inline]
+    fn cmd_bus_index(&self, channel: u32) -> usize {
+        channel as usize / self.cfg.channels_per_cmd_channel
+    }
+
+    fn cmd_slot(&self, cmd: &DramCommand, at: Ns) -> Ns {
+        let bus = &self.cmd_buses[self.cmd_bus_index(cmd.channel())];
+        if cmd.is_row_cmd() {
+            at.max(bus.row_busy_until)
+        } else {
+            at.max(bus.col_busy_until)
+        }
+    }
+
+    fn occupy_cmd_slot(&mut self, cmd: &DramCommand, at: Ns) {
+        let idx = self.cmd_bus_index(cmd.channel());
+        let t = &self.cfg.timing;
+        let bus = &mut self.cmd_buses[idx];
+        match cmd {
+            DramCommand::Activate { .. } => bus.row_busy_until = at + t.t_cmd_row,
+            DramCommand::Precharge { .. } | DramCommand::Refresh { .. } => {
+                bus.row_busy_until = at + t.t_cmd_col
+            }
+            DramCommand::Read { .. } | DramCommand::Write { .. } => {
+                bus.col_busy_until = at + t.t_cmd_col
+            }
+        }
+    }
+
+    fn check_ranges(&self, cmd: &DramCommand) -> Result<(), Reject> {
+        let ok = match cmd {
+            DramCommand::Activate { bank, row, slice } => {
+                (bank.channel as usize) < self.cfg.channels
+                    && (bank.bank as usize) < self.cfg.banks_per_channel
+                    && (*row as usize) < self.cfg.rows_per_bank
+                    && (*slice as u64) < self.cfg.slices_per_row()
+            }
+            DramCommand::Read { bank, row, col, .. } | DramCommand::Write { bank, row, col, .. } => {
+                (bank.channel as usize) < self.cfg.channels
+                    && (bank.bank as usize) < self.cfg.banks_per_channel
+                    && (*row as usize) < self.cfg.rows_per_bank
+                    && (*col as u64) < self.cfg.atoms_per_row()
+            }
+            DramCommand::Precharge { bank, .. } => {
+                (bank.channel as usize) < self.cfg.channels
+                    && (bank.bank as usize) < self.cfg.banks_per_channel
+            }
+            DramCommand::Refresh { channel } => (*channel as usize) < self.cfg.channels,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Reject { rule: Rule::OutOfRange, earliest: None })
+        }
+    }
+
+    /// Subchannel slice of a column (0 when the config has a single slice).
+    #[inline]
+    fn slice_of(&self, col: u32) -> u32 {
+        col / self.cfg.atoms_per_activation() as u32
+    }
+
+    /// Earliest time `cmd` may issue at or after `at`, combining bank,
+    /// channel, and command-bus constraints.
+    ///
+    /// # Errors
+    ///
+    /// Structural [`ProtocolError`]s (wrong row open, subarray conflicts,
+    /// out-of-range targets) that no amount of waiting fixes.
+    pub fn earliest(&self, cmd: &DramCommand, at: Ns) -> Result<Ns, ProtocolError> {
+        let wrap = |r: Reject| ProtocolError { cmd: *cmd, at, rule: r.rule, earliest: r.earliest };
+        self.check_ranges(cmd).map_err(wrap)?;
+        let t = match *cmd {
+            DramCommand::Activate { bank, row, slice } => self.channels[bank.channel as usize]
+                .earliest_act(bank.bank, row, slice, at)
+                .map_err(wrap)?,
+            DramCommand::Read { bank, row, col, .. } => self.channels[bank.channel as usize]
+                .earliest_col(bank.bank, row, self.slice_of(col), false, at)
+                .map_err(wrap)?,
+            DramCommand::Write { bank, row, col, .. } => self.channels[bank.channel as usize]
+                .earliest_col(bank.bank, row, self.slice_of(col), true, at)
+                .map_err(wrap)?,
+            DramCommand::Precharge { bank, row, slice } => {
+                let ch = &self.channels[bank.channel as usize];
+                match row {
+                    Some(r) => ch.earliest_pre(bank.bank, r, slice, at).map_err(wrap)?,
+                    None => self.earliest_pre_all(ch, bank.bank, at).map_err(wrap)?,
+                }
+            }
+            DramCommand::Refresh { channel } => {
+                self.channels[channel as usize].earliest_refresh(at).map_err(wrap)?
+            }
+        };
+        Ok(self.cmd_slot(cmd, t))
+    }
+
+    fn earliest_pre_all(&self, ch: &Channel, bank: u32, at: Ns) -> Result<Ns, Reject> {
+        let open: Vec<_> = ch.bank(bank).open_rows().map(|o| (o.row, o.slice, o.earliest_pre)).collect();
+        if open.is_empty() {
+            return Err(Reject { rule: Rule::PreNothingOpen, earliest: None });
+        }
+        Ok(open.iter().map(|&(_, _, p)| p).fold(at, Ns::max))
+    }
+
+    /// Issues `cmd` at `at`. Returns the data completion for reads/writes.
+    ///
+    /// # Errors
+    ///
+    /// Any protocol violation; the device state is unchanged on error.
+    pub fn issue(&mut self, cmd: DramCommand, at: Ns) -> Result<Option<Completion>, ProtocolError> {
+        let wrap = |r: Reject| ProtocolError { cmd, at, rule: r.rule, earliest: r.earliest };
+        self.check_ranges(&cmd).map_err(wrap)?;
+        // Command-bus slot check first: it applies to every command kind.
+        let slot = self.cmd_slot(&cmd, at);
+        if at < slot {
+            return Err(ProtocolError { cmd, at, rule: Rule::CmdBusBusy, earliest: Some(slot) });
+        }
+        let completion = match cmd {
+            DramCommand::Activate { bank, row, slice } => {
+                self.channels[bank.channel as usize]
+                    .activate(bank.bank, row, slice, at)
+                    .map_err(wrap)?;
+                None
+            }
+            DramCommand::Read { bank, row, col, auto_precharge, req } => {
+                let slice = self.slice_of(col);
+                let out = self.channels[bank.channel as usize]
+                    .column(bank.bank, row, slice, false, at)
+                    .map_err(wrap)?;
+                if auto_precharge {
+                    self.auto_precharge(bank.channel, bank.bank, row, slice);
+                }
+                Some(Completion { req, at: out.data_end, is_write: false })
+            }
+            DramCommand::Write { bank, row, col, auto_precharge, req } => {
+                let slice = self.slice_of(col);
+                let out = self.channels[bank.channel as usize]
+                    .column(bank.bank, row, slice, true, at)
+                    .map_err(wrap)?;
+                if auto_precharge {
+                    self.auto_precharge(bank.channel, bank.bank, row, slice);
+                }
+                Some(Completion { req, at: out.data_end, is_write: true })
+            }
+            DramCommand::Precharge { bank, row, slice } => {
+                self.issue_precharge(bank.channel, bank.bank, row, slice, at).map_err(wrap)?;
+                None
+            }
+            DramCommand::Refresh { channel } => {
+                self.channels[channel as usize].refresh(at).map_err(wrap)?;
+                None
+            }
+        };
+        self.occupy_cmd_slot(&cmd, at);
+        if let Some(t) = &mut self.trace {
+            t.push(TimedCommand { at, cmd });
+        }
+        Ok(completion)
+    }
+
+    fn issue_precharge(
+        &mut self,
+        channel: u32,
+        bank: u32,
+        row: Option<u32>,
+        slice: u32,
+        at: Ns,
+    ) -> Result<(), Reject> {
+        let ch = &mut self.channels[channel as usize];
+        match row {
+            Some(r) => ch.precharge(bank, r, slice, at),
+            None => {
+                let open: Vec<(u32, u32)> =
+                    ch.bank(bank).open_rows().map(|o| (o.row, o.slice)).collect();
+                if open.is_empty() {
+                    return Err(Reject { rule: Rule::PreNothingOpen, earliest: None });
+                }
+                for (r, s) in &open {
+                    // Validate all slots are ready before mutating any.
+                    let e = ch.earliest_pre(bank, *r, *s, at)?;
+                    if at < e {
+                        return Err(Reject { rule: Rule::PreTooEarly, earliest: Some(e) });
+                    }
+                }
+                for (r, s) in open {
+                    ch.precharge(bank, r, s, at)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Internally schedules the precharge implied by auto-precharge: it
+    /// occurs as soon as tRAS/tRTP/tWR allow, without a command-bus slot.
+    fn auto_precharge(&mut self, channel: u32, bank: u32, row: u32, slice: u32) {
+        let ch = &mut self.channels[channel as usize];
+        if let Ok(at) = ch.earliest_pre(bank, row, slice, 0) {
+            let _ = ch.precharge(bank, row, slice, at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::addr::ReqId;
+    use fgdram_model::cmd::BankRef;
+    use fgdram_model::config::DramKind;
+
+    fn dev(kind: DramKind) -> DramDevice {
+        DramDevice::new(DramConfig::new(kind))
+    }
+
+    fn bank(ch: u32, b: u32) -> BankRef {
+        BankRef { channel: ch, bank: b }
+    }
+
+    #[test]
+    fn read_roundtrip_timing_hbm2() {
+        let mut d = dev(DramKind::Hbm2);
+        let b = bank(0, 0);
+        d.issue(DramCommand::Activate { bank: b, row: 3, slice: 0 }, 0).unwrap();
+        let rd = DramCommand::Read { bank: b, row: 3, col: 1, auto_precharge: false, req: ReqId(7) };
+        let t = d.earliest(&rd, 0).unwrap();
+        assert_eq!(t, 16); // tRCD
+        let done = d.issue(rd, t).unwrap().unwrap();
+        // Data: t + tCL + tBURST = 16 + 16 + 2.
+        assert_eq!(done.at, 34);
+        assert_eq!(done.req, ReqId(7));
+    }
+
+    #[test]
+    fn fgdram_burst_is_16ns() {
+        let mut d = dev(DramKind::Fgdram);
+        let b = bank(0, 0);
+        d.issue(DramCommand::Activate { bank: b, row: 3, slice: 0 }, 0).unwrap();
+        let rd = DramCommand::Read { bank: b, row: 3, col: 0, auto_precharge: false, req: ReqId(1) };
+        let t = d.earliest(&rd, 0).unwrap();
+        let done = d.issue(rd, t).unwrap().unwrap();
+        assert_eq!(done.at - (t + 16), 16); // tCL then 16 ns serial burst
+    }
+
+    #[test]
+    fn shared_command_channel_arbitrates_eight_grains() {
+        let mut d = dev(DramKind::Fgdram);
+        // Grains 0..8 share command channel 0; activates occupy 4 ns each.
+        let a0 = DramCommand::Activate { bank: bank(0, 0), row: 1, slice: 0 };
+        let a1 = DramCommand::Activate { bank: bank(1, 0), row: 1, slice: 0 };
+        let a8 = DramCommand::Activate { bank: bank(8, 0), row: 1, slice: 0 };
+        d.issue(a0, 0).unwrap();
+        // Same command channel: must wait for the 3 ns activate slot.
+        let t1 = d.earliest(&a1, 0).unwrap();
+        assert_eq!(t1, 3);
+        // Grain 8 lives on command channel 1: free at 0.
+        let t8 = d.earliest(&a8, 0).unwrap();
+        assert_eq!(t8, 0);
+        let err = d.issue(a1, 1).unwrap_err();
+        assert_eq!(err.rule, Rule::CmdBusBusy);
+    }
+
+    #[test]
+    fn row_and_column_buses_are_independent() {
+        let mut d = dev(DramKind::Fgdram);
+        let b0 = bank(0, 0);
+        let b1 = bank(1, 0);
+        d.issue(DramCommand::Activate { bank: b0, row: 1, slice: 0 }, 0).unwrap();
+        d.issue(DramCommand::Activate { bank: b1, row: 1, slice: 0 }, 3).unwrap();
+        // A read to grain 0 can issue at 16 (tRCD) even though the row bus
+        // carried an activate at 3..6: separate buses.
+        let rd = DramCommand::Read { bank: b0, row: 1, col: 0, auto_precharge: false, req: ReqId(1) };
+        assert_eq!(d.earliest(&rd, 0).unwrap(), 16);
+    }
+
+    #[test]
+    fn auto_precharge_closes_row() {
+        let mut d = dev(DramKind::QbHbm);
+        let b = bank(2, 1);
+        d.issue(DramCommand::Activate { bank: b, row: 9, slice: 0 }, 0).unwrap();
+        let rd = DramCommand::Read { bank: b, row: 9, col: 0, auto_precharge: true, req: ReqId(1) };
+        let t = d.earliest(&rd, 0).unwrap();
+        d.issue(rd, t).unwrap();
+        assert!(!d.channel(2).bank(1).any_open());
+        // Re-activating the same bank respects tRC/tRP via earliest().
+        let act = DramCommand::Activate { bank: b, row: 10, slice: 0 };
+        let t2 = d.earliest(&act, 0).unwrap();
+        assert!(t2 >= 45.min(t + 4 + 16)); // tRC or tRTP+tRP path
+    }
+
+    #[test]
+    fn precharge_all_requires_every_slot_ready() {
+        let mut d = dev(DramKind::QbHbmSalpSc);
+        let b = bank(0, 0);
+        d.issue(DramCommand::Activate { bank: b, row: 0, slice: 0 }, 0).unwrap();
+        let pre = DramCommand::Precharge { bank: b, row: None, slice: 0 };
+        let early = d.issue(pre, 5).unwrap_err();
+        assert_eq!(early.rule, Rule::PreTooEarly);
+        let t = d.earliest(&pre, 5).unwrap();
+        d.issue(pre, t).unwrap();
+        assert!(!d.channel(0).bank(0).any_open());
+    }
+
+    #[test]
+    fn trace_records_accepted_commands_only() {
+        let mut d = dev(DramKind::QbHbm);
+        d.enable_trace();
+        let b = bank(0, 0);
+        d.issue(DramCommand::Activate { bank: b, row: 1, slice: 0 }, 0).unwrap();
+        // Rejected: same bank still open.
+        let _ = d.issue(DramCommand::Activate { bank: b, row: 2, slice: 0 }, 50);
+        let trace = d.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].at, 0);
+    }
+
+    #[test]
+    fn out_of_range_targets_rejected() {
+        let mut d = dev(DramKind::QbHbm);
+        let err = d
+            .issue(DramCommand::Activate { bank: bank(999, 0), row: 0, slice: 0 }, 0)
+            .unwrap_err();
+        assert_eq!(err.rule, Rule::OutOfRange);
+        let err = d
+            .issue(DramCommand::Activate { bank: bank(0, 0), row: 1 << 30, slice: 0 }, 0)
+            .unwrap_err();
+        assert_eq!(err.rule, Rule::OutOfRange);
+    }
+
+    #[test]
+    fn counters_aggregate_across_channels() {
+        let mut d = dev(DramKind::QbHbm);
+        for ch in 0..4 {
+            let b = bank(ch, 0);
+            d.issue(DramCommand::Activate { bank: b, row: 1, slice: 0 }, 0).unwrap();
+            let rd = DramCommand::Read { bank: b, row: 1, col: 0, auto_precharge: false, req: ReqId(ch as u64) };
+            let t = d.earliest(&rd, 0).unwrap();
+            d.issue(rd, t).unwrap();
+        }
+        let k = d.total_counters();
+        assert_eq!(k.activates, 4);
+        assert_eq!(k.read_atoms, 4);
+    }
+}

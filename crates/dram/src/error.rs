@@ -1,0 +1,108 @@
+//! Protocol violations reported by the device model and the trace checker.
+
+use fgdram_model::cmd::DramCommand;
+use fgdram_model::units::Ns;
+
+/// Why a command was illegal at its issue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Activate before the bank/subarray row cycle allowed it (tRC/tRP).
+    ActTooEarly,
+    /// Activate while the target already has an open row.
+    ActOnOpenRow,
+    /// Activate violating channel tRRD.
+    ActRrd,
+    /// Activate violating the rolling tFAW window.
+    ActFaw,
+    /// Activate while the paired pseudobank holds a different row open in
+    /// the same subarray (FGDRAM grain rule, Section 3.3).
+    SubarrayConflict,
+    /// Activate into a subarray adjacent to an open one (SALP shared
+    /// sense-amp stripe).
+    AdjacentSubarray,
+    /// Column command to a closed or mismatched row.
+    RowNotOpen,
+    /// Column command before tRCD elapsed.
+    ColBeforeRcd,
+    /// Column command violating tCCDS/tCCDL.
+    ColCcd,
+    /// Column data would overlap the data bus or break turnaround rules.
+    DataBusConflict,
+    /// Precharge before tRAS/tRTP/tWR allowed it.
+    PreTooEarly,
+    /// Precharge of a bank with nothing open.
+    PreNothingOpen,
+    /// Refresh while rows are open, or command to a refreshing channel.
+    RefreshConflict,
+    /// Command bus slot already occupied.
+    CmdBusBusy,
+    /// Command targets a bank/row/column outside the configured geometry.
+    OutOfRange,
+}
+
+impl core::fmt::Display for Rule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Rule::ActTooEarly => "activate before tRC/tRP expired",
+            Rule::ActOnOpenRow => "activate on an already-open row buffer",
+            Rule::ActRrd => "activate violates tRRD",
+            Rule::ActFaw => "activate violates tFAW window",
+            Rule::SubarrayConflict => "pseudobank subarray conflict",
+            Rule::AdjacentSubarray => "adjacent SALP subarray already open",
+            Rule::RowNotOpen => "column access to closed or wrong row",
+            Rule::ColBeforeRcd => "column access before tRCD",
+            Rule::ColCcd => "column access violates tCCD",
+            Rule::DataBusConflict => "data bus conflict or turnaround violation",
+            Rule::PreTooEarly => "precharge before tRAS/tRTP/tWR",
+            Rule::PreNothingOpen => "precharge with no open row",
+            Rule::RefreshConflict => "refresh conflict",
+            Rule::CmdBusBusy => "command bus busy",
+            Rule::OutOfRange => "target outside configured geometry",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A rejected command: what, when, why, and when it would have been legal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolError {
+    /// The offending command.
+    pub cmd: DramCommand,
+    /// When it was issued.
+    pub at: Ns,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Earliest time the command would have been accepted, when known.
+    pub earliest: Option<Ns>,
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "at {} ns: {:?}: {}", self.at, self.cmd, self.rule)?;
+        if let Some(e) = self.earliest {
+            write!(f, " (legal from {e} ns)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::cmd::BankRef;
+
+    #[test]
+    fn display_includes_rule_and_earliest() {
+        let e = ProtocolError {
+            cmd: DramCommand::Activate { bank: BankRef { channel: 0, bank: 0 }, row: 1, slice: 0 },
+            at: 10,
+            rule: Rule::ActTooEarly,
+            earliest: Some(45),
+        };
+        let s = e.to_string();
+        assert!(s.contains("tRC"), "{s}");
+        assert!(s.contains("45"), "{s}");
+    }
+}

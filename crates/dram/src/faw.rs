@@ -1,0 +1,105 @@
+//! Rolling activation window (tFAW generalised to N activates).
+
+use fgdram_model::units::Ns;
+
+/// Enforces "at most `max_acts` activates in any `window` ns" with a ring
+/// buffer of recent activate times.
+///
+/// The paper's Table 2 allows 8 activates per 12 ns window for HBM2/QB-HBM
+/// and 32 for FGDRAM/subchannel parts (power delivery scales with activated
+/// bytes, Section 3.3).
+#[derive(Debug, Clone)]
+pub struct ActWindow {
+    times: Vec<Ns>,
+    head: usize,
+    filled: usize,
+    window: Ns,
+    enabled: bool,
+}
+
+impl ActWindow {
+    /// Window allowing `max_acts` activates per `window` ns.
+    /// `max_acts == 0` or `window == 0` disables the constraint.
+    pub fn new(max_acts: u32, window: Ns) -> Self {
+        ActWindow {
+            times: vec![0; max_acts.max(1) as usize],
+            head: 0,
+            filled: 0,
+            window,
+            enabled: max_acts > 0 && window > 0,
+        }
+    }
+
+    /// Earliest time at or after `at` an activate may issue.
+    pub fn earliest(&self, at: Ns) -> Ns {
+        if !self.enabled || self.filled < self.times.len() {
+            return at;
+        }
+        // The oldest of the last `max_acts` activates must have left the
+        // window before the next one may enter.
+        at.max(self.times[self.head] + self.window)
+    }
+
+    /// Records an activate at `at`.
+    ///
+    /// Callers must only record times accepted by [`Self::earliest`];
+    /// recording is not validated here.
+    pub fn record(&mut self, at: Ns) {
+        if !self.enabled {
+            return;
+        }
+        self.times[self.head] = at;
+        self.head = (self.head + 1) % self.times.len();
+        self.filled = (self.filled + 1).min(self.times.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_up_to_max_in_window() {
+        let mut w = ActWindow::new(4, 12);
+        for i in 0..4 {
+            assert_eq!(w.earliest(i), i);
+            w.record(i);
+        }
+        // 5th activate must wait for the 1st to leave the window.
+        assert_eq!(w.earliest(4), 12);
+    }
+
+    #[test]
+    fn spaced_activates_never_blocked() {
+        let mut w = ActWindow::new(2, 10);
+        let mut t = 0;
+        for _ in 0..20 {
+            assert_eq!(w.earliest(t), t);
+            w.record(t);
+            t += 6;
+        }
+    }
+
+    #[test]
+    fn disabled_window_passes_everything() {
+        let mut w = ActWindow::new(0, 12);
+        for i in 0..100 {
+            assert_eq!(w.earliest(i), i);
+            w.record(i);
+        }
+    }
+
+    #[test]
+    fn table2_hbm2_rate() {
+        // 8 activates per 12 ns window: a 9th back-to-back activate slips
+        // to t0 + 12.
+        let mut w = ActWindow::new(8, 12);
+        for i in 0..8 {
+            w.record(i);
+        }
+        assert_eq!(w.earliest(8), 12);
+        w.record(12);
+        // Next constrained by the activate at t=1.
+        assert_eq!(w.earliest(12), 13);
+    }
+}

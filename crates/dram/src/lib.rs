@@ -1,0 +1,46 @@
+//! # fgdram-dram
+//!
+//! Cycle-accurate DRAM stack timing models for the FGDRAM (MICRO 2017)
+//! reproduction: HBM2, the quad-bandwidth QB-HBM baseline, QB-HBM enhanced
+//! with SALP + subchannels, and the paper's grain-based FGDRAM.
+//!
+//! The crate models banks (with per-subarray and per-slice row slots),
+//! channels/grains (bank groups, data-bus occupancy and turnaround, tRRD,
+//! tFAW, refresh), and the stack's split row/column command buses — eight
+//! grains per command channel for FGDRAM. An independent
+//! [`checker::ProtocolChecker`] replays recorded command traces against the
+//! same rules, so scheduler bugs cannot hide inside the device model.
+//!
+//! ## Examples
+//!
+//! ```
+//! use fgdram_dram::DramDevice;
+//! use fgdram_model::addr::ReqId;
+//! use fgdram_model::cmd::{BankRef, DramCommand};
+//! use fgdram_model::config::{DramConfig, DramKind};
+//!
+//! let mut dev = DramDevice::new(DramConfig::new(DramKind::QbHbm));
+//! let bank = BankRef { channel: 5, bank: 2 };
+//! dev.issue(DramCommand::Activate { bank, row: 7, slice: 0 }, 0)?;
+//! let rd = DramCommand::Read { bank, row: 7, col: 3, auto_precharge: true, req: ReqId(0) };
+//! let at = dev.earliest(&rd, 0)?;
+//! let done = dev.issue(rd, at)?.expect("read completes");
+//! assert_eq!(done.at, at + 16 + 2); // tCL + tBURST
+//! # Ok::<(), fgdram_dram::ProtocolError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bank;
+pub mod channel;
+pub mod checker;
+pub mod device;
+pub mod error;
+pub mod faw;
+
+pub use channel::{Channel, ChannelCounters, ColOutcome, Reject};
+pub use checker::ProtocolChecker;
+pub use device::DramDevice;
+pub use error::{ProtocolError, Rule};

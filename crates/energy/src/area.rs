@@ -1,0 +1,162 @@
+//! Block-level DRAM die area model (paper Section 5.3).
+//!
+//! Area is expressed relative to an HBM2 die (= 1.0). Each architecture
+//! adds named component overheads; the totals reproduce the paper's
+//! published percentages:
+//!
+//! * QB-HBM: +3.20% GSAs, +5.11% data routing, +0.26% decode = **+8.57%**
+//! * FGDRAM: +3.20% GSAs, +3.41% control, +3.47% pseudobank structures,
+//!   +0.28% decode = **+10.36%** (1.65% over QB-HBM)
+//! * QB-HBM+SALP+SC: QB-HBM + 3.2% SALP/subchannel logic (1.54% over
+//!   FGDRAM)
+//! * Without TSV frequency scaling, both 4x parts need 4x the TSVs:
+//!   QB-HBM grows to **+23.69%** and FGDRAM stays within **1.45%** of it.
+
+use fgdram_model::config::DramKind;
+
+/// One named area contribution, as a fraction of the HBM2 die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaComponent {
+    /// Human-readable component name.
+    pub name: &'static str,
+    /// Additional area as a fraction of the HBM2 die (0.0320 = 3.20%).
+    pub fraction: f64,
+}
+
+/// Area model for one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    kind: DramKind,
+    components: Vec<AreaComponent>,
+}
+
+impl AreaModel {
+    /// Model for `kind` assuming TSVs run at 4x today's data rate (the
+    /// paper's primary assumption).
+    pub fn for_kind(kind: DramKind) -> Self {
+        let components = match kind {
+            DramKind::Hbm2 => vec![],
+            DramKind::QbHbm => vec![
+                AreaComponent { name: "global sense amplifiers (4x parallel banks)", fraction: 0.0320 },
+                AreaComponent { name: "bank-to-I/O data routing channels", fraction: 0.0511 },
+                AreaComponent { name: "channel decode logic", fraction: 0.0026 },
+            ],
+            DramKind::QbHbmSalpSc => vec![
+                AreaComponent { name: "global sense amplifiers (4x parallel banks)", fraction: 0.0320 },
+                AreaComponent { name: "bank-to-I/O data routing channels", fraction: 0.0511 },
+                AreaComponent { name: "channel decode logic", fraction: 0.0026 },
+                AreaComponent { name: "SALP row buffers + subchannel segmentation", fraction: 0.0347 },
+            ],
+            DramKind::Fgdram => vec![
+                AreaComponent { name: "global sense amplifiers (4x parallel banks)", fraction: 0.0320 },
+                AreaComponent { name: "distributed grain control logic", fraction: 0.0341 },
+                AreaComponent {
+                    name: "pseudobank structures (LWD stripes, latches, control routing)",
+                    fraction: 0.0347,
+                },
+                AreaComponent { name: "grain decode logic", fraction: 0.0028 },
+            ],
+        };
+        AreaModel { kind, components }
+    }
+
+    /// Model assuming TSV data rates *cannot* scale, so 4x-bandwidth parts
+    /// need 4x the TSVs (the paper's pessimistic sensitivity in 5.3).
+    pub fn without_tsv_scaling(kind: DramKind) -> Self {
+        let mut m = Self::for_kind(kind);
+        match kind {
+            DramKind::Hbm2 => {}
+            DramKind::QbHbm | DramKind::QbHbmSalpSc => {
+                // +23.69% total for QB-HBM: the extra TSV array area
+                // replaces nothing, it adds to the 8.57%.
+                m.components
+                    .push(AreaComponent { name: "4x TSV arrays", fraction: 0.2369 - 0.0857 });
+            }
+            DramKind::Fgdram => {
+                // FGDRAM ends up 1.45% larger than the no-scaling QB-HBM.
+                let target = 1.2369 * 1.0145;
+                let current: f64 = 1.0 + m.total_overhead();
+                m.components.push(AreaComponent {
+                    name: "4x TSV arrays (distributed strips)",
+                    fraction: target - current,
+                });
+            }
+        }
+        m
+    }
+
+    /// Architecture modelled.
+    pub fn kind(&self) -> DramKind {
+        self.kind
+    }
+
+    /// The named components.
+    pub fn components(&self) -> &[AreaComponent] {
+        &self.components
+    }
+
+    /// Total overhead fraction vs. an HBM2 die.
+    pub fn total_overhead(&self) -> f64 {
+        self.components.iter().map(|c| c.fraction).sum()
+    }
+
+    /// Die area relative to HBM2 (1.0 + overhead).
+    pub fn relative_area(&self) -> f64 {
+        1.0 + self.total_overhead()
+    }
+
+    /// Area of this model relative to `other`.
+    pub fn relative_to(&self, other: &AreaModel) -> f64 {
+        self.relative_area() / other.relative_area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(kind: DramKind) -> f64 {
+        AreaModel::for_kind(kind).total_overhead() * 100.0
+    }
+
+    #[test]
+    fn section53_published_overheads() {
+        assert_eq!(pct(DramKind::Hbm2), 0.0);
+        assert!((pct(DramKind::QbHbm) - 8.57).abs() < 0.01);
+        assert!((pct(DramKind::Fgdram) - 10.36).abs() < 0.01);
+    }
+
+    #[test]
+    fn fgdram_is_1_65pct_over_qb() {
+        let qb = AreaModel::for_kind(DramKind::QbHbm);
+        let fg = AreaModel::for_kind(DramKind::Fgdram);
+        assert!(((fg.relative_to(&qb) - 1.0) * 100.0 - 1.65).abs() < 0.02);
+    }
+
+    #[test]
+    fn salp_sc_is_3_2pct_over_qb_and_1_5pct_over_fgdram() {
+        let qb = AreaModel::for_kind(DramKind::QbHbm);
+        let sc = AreaModel::for_kind(DramKind::QbHbmSalpSc);
+        let fg = AreaModel::for_kind(DramKind::Fgdram);
+        assert!(((sc.relative_to(&qb) - 1.0) * 100.0 - 3.2).abs() < 0.05);
+        assert!(((sc.relative_to(&fg) - 1.0) * 100.0 - 1.54).abs() < 0.05);
+    }
+
+    #[test]
+    fn no_tsv_scaling_sensitivity() {
+        let qb = AreaModel::without_tsv_scaling(DramKind::QbHbm);
+        assert!((qb.total_overhead() * 100.0 - 23.69).abs() < 0.01);
+        let fg = AreaModel::without_tsv_scaling(DramKind::Fgdram);
+        assert!(((fg.relative_to(&qb) - 1.0) * 100.0 - 1.45).abs() < 0.02);
+    }
+
+    #[test]
+    fn components_are_named_and_positive() {
+        for kind in DramKind::ALL {
+            for c in AreaModel::for_kind(kind).components() {
+                assert!(!c.name.is_empty());
+                assert!(c.fraction > 0.0, "{kind} {}", c.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The Figure 1a power-budget analysis: how efficient must DRAM be to hit
+//! a bandwidth target inside a fixed power envelope?
+
+use fgdram_model::units::{GbPerSec, PjPerBit, Watts};
+
+/// The paper's DRAM power envelope: ~20% of a 300 W GPU card.
+pub const DEFAULT_DRAM_BUDGET: Watts = Watts::new(60.0);
+
+/// A labelled technology point on the Figure 1a plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechPoint {
+    /// Technology name.
+    pub name: &'static str,
+    /// Energy per bit.
+    pub energy: PjPerBit,
+}
+
+/// Figure 1a's reference technologies.
+pub const GDDR5: TechPoint = TechPoint { name: "GDDR5", energy: PjPerBit::new(14.0) };
+/// HBM2 reference point (Section 2.1's 3.92 pJ/b, rounded as in Figure 1a).
+pub const HBM2: TechPoint = TechPoint { name: "HBM2", energy: PjPerBit::new(3.92) };
+/// The paper's target for multi-TB/s systems.
+pub const TARGET_2PJ: TechPoint = TechPoint { name: "2 pJ/b target", energy: PjPerBit::new(2.0) };
+
+/// One row of the Figure 1a curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetPoint {
+    /// System bandwidth.
+    pub bandwidth: GbPerSec,
+    /// Maximum tolerable DRAM energy per bit at that bandwidth.
+    pub max_energy: PjPerBit,
+}
+
+/// Computes the Figure 1a curve: for each bandwidth, the per-access energy
+/// that exactly dissipates `budget`.
+///
+/// # Examples
+///
+/// ```
+/// use fgdram_energy::budget::{budget_curve, DEFAULT_DRAM_BUDGET};
+/// use fgdram_model::units::GbPerSec;
+///
+/// let curve = budget_curve(DEFAULT_DRAM_BUDGET, &[GbPerSec::new(4096.0)]);
+/// // A 4 TB/s system inside 60 W needs < 2 pJ/bit.
+/// assert!(curve[0].max_energy.value() < 2.0);
+/// ```
+pub fn budget_curve(budget: Watts, bandwidths: &[GbPerSec]) -> Vec<BudgetPoint> {
+    bandwidths
+        .iter()
+        .map(|&bw| BudgetPoint { bandwidth: bw, max_energy: budget.energy_budget_at(bw) })
+        .collect()
+}
+
+/// The bandwidth a technology can reach before exceeding `budget`
+/// (Figure 1a's dashed drop-lines).
+pub fn max_bandwidth(tech: TechPoint, budget: Watts) -> GbPerSec {
+    // P = e * BW  =>  BW = P / e.
+    GbPerSec::new(budget.value() / (tech.energy.value() * 8.0e-3))
+}
+
+/// The standard bandwidth grid of Figure 1a (256 GB/s to 4 TB/s).
+pub fn fig1a_bandwidth_grid() -> Vec<GbPerSec> {
+    [256.0, 512.0, 1024.0, 2048.0, 4096.0].iter().map(|&b| GbPerSec::new(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gddr5_tops_out_near_536_gbps() {
+        // Figure 1a: 14 pJ/b within 60 W -> ~536 GB/s.
+        let bw = max_bandwidth(GDDR5, DEFAULT_DRAM_BUDGET);
+        assert!((bw.value() - 535.7).abs() < 1.0, "{bw}");
+    }
+
+    #[test]
+    fn hbm2_tops_out_near_1_9_tbps() {
+        let bw = max_bandwidth(HBM2, DEFAULT_DRAM_BUDGET);
+        assert!((bw.value() - 1913.0).abs() < 5.0, "{bw}");
+    }
+
+    #[test]
+    fn four_tbps_needs_under_2_pj() {
+        let grid = fig1a_bandwidth_grid();
+        let curve = budget_curve(DEFAULT_DRAM_BUDGET, &grid);
+        let four_tb = curve.last().unwrap();
+        assert!((four_tb.max_energy.value() - 1.83).abs() < 0.01);
+        // HBM2 at 3.92 pJ/b cannot reach 2 TB/s within budget...
+        assert!(HBM2.energy > curve[3].max_energy);
+        // ...but the 2 pJ/b target can.
+        assert!(TARGET_2PJ.energy < curve[3].max_energy);
+    }
+
+    #[test]
+    fn curve_is_monotonically_decreasing() {
+        let curve = budget_curve(DEFAULT_DRAM_BUDGET, &fig1a_bandwidth_grid());
+        for pair in curve.windows(2) {
+            assert!(pair[1].max_energy < pair[0].max_energy);
+        }
+    }
+
+    #[test]
+    fn paper_quote_4tbps_hbm2_dissipates_over_120w() {
+        // Introduction: "A future exascale GPU with 4 TB/s of DRAM
+        // bandwidth would dissipate upwards of 120 W of DRAM power."
+        let p = HBM2.energy.power_at(GbPerSec::new(4096.0));
+        assert!(p.value() > 120.0, "{p}");
+    }
+}

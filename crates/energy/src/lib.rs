@@ -1,0 +1,41 @@
+//! # fgdram-energy
+//!
+//! Energy and area models for the FGDRAM (MICRO 2017) reproduction:
+//!
+//! * [`floorplan`] — per-operation energies (activation, pre-GSA, post-GSA
+//!   data movement, I/O) derived from wire lengths and capacitances,
+//!   calibrated to the paper's Table 3;
+//! * [`meter`] — turns simulator operation counts and workload data
+//!   activity into the per-component breakdowns of Figures 1b, 8, 9, 11;
+//! * [`area`] — block-level die area overheads of Section 5.3;
+//! * [`budget`] — the Figure 1a power-budget analysis.
+//!
+//! ## Examples
+//!
+//! ```
+//! use fgdram_energy::meter::{DataActivity, EnergyMeter, OpCounts};
+//! use fgdram_model::config::{DramConfig, DramKind};
+//!
+//! // Two 32 B atoms used per 256 B activated row, typical toggle.
+//! let meter = EnergyMeter::new(&DramConfig::new(DramKind::Fgdram));
+//! let ops = OpCounts { activates: 100, read_atoms: 200, write_atoms: 0 };
+//! let activity = DataActivity { toggle_rate: 0.31, ones_density: 0.31 };
+//! let e = meter.energy_per_bit(&ops, activity);
+//! // FGDRAM sits at the paper's ~2 pJ/b target even at low row locality;
+//! // QB-HBM needs ~3.8 pJ/b for the same stream.
+//! assert!(e.total().value() < 2.2, "{e}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod area;
+pub mod budget;
+pub mod floorplan;
+pub mod meter;
+
+pub use area::{AreaComponent, AreaModel};
+pub use budget::{budget_curve, max_bandwidth, BudgetPoint, TechPoint};
+pub use floorplan::{EnergyProfile, Floorplan, IoTechnology, WireModel};
+pub use meter::{DataActivity, EnergyBreakdown, EnergyMeter, EnergyPerBit, OpCounts};

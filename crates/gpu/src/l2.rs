@@ -1,0 +1,413 @@
+//! Sectored, write-back L2 cache (paper Table 1: 4 MB, 16-way, 128 B lines
+//! with 32 B sectors).
+//!
+//! Sectoring matters to the paper's argument twice over: 32 B sectors keep
+//! the DRAM atom small (Section 2.2 shows 128 B atoms hurt graphics by
+//! 17%), and sector-granularity fills avoid overfetch on sparse access
+//! patterns. Stores write whole sectors, so store misses allocate without
+//! fetching (no read-for-ownership traffic).
+
+use std::collections::HashMap;
+
+use fgdram_model::addr::PhysAddr;
+use fgdram_model::config::L2Config;
+use fgdram_model::stats::Counter;
+
+/// Result of one sector access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L2Access {
+    /// Load hit: data available after the hit latency.
+    Hit,
+    /// Load miss: the caller must fetch `fill` from DRAM; the waiter token
+    /// is parked on the MSHR and returned by [`L2Cache::fill_done`].
+    Miss {
+        /// Sector to fetch.
+        fill: PhysAddr,
+    },
+    /// Load miss on a sector already being fetched; the token was merged
+    /// onto the existing MSHR.
+    Merged,
+    /// Store absorbed (sector marked valid + dirty); no DRAM read needed.
+    StoreDone,
+    /// No victim way or MSHR available; retry later (backpressure).
+    Blocked,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    sector_valid: u8,
+    sector_dirty: u8,
+    pending_fills: u8,
+    lru: u64,
+}
+
+#[derive(Debug, Default)]
+struct MshrEntry {
+    waiters: Vec<u64>,
+}
+
+/// L2 statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L2Stats {
+    /// Load sector hits.
+    pub hits: Counter,
+    /// Load sector misses that issued a fill.
+    pub misses: Counter,
+    /// Load sector misses merged onto an in-flight fill.
+    pub merges: Counter,
+    /// Stores absorbed.
+    pub stores: Counter,
+    /// Dirty sectors written back on eviction.
+    pub writeback_sectors: Counter,
+    /// Lines evicted.
+    pub evictions: Counter,
+    /// Accesses refused for lack of victim/MSHR.
+    pub blocked: Counter,
+}
+
+impl L2Stats {
+    /// Load hit rate (hits + merges count as hits for traffic purposes).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.get() + self.merges.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            (self.hits.get() + self.merges.get()) as f64 / total as f64
+        }
+    }
+}
+
+/// The sectored L2.
+///
+/// # Examples
+///
+/// ```
+/// use fgdram_gpu::l2::{L2Access, L2Cache};
+/// use fgdram_model::addr::PhysAddr;
+/// use fgdram_model::config::L2Config;
+///
+/// let mut l2 = L2Cache::new(L2Config::default(), 4096);
+/// let a = PhysAddr(0x1000);
+/// // Cold: miss issues a fill for exactly this sector.
+/// assert_eq!(l2.access(a, false, 7), L2Access::Miss { fill: a });
+/// // Same sector again: merged onto the outstanding fill.
+/// assert_eq!(l2.access(a, false, 8), L2Access::Merged);
+/// // Fill arrival wakes both waiters; the sector now hits.
+/// assert_eq!(l2.fill_done(a), vec![7, 8]);
+/// assert_eq!(l2.access(a, false, 9), L2Access::Hit);
+/// ```
+#[derive(Debug)]
+pub struct L2Cache {
+    cfg: L2Config,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    mshr: HashMap<u64, MshrEntry>,
+    mshr_capacity: usize,
+    lru_clock: u64,
+    writebacks: Vec<PhysAddr>,
+    stats: L2Stats,
+}
+
+impl L2Cache {
+    /// Builds an empty cache with `mshr_capacity` outstanding fills.
+    pub fn new(cfg: L2Config, mshr_capacity: usize) -> Self {
+        let sets = cfg.sets();
+        let ways = cfg.ways;
+        L2Cache {
+            cfg,
+            sets,
+            ways,
+            lines: vec![Line::default(); sets * ways],
+            mshr: HashMap::new(),
+            mshr_capacity,
+            lru_clock: 0,
+            writebacks: Vec::new(),
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// Cache statistics.
+    pub fn stats(&self) -> &L2Stats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics, keeping cache contents (end-of-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = L2Stats::default();
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &L2Config {
+        &self.cfg
+    }
+
+    /// Outstanding fills.
+    pub fn inflight_fills(&self) -> usize {
+        self.mshr.len()
+    }
+
+    #[inline]
+    fn line_addr(&self, addr: PhysAddr) -> u64 {
+        addr.0 / self.cfg.line_bytes
+    }
+
+    #[inline]
+    fn sector_index(&self, addr: PhysAddr) -> u8 {
+        ((addr.0 % self.cfg.line_bytes) / self.cfg.sector_bytes) as u8
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        // Mix upper bits in so power-of-two strides don't camp on one set.
+        let h = line_addr ^ (line_addr >> 11) ^ (line_addr >> 23);
+        (h as usize) % self.sets
+    }
+
+    /// Accesses one 32 B sector. `token` identifies the waiter to wake on
+    /// fill completion (ignored for stores and hits).
+    pub fn access(&mut self, addr: PhysAddr, is_store: bool, token: u64) -> L2Access {
+        let sector = addr.sector_base(self.cfg.sector_bytes);
+        let line_addr = self.line_addr(sector);
+        let set = self.set_of(line_addr);
+        let bit = 1u8 << self.sector_index(sector);
+        self.lru_clock += 1;
+        let base = set * self.ways;
+
+        // Present line?
+        if let Some(w) = (0..self.ways)
+            .find(|&w| self.lines[base + w].valid && self.lines[base + w].tag == line_addr)
+        {
+            let line = &mut self.lines[base + w];
+            line.lru = self.lru_clock;
+            if is_store {
+                line.sector_valid |= bit;
+                line.sector_dirty |= bit;
+                self.stats.stores.incr();
+                return L2Access::StoreDone;
+            }
+            if line.sector_valid & bit != 0 {
+                self.stats.hits.incr();
+                return L2Access::Hit;
+            }
+            return self.fill_sector(base + w, sector, token);
+        }
+
+        // Miss: find a victim (invalid first, then LRU among unpinned).
+        let victim = (0..self.ways).find(|&w| !self.lines[base + w].valid).or_else(|| {
+            (0..self.ways)
+                .filter(|&w| self.lines[base + w].pending_fills == 0)
+                .min_by_key(|&w| self.lines[base + w].lru)
+        });
+        let Some(w) = victim else {
+            self.stats.blocked.incr();
+            return L2Access::Blocked;
+        };
+        let line = &mut self.lines[base + w];
+        if line.valid {
+            self.stats.evictions.incr();
+            let dirty = line.sector_dirty;
+            if dirty != 0 {
+                self.stats.writeback_sectors.add(dirty.count_ones() as u64);
+            }
+        }
+        let evicted = if line.valid && line.sector_dirty != 0 {
+            Some((line.tag, line.sector_dirty))
+        } else {
+            None
+        };
+        *line = Line {
+            tag: line_addr,
+            valid: true,
+            sector_valid: 0,
+            sector_dirty: 0,
+            pending_fills: 0,
+            lru: self.lru_clock,
+        };
+        // Stash the writeback sectors for the caller to collect.
+        if let Some((tag, dirty)) = evicted {
+            self.pending_writebacks(tag, dirty);
+        }
+        if is_store {
+            let line = &mut self.lines[base + w];
+            line.sector_valid |= bit;
+            line.sector_dirty |= bit;
+            self.stats.stores.incr();
+            return L2Access::StoreDone;
+        }
+        self.fill_sector(base + w, sector, token)
+    }
+
+    fn fill_sector(&mut self, line_idx: usize, sector: PhysAddr, token: u64) -> L2Access {
+        match self.mshr.get_mut(&sector.0) {
+            Some(entry) => {
+                entry.waiters.push(token);
+                self.stats.merges.incr();
+                L2Access::Merged
+            }
+            None => {
+                if self.mshr.len() >= self.mshr_capacity {
+                    self.stats.blocked.incr();
+                    return L2Access::Blocked;
+                }
+                self.mshr.insert(sector.0, MshrEntry { waiters: vec![token] });
+                self.lines[line_idx].pending_fills += 1;
+                self.stats.misses.incr();
+                L2Access::Miss { fill: sector }
+            }
+        }
+    }
+
+    fn pending_writebacks(&mut self, tag: u64, dirty: u8) {
+        let line_base = tag * self.cfg.line_bytes;
+        for s in 0..self.cfg.sectors_per_line() as u64 {
+            if dirty & (1 << s) != 0 {
+                self.writebacks.push(PhysAddr(line_base + s * self.cfg.sector_bytes));
+            }
+        }
+    }
+
+    /// Drains the dirty-sector writeback addresses produced by evictions
+    /// since the last call. The caller turns these into DRAM writes.
+    pub fn take_writebacks(&mut self) -> Vec<PhysAddr> {
+        std::mem::take(&mut self.writebacks)
+    }
+
+    /// Completes an outstanding fill, returning the waiter tokens to wake.
+    /// Unknown sectors (e.g. after an unexpected re-fill) return no tokens.
+    pub fn fill_done(&mut self, sector: PhysAddr) -> Vec<u64> {
+        let sector = sector.sector_base(self.cfg.sector_bytes);
+        let Some(entry) = self.mshr.remove(&sector.0) else {
+            return Vec::new();
+        };
+        let line_addr = self.line_addr(sector);
+        let set = self.set_of(line_addr);
+        let base = set * self.ways;
+        let bit = 1u8 << self.sector_index(sector);
+        if let Some(w) = (0..self.ways)
+            .find(|&w| self.lines[base + w].valid && self.lines[base + w].tag == line_addr)
+        {
+            let line = &mut self.lines[base + w];
+            line.sector_valid |= bit;
+            line.pending_fills = line.pending_fills.saturating_sub(1);
+        }
+        entry.waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> L2Cache {
+        L2Cache::new(L2Config::default(), 64)
+    }
+
+    #[test]
+    fn store_miss_allocates_without_fetch() {
+        let mut c = l2();
+        assert_eq!(c.access(PhysAddr(0x40), true, 0), L2Access::StoreDone);
+        // The stored sector now hits for loads.
+        assert_eq!(c.access(PhysAddr(0x40), false, 1), L2Access::Hit);
+        assert_eq!(c.stats().misses.get(), 0);
+        assert_eq!(c.stats().stores.get(), 1);
+    }
+
+    #[test]
+    fn sectors_fill_independently() {
+        let mut c = l2();
+        // Two sectors of the same 128 B line miss separately.
+        assert!(matches!(c.access(PhysAddr(0x00), false, 0), L2Access::Miss { .. }));
+        assert!(matches!(c.access(PhysAddr(0x20), false, 1), L2Access::Miss { .. }));
+        assert_eq!(c.fill_done(PhysAddr(0x00)), vec![0]);
+        assert_eq!(c.access(PhysAddr(0x00), false, 2), L2Access::Hit);
+        // Sector 1 still outstanding.
+        assert_eq!(c.access(PhysAddr(0x20), false, 3), L2Access::Merged);
+        assert_eq!(c.fill_done(PhysAddr(0x20)), vec![1, 3]);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_sectors_only() {
+        let cfg = L2Config { capacity_bytes: 4096, ways: 2, ..L2Config::default() };
+        let mut c = L2Cache::new(cfg, 64);
+        let sets = cfg.sets() as u64;
+        // Dirty two sectors of one line, then evict it with conflicting
+        // lines. Addresses colliding in a set differ by sets*line_bytes in
+        // line address, but set_of mixes bits, so find collisions directly.
+        c.access(PhysAddr(0), true, 0);
+        c.access(PhysAddr(96), true, 0);
+        let set0 = c.set_of(0);
+        let mut conflicts = Vec::new();
+        let mut la = 1u64;
+        while conflicts.len() < 2 {
+            if c.set_of(la) == set0 {
+                conflicts.push(la * cfg.line_bytes);
+            }
+            la += 1;
+        }
+        let _ = sets;
+        for a in conflicts {
+            c.access(PhysAddr(a), false, 9);
+        }
+        let wb = c.take_writebacks();
+        assert_eq!(wb, vec![PhysAddr(0), PhysAddr(96)]);
+        assert_eq!(c.stats().writeback_sectors.get(), 2);
+        assert!(c.stats().evictions.get() >= 1);
+    }
+
+    #[test]
+    fn mshr_exhaustion_blocks() {
+        let mut c = L2Cache::new(L2Config::default(), 2);
+        assert!(matches!(c.access(PhysAddr(0x0000), false, 0), L2Access::Miss { .. }));
+        assert!(matches!(c.access(PhysAddr(0x1000), false, 1), L2Access::Miss { .. }));
+        assert_eq!(c.access(PhysAddr(0x2000), false, 2), L2Access::Blocked);
+        assert_eq!(c.stats().blocked.get(), 1);
+        assert_eq!(c.inflight_fills(), 2);
+        // Draining an MSHR unblocks.
+        c.fill_done(PhysAddr(0x0000));
+        assert!(matches!(c.access(PhysAddr(0x2000), false, 2), L2Access::Miss { .. }));
+    }
+
+    #[test]
+    fn lines_with_pending_fills_are_not_victims() {
+        let cfg = L2Config { capacity_bytes: 512, ways: 2, line_bytes: 128, ..L2Config::default() };
+        let mut c = L2Cache::new(cfg, 64);
+        // Two lines in the same set (2 sets): fill both ways with pending.
+        let set0 = c.set_of(0);
+        let mut same_set = vec![0u64];
+        let mut la = 1u64;
+        while same_set.len() < 3 {
+            if c.set_of(la) == set0 {
+                same_set.push(la);
+            }
+            la += 1;
+        }
+        for &la in &same_set[..2] {
+            assert!(matches!(
+                c.access(PhysAddr(la * 128), false, la),
+                L2Access::Miss { .. }
+            ));
+        }
+        // Third line: both ways pinned by pending fills.
+        assert_eq!(c.access(PhysAddr(same_set[2] * 128), false, 9), L2Access::Blocked);
+    }
+
+    #[test]
+    fn hit_rate_accounts_merges_as_hits() {
+        let mut c = l2();
+        c.access(PhysAddr(0), false, 0);
+        c.access(PhysAddr(0), false, 1); // merged
+        c.fill_done(PhysAddr(0));
+        c.access(PhysAddr(0), false, 2); // hit
+        let hr = c.stats().hit_rate();
+        assert!((hr - 2.0 / 3.0).abs() < 1e-9, "{hr}");
+    }
+
+    #[test]
+    fn unknown_fill_returns_no_waiters() {
+        let mut c = l2();
+        assert!(c.fill_done(PhysAddr(0x7777)).is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # fgdram-gpu
+//!
+//! The throughput-processor front end of the FGDRAM (MICRO 2017)
+//! reproduction: a Tesla P100-class SM/warp model ([`sm::Gpu`], Table 1)
+//! and the sectored write-back L2 ([`l2::L2Cache`], 4 MB / 16-way / 128 B
+//! lines / 32 B sectors).
+//!
+//! The paper's GPU simulator is proprietary; this front end reproduces the
+//! properties its performance results depend on — bounded per-warp
+//! memory-level parallelism, arithmetic-intensity pacing, sector-granular
+//! coalescing, and sectored L2 filtering — while the memory system below
+//! it (controller + DRAM) carries the cycle-accurate behaviour.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod l2;
+pub mod sm;
+
+pub use l2::{L2Access, L2Cache, L2Stats};
+pub use sm::{AccessToken, Gpu, GpuStats, SectorAccess};

@@ -1,0 +1,601 @@
+//! Streaming-multiprocessor / warp front end (paper Table 1: 60 SMs,
+//! 64 warps per SM, 32 threads per warp).
+//!
+//! Each warp owns an [`AccessStream`] producing coalesced memory
+//! instructions. A warp may keep a bounded number of instructions in
+//! flight (memory-level parallelism); it spends its stream's `think_ns`
+//! between issues to model arithmetic intensity. Load instructions retire
+//! when all their sectors return from the memory system; stores are posted
+//! and retire at issue, as the L2 absorbs them.
+//!
+//! The model is deliberately Little's-law faithful rather than
+//! pipeline-exact: the paper's performance deltas come from the memory
+//! system's bank-level parallelism and queueing, which this front end
+//! exposes through request concurrency and latency sensitivity.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use fgdram_model::addr::PhysAddr;
+use fgdram_model::config::GpuConfig;
+use fgdram_model::stream::{AccessStream, WarpInstruction};
+use fgdram_model::units::Ns;
+
+/// Identifies the warp instruction slot a sector belongs to, so fill
+/// completions wake the right warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessToken(u64);
+
+impl AccessToken {
+    fn new(sm: usize, warp: usize, slot: usize) -> Self {
+        AccessToken(((sm as u64) << 24) | ((warp as u64) << 8) | slot as u64)
+    }
+
+    fn unpack(self) -> (usize, usize, usize) {
+        ((self.0 >> 24) as usize, ((self.0 >> 8) & 0xFFFF) as usize, (self.0 & 0xFF) as usize)
+    }
+
+    /// Opaque integer form (for MSHR storage).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a token from [`Self::as_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        AccessToken(v)
+    }
+}
+
+/// One coalesced sector access emitted by the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectorAccess {
+    /// Completion routing token (meaningless for stores).
+    pub token: AccessToken,
+    /// Sector-aligned address.
+    pub addr: PhysAddr,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+const MAX_SLOTS: usize = 8;
+
+struct Warp {
+    stream: Box<dyn AccessStream>,
+    buf: WarpInstruction,
+    /// Pending sector count per in-flight instruction slot (0 = free).
+    slots: [u16; MAX_SLOTS],
+    outstanding: usize,
+    ready_at: Ns,
+    queued: bool,
+    /// Instructions issued so far (wave-window bookkeeping).
+    issued: u64,
+    /// Parked because the wave window closed.
+    wave_parked: bool,
+}
+
+impl core::fmt::Debug for Warp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Warp")
+            .field("outstanding", &self.outstanding)
+            .field("ready_at", &self.ready_at)
+            .field("queued", &self.queued)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Warp {
+    fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|&c| c == 0)
+    }
+}
+
+#[derive(Debug)]
+struct Sm {
+    warps: Vec<Warp>,
+    ready: VecDeque<usize>,
+    sleeping: BinaryHeap<Reverse<(Ns, usize)>>,
+}
+
+/// GPU front-end statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuStats {
+    /// Warp memory instructions retired.
+    pub retired: u64,
+    /// Load instructions issued.
+    pub loads_issued: u64,
+    /// Store instructions issued.
+    pub stores_issued: u64,
+    /// Sector accesses emitted.
+    pub sectors: u64,
+}
+
+/// The throughput-processor front end.
+///
+/// Construction takes one stream per warp (`sms * warps_per_sm` streams).
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    max_outstanding: usize,
+    stats: GpuStats,
+    last_issue_tick: Ns,
+    /// Wave window state: instruction level of the slowest warp, warps
+    /// remaining at each level offset (ring of `wave_window + 1`), and
+    /// warps parked because the window closed.
+    wave_min: u64,
+    wave_counts: Vec<usize>,
+    wave_head: usize,
+    wave_parked: Vec<(usize, usize)>,
+}
+
+impl Gpu {
+    /// Builds the GPU; `streams` must supply exactly one access stream per
+    /// warp, ordered SM-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `streams` does not match `cfg.sms * cfg.warps_per_sm`.
+    pub fn new(cfg: GpuConfig, streams: Vec<Box<dyn AccessStream>>) -> Self {
+        assert_eq!(
+            streams.len(),
+            cfg.sms * cfg.warps_per_sm,
+            "need one stream per warp"
+        );
+        let max_outstanding = cfg.max_outstanding_per_warp.clamp(1, MAX_SLOTS);
+        let mut streams = streams.into_iter();
+        let sms = (0..cfg.sms)
+            .map(|_| {
+                let warps: Vec<Warp> = (0..cfg.warps_per_sm)
+                    .map(|_| Warp {
+                        stream: streams.next().expect("stream count checked"),
+                        buf: WarpInstruction::default(),
+                        slots: [0; MAX_SLOTS],
+                        outstanding: 0,
+                        ready_at: 0,
+                        queued: true,
+                        issued: 0,
+                        wave_parked: false,
+                    })
+                    .collect();
+                Sm {
+                    ready: (0..warps.len()).collect(),
+                    sleeping: BinaryHeap::new(),
+                    warps,
+                }
+            })
+            .collect();
+        let window = cfg.wave_window;
+        let n_warps = cfg.sms * cfg.warps_per_sm;
+        Gpu {
+            cfg,
+            sms,
+            max_outstanding,
+            stats: GpuStats::default(),
+            last_issue_tick: 0,
+            wave_min: 0,
+            wave_counts: {
+                let mut v = vec![0; window + 1];
+                if window > 0 {
+                    v[0] = n_warps;
+                }
+                v
+            },
+            wave_head: 0,
+            wave_parked: Vec::new(),
+        }
+    }
+
+    /// True when the wave window blocks `issued` from advancing.
+    #[inline]
+    fn wave_closed(&self, issued: u64) -> bool {
+        self.cfg.wave_window > 0 && issued >= self.wave_min + self.cfg.wave_window as u64
+    }
+
+    /// Advances a warp's wave level; returns true when the window moved
+    /// (parked warps must be released).
+    fn wave_advance(&mut self, issued_before: u64) -> bool {
+        if self.cfg.wave_window == 0 {
+            return false;
+        }
+        let w = self.wave_counts.len();
+        let off = (issued_before - self.wave_min) as usize;
+        self.wave_counts[(self.wave_head + off) % w] -= 1;
+        self.wave_counts[(self.wave_head + off + 1) % w] += 1;
+        let mut moved = false;
+        while self.wave_counts[self.wave_head] == 0 && self.wave_min < u64::MAX {
+            // Everyone left the lowest level: the wave front advances.
+            self.wave_head = (self.wave_head + 1) % w;
+            self.wave_min += 1;
+            moved = true;
+            // The vacated top slot becomes the new highest level.
+            let top = (self.wave_head + w - 1) % w;
+            debug_assert_eq!(self.wave_counts[top], 0);
+            if self.wave_counts.iter().all(|&c| c == 0) {
+                break;
+            }
+        }
+        moved
+    }
+
+    fn release_wave_parked(&mut self, now: Ns) {
+        let parked = std::mem::take(&mut self.wave_parked);
+        for (sm_idx, w) in parked {
+            let issued = self.sms[sm_idx].warps[w].issued;
+            if self.wave_closed(issued) {
+                self.wave_parked.push((sm_idx, w));
+                continue;
+            }
+            let sm = &mut self.sms[sm_idx];
+            let warp = &mut sm.warps[w];
+            warp.wave_parked = false;
+            if warp.outstanding < self.max_outstanding && !warp.queued {
+                if warp.ready_at <= now {
+                    warp.queued = true;
+                    sm.ready.push_back(w);
+                } else {
+                    let at = warp.ready_at;
+                    sm.sleeping.push(Reverse((at, w)));
+                }
+            }
+        }
+    }
+
+    /// Front-end statistics.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics, keeping warp state (end-of-warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = GpuStats::default();
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Issues ready warps at `now`, emitting their sector accesses into
+    /// `out`. `budget_per_sm` bounds instructions issued per SM this call
+    /// (callers typically pass `issue_per_ns x elapsed`).
+    pub fn issue(&mut self, now: Ns, budget_per_sm: usize, out: &mut Vec<SectorAccess>) {
+        self.last_issue_tick = now;
+        let mut wave_moved = false;
+        for sm_idx in 0..self.sms.len() {
+            // Wake sleepers whose think time elapsed.
+            loop {
+                let sm = &mut self.sms[sm_idx];
+                let Some(&Reverse((t, w))) = sm.sleeping.peek() else { break };
+                if t > now {
+                    break;
+                }
+                sm.sleeping.pop();
+                let warp = &mut sm.warps[w];
+                if warp.outstanding < self.max_outstanding && !warp.queued && !warp.wave_parked {
+                    warp.queued = true;
+                    sm.ready.push_back(w);
+                }
+            }
+            for _ in 0..budget_per_sm {
+                let sm = &mut self.sms[sm_idx];
+                let Some(w) = sm.ready.pop_front() else { break };
+                let warp = &mut sm.warps[w];
+                warp.queued = false;
+                debug_assert!(warp.ready_at <= now && warp.outstanding < self.max_outstanding);
+                let issued_before = warp.issued;
+                if self.cfg.wave_window > 0
+                    && issued_before >= self.wave_min + self.cfg.wave_window as u64
+                {
+                    // Too far ahead of the slowest warp: park until the
+                    // wave front advances.
+                    let warp = &mut self.sms[sm_idx].warps[w];
+                    warp.wave_parked = true;
+                    self.wave_parked.push((sm_idx, w));
+                    continue;
+                }
+                let warp = &mut self.sms[sm_idx].warps[w];
+                warp.buf.clear();
+                warp.stream.fill_next(&mut warp.buf);
+                debug_assert!(!warp.buf.sectors.is_empty(), "streams must emit sectors");
+                if warp.buf.is_store {
+                    for &addr in &warp.buf.sectors {
+                        out.push(SectorAccess {
+                            token: AccessToken::new(sm_idx, w, MAX_SLOTS),
+                            addr,
+                            is_store: true,
+                        });
+                    }
+                    self.stats.stores_issued += 1;
+                    self.stats.retired += 1; // stores are posted
+                } else {
+                    let slot = warp.free_slot().expect("outstanding < max implies free slot");
+                    warp.slots[slot] = warp.buf.sectors.len() as u16;
+                    warp.outstanding += 1;
+                    for &addr in &warp.buf.sectors {
+                        out.push(SectorAccess {
+                            token: AccessToken::new(sm_idx, w, slot),
+                            addr,
+                            is_store: false,
+                        });
+                    }
+                    self.stats.loads_issued += 1;
+                }
+                self.stats.sectors += warp.buf.sectors.len() as u64;
+                // Schedule the next issue opportunity.
+                warp.ready_at = now + warp.buf.think_ns;
+                warp.issued += 1;
+                let reready = warp.outstanding < self.max_outstanding;
+                let ready_at = warp.ready_at;
+                if reready {
+                    let sm = &mut self.sms[sm_idx];
+                    if ready_at <= now {
+                        sm.warps[w].queued = true;
+                        sm.ready.push_back(w);
+                    } else {
+                        sm.sleeping.push(Reverse((ready_at, w)));
+                    }
+                }
+                // Otherwise the warp is blocked until a completion.
+                wave_moved |= self.wave_advance(issued_before);
+            }
+        }
+        if wave_moved {
+            self.release_wave_parked(now);
+        }
+    }
+
+    /// Delivers a load sector to its warp; retires the instruction when it
+    /// was the last sector, possibly unblocking the warp.
+    pub fn sector_done(&mut self, token: AccessToken, now: Ns) {
+        let (sm_idx, w, slot) = token.unpack();
+        if slot >= MAX_SLOTS {
+            return; // store token: nothing to do
+        }
+        let sm = &mut self.sms[sm_idx];
+        let warp = &mut sm.warps[w];
+        debug_assert!(warp.slots[slot] > 0, "completion for idle slot");
+        warp.slots[slot] -= 1;
+        if warp.slots[slot] == 0 {
+            warp.outstanding -= 1;
+            self.stats.retired += 1;
+            if !warp.queued && !warp.wave_parked && warp.outstanding + 1 == self.max_outstanding {
+                // The warp was blocked on MLP; it becomes schedulable once
+                // its think time has also elapsed.
+                if warp.ready_at <= now {
+                    warp.queued = true;
+                    sm.ready.push_back(w);
+                } else {
+                    sm.sleeping.push(Reverse((warp.ready_at, w)));
+                }
+            }
+        }
+    }
+
+    /// Earliest time this GPU has work to do on its own (sleeping warps);
+    /// `None` when every warp waits on memory completions.
+    pub fn next_event(&self) -> Option<Ns> {
+        let mut next: Option<Ns> = None;
+        for sm in &self.sms {
+            if !sm.ready.is_empty() {
+                return Some(self.last_issue_tick);
+            }
+            if let Some(&Reverse((t, _))) = sm.sleeping.peek() {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::stream::ReplayStream;
+
+    fn tiny_cfg() -> GpuConfig {
+        GpuConfig { sms: 1, warps_per_sm: 2, max_outstanding_per_warp: 2, issue_per_ns: 4, ..GpuConfig::default() }
+    }
+
+    fn gpu_with(cfg: GpuConfig, think: Ns) -> Gpu {
+        let streams: Vec<Box<dyn AccessStream>> = (0..cfg.sms * cfg.warps_per_sm)
+            .map(|i| {
+                Box::new(ReplayStream::new(vec![PhysAddr(i as u64 * 4096)], think))
+                    as Box<dyn AccessStream>
+            })
+            .collect();
+        Gpu::new(cfg, streams)
+    }
+
+    #[test]
+    fn warps_block_at_mlp_limit() {
+        let mut g = gpu_with(tiny_cfg(), 0);
+        let mut out = Vec::new();
+        g.issue(0, 16, &mut out);
+        // Each warp may have 2 outstanding loads: 2 warps x 2 = 4 accesses.
+        assert_eq!(out.len(), 4);
+        assert_eq!(g.stats().loads_issued, 4);
+        // No further issue while blocked.
+        out.clear();
+        g.issue(1, 16, &mut out);
+        assert!(out.is_empty());
+        // Completing one instruction unblocks exactly one warp slot.
+        let token = AccessToken::from_u64(0); // sm0 warp0 slot0
+        g.sector_done(token, 1);
+        assert_eq!(g.stats().retired, 1);
+        out.clear();
+        g.issue(2, 16, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn think_time_paces_issue() {
+        let cfg = tiny_cfg();
+        let mut g = gpu_with(cfg, 10);
+        let mut out = Vec::new();
+        g.issue(0, 16, &mut out);
+        // Outstanding limit 2, but think=10 delays the second issue.
+        assert_eq!(out.len(), 2); // one per warp
+        assert_eq!(g.next_event(), Some(10));
+        out.clear();
+        g.issue(5, 16, &mut out);
+        assert!(out.is_empty());
+        out.clear();
+        g.issue(10, 16, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn stores_retire_immediately() {
+        let cfg = tiny_cfg();
+        let streams: Vec<Box<dyn AccessStream>> = (0..2)
+            .map(|_| {
+                struct Stores;
+                impl AccessStream for Stores {
+                    fn fill_next(&mut self, out: &mut WarpInstruction) {
+                        out.sectors.push(PhysAddr(64));
+                        out.is_store = true;
+                        out.think_ns = 100;
+                    }
+                }
+                Box::new(Stores) as Box<dyn AccessStream>
+            })
+            .collect();
+        let mut g = Gpu::new(cfg, streams);
+        let mut out = Vec::new();
+        g.issue(0, 16, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|a| a.is_store));
+        assert_eq!(g.stats().retired, 2);
+        // Stores do not consume MLP slots: warps sleep on think only.
+        assert_eq!(g.next_event(), Some(100));
+    }
+
+    #[test]
+    fn issue_budget_caps_per_sm() {
+        let cfg = GpuConfig { sms: 1, warps_per_sm: 8, max_outstanding_per_warp: 1, ..GpuConfig::default() };
+        let mut g = gpu_with(cfg, 0);
+        let mut out = Vec::new();
+        g.issue(0, 3, &mut out);
+        assert_eq!(out.len(), 3);
+        out.clear();
+        g.issue(1, 3, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        let t = AccessToken::new(59, 63, 7);
+        assert_eq!(t.unpack(), (59, 63, 7));
+        assert_eq!(AccessToken::from_u64(t.as_u64()), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stream per warp")]
+    fn wrong_stream_count_panics() {
+        let _ = Gpu::new(tiny_cfg(), vec![]);
+    }
+}
+
+#[cfg(test)]
+mod wave_tests {
+    use super::*;
+    use fgdram_model::stream::ReplayStream;
+
+    fn gpu(warps: usize, window: usize, mlp: usize) -> Gpu {
+        let cfg = GpuConfig {
+            sms: 1,
+            warps_per_sm: warps,
+            max_outstanding_per_warp: mlp,
+            wave_window: window,
+            issue_per_ns: 64,
+            ..GpuConfig::default()
+        };
+        let streams: Vec<Box<dyn AccessStream>> = (0..warps)
+            .map(|i| {
+                Box::new(ReplayStream::new(vec![PhysAddr(i as u64 * 4096)], 0))
+                    as Box<dyn AccessStream>
+            })
+            .collect();
+        Gpu::new(cfg, streams)
+    }
+
+    fn warp_of(t: AccessToken) -> u64 {
+        (t.as_u64() >> 8) & 0xFFFF
+    }
+
+    /// Co-advancing warps slide the window together and are bounded only
+    /// by MLP; a stuck warp then caps the fast warp at `window` ahead.
+    #[test]
+    fn wave_window_bounds_skew_not_throughput() {
+        let mut g = gpu(2, 2, 8);
+        let mut out = Vec::new();
+        g.issue(0, 64, &mut out);
+        // Both warps reach their MLP limit (8 + 8); the window slid along.
+        assert_eq!(out.len(), 16);
+        // Complete only warp 0's loads: it may run exactly `window` = 2
+        // instructions past stuck warp 1 (both at level 8).
+        let warp0: Vec<_> = out.iter().filter(|a| warp_of(a.token) == 0).map(|a| a.token).collect();
+        for t in warp0 {
+            g.sector_done(t, 1);
+        }
+        out.clear();
+        g.issue(1, 64, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|a| warp_of(a.token) == 0));
+        // Beyond that warp 0 is parked regardless of completions.
+        let extra: Vec<_> = out.iter().map(|a| a.token).collect();
+        for t in extra {
+            g.sector_done(t, 2);
+        }
+        out.clear();
+        g.issue(3, 64, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    /// Completing the slowest warp advances the front and releases parked
+    /// warps.
+    #[test]
+    fn wave_front_advances_when_slowest_catches_up() {
+        let mut g = gpu(2, 2, 8);
+        let mut out = Vec::new();
+        g.issue(0, 64, &mut out);
+        let warp0: Vec<_> = out.iter().filter(|a| warp_of(a.token) == 0).map(|a| a.token).collect();
+        let warp1: Vec<_> = out.iter().filter(|a| warp_of(a.token) == 1).map(|a| a.token).collect();
+        for t in warp0 {
+            g.sector_done(t, 1);
+        }
+        out.clear();
+        g.issue(1, 64, &mut out); // warp 0 runs to the window edge (2) and parks
+        assert_eq!(out.len(), 2);
+        // Now complete warp 1: the front advances, warp 1 issues again and
+        // warp 0 is released from the park list.
+        for t in warp1 {
+            g.sector_done(t, 2);
+        }
+        // Parked warps are released at the end of the issue pass in which
+        // the front moves, so the leapfrog takes a couple of calls.
+        out.clear();
+        g.issue(3, 64, &mut out);
+        let first = out.len();
+        assert!(first >= 2, "slowest warp resumes: {first}");
+        g.issue(4, 64, &mut out);
+        assert!(out.len() >= 6, "parked warps released: {}", out.len());
+        let zeros = out.iter().filter(|a| warp_of(a.token) == 0).count();
+        assert!(zeros >= 1, "warp 0 unparked");
+    }
+
+    #[test]
+    fn zero_window_never_parks() {
+        let mut g = gpu(2, 0, 2);
+        let mut out = Vec::new();
+        g.issue(0, 64, &mut out);
+        assert_eq!(out.len(), 4); // both warps hit their MLP limit only
+        for a in out.clone() {
+            g.sector_done(a.token, 1);
+        }
+        out.clear();
+        g.issue(1, 64, &mut out);
+        assert_eq!(out.len(), 4);
+    }
+}

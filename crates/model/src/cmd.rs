@@ -1,0 +1,205 @@
+//! The DRAM command vocabulary shared by the controller, the device model,
+//! and the protocol checker.
+
+use crate::addr::ReqId;
+use crate::units::Ns;
+
+/// Identifies one bank (pseudobank for FGDRAM) on the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankRef {
+    /// Data channel (grain) index.
+    pub channel: u32,
+    /// Bank (pseudobank) index within the channel.
+    pub bank: u32,
+}
+
+impl core::fmt::Display for BankRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ch{}.b{}", self.channel, self.bank)
+    }
+}
+
+/// A command sent over the command channel to the DRAM.
+///
+/// `subarray`/`slice` carry the SALP and subchannel targeting information;
+/// for baseline HBM2/QB-HBM they are derived from the row and ignored by
+/// the device FSM. `row` is carried on column commands purely so the device
+/// model and the protocol checker can assert the scheduler only reads rows
+/// it actually opened (a real DRAM would return garbage instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramCommand {
+    /// Open `row` into the row buffer of `bank` (or of its subarray/slice).
+    Activate {
+        /// Target bank.
+        bank: BankRef,
+        /// Row index within the bank.
+        row: u32,
+        /// Subchannel slice to activate (0 for parts without subchannels).
+        slice: u32,
+    },
+    /// Read one atom from column `col` of the open row.
+    Read {
+        /// Target bank.
+        bank: BankRef,
+        /// Row expected to be open (checked, not transmitted in hardware).
+        row: u32,
+        /// Atom index within the activated row.
+        col: u32,
+        /// Precharge automatically after the access completes.
+        auto_precharge: bool,
+        /// The request this access serves (for completion routing).
+        req: ReqId,
+    },
+    /// Write one atom at column `col` of the open row.
+    Write {
+        /// Target bank.
+        bank: BankRef,
+        /// Row expected to be open.
+        row: u32,
+        /// Atom index within the activated row.
+        col: u32,
+        /// Precharge automatically after write recovery.
+        auto_precharge: bool,
+        /// The request this access serves.
+        req: ReqId,
+    },
+    /// Close the open row of `bank`. With SALP/subchannels, closes only the
+    /// slot holding (`row`, `slice`) when `row` is `Some`.
+    Precharge {
+        /// Target bank.
+        bank: BankRef,
+        /// The specific open row to close; `None` closes every open slot.
+        row: Option<u32>,
+        /// Slice of the slot to close (ignored when `row` is `None`).
+        slice: u32,
+    },
+    /// Refresh the banks behind one data channel.
+    Refresh {
+        /// Target channel (grain).
+        channel: u32,
+    },
+}
+
+impl DramCommand {
+    /// The coarse kind of this command (row bus vs column bus).
+    pub fn kind(&self) -> CmdKind {
+        match self {
+            DramCommand::Activate { .. } => CmdKind::Activate,
+            DramCommand::Read { .. } => CmdKind::Read,
+            DramCommand::Write { .. } => CmdKind::Write,
+            DramCommand::Precharge { .. } => CmdKind::Precharge,
+            DramCommand::Refresh { .. } => CmdKind::Refresh,
+        }
+    }
+
+    /// The data channel this command addresses.
+    pub fn channel(&self) -> u32 {
+        match self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. }
+            | DramCommand::Precharge { bank, .. } => bank.channel,
+            DramCommand::Refresh { channel } => *channel,
+        }
+    }
+
+    /// True for commands that travel on the row command bus
+    /// (activate/precharge/refresh), false for column commands.
+    pub fn is_row_cmd(&self) -> bool {
+        matches!(self.kind(), CmdKind::Activate | CmdKind::Precharge | CmdKind::Refresh)
+    }
+}
+
+/// Command classification used for bus occupancy and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmdKind {
+    /// Row activation.
+    Activate,
+    /// Column read.
+    Read,
+    /// Column write.
+    Write,
+    /// Precharge.
+    Precharge,
+    /// Refresh.
+    Refresh,
+}
+
+impl CmdKind {
+    /// All kinds, for stats tables.
+    pub const ALL: [CmdKind; 5] = [
+        CmdKind::Activate,
+        CmdKind::Read,
+        CmdKind::Write,
+        CmdKind::Precharge,
+        CmdKind::Refresh,
+    ];
+}
+
+impl core::fmt::Display for CmdKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CmdKind::Activate => "ACT",
+            CmdKind::Read => "RD",
+            CmdKind::Write => "WR",
+            CmdKind::Precharge => "PRE",
+            CmdKind::Refresh => "REF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A timestamped command, as recorded in a trace for the protocol checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedCommand {
+    /// Issue time on the command channel.
+    pub at: Ns,
+    /// The command.
+    pub cmd: DramCommand,
+}
+
+/// Notification that a read's data finished returning, or a write's data
+/// was consumed, at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The originating request.
+    pub req: ReqId,
+    /// Time the last data beat left (read) or was absorbed (write).
+    pub at: Ns,
+    /// Whether this was a write.
+    pub is_write: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> BankRef {
+        BankRef { channel: 3, bank: 1 }
+    }
+
+    #[test]
+    fn kind_classification() {
+        let b = bank();
+        assert_eq!(DramCommand::Activate { bank: b, row: 5, slice: 0 }.kind(), CmdKind::Activate);
+        assert!(DramCommand::Activate { bank: b, row: 5, slice: 0 }.is_row_cmd());
+        let rd = DramCommand::Read { bank: b, row: 5, col: 0, auto_precharge: false, req: ReqId(1) };
+        assert_eq!(rd.kind(), CmdKind::Read);
+        assert!(!rd.is_row_cmd());
+        assert!(DramCommand::Precharge { bank: b, row: None, slice: 0 }.is_row_cmd());
+        assert!(DramCommand::Refresh { channel: 9 }.is_row_cmd());
+    }
+
+    #[test]
+    fn channel_extraction() {
+        assert_eq!(DramCommand::Refresh { channel: 9 }.channel(), 9);
+        assert_eq!(DramCommand::Precharge { bank: bank(), row: None, slice: 0 }.channel(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CmdKind::Activate.to_string(), "ACT");
+        assert_eq!(CmdKind::Refresh.to_string(), "REF");
+        assert_eq!(bank().to_string(), "ch3.b1");
+    }
+}

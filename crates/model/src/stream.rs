@@ -1,0 +1,123 @@
+//! The interface between workload generators and the GPU front end.
+//!
+//! A workload is modelled per warp: each warp owns an [`AccessStream`] that
+//! produces an endless sequence of [`WarpInstruction`]s (the simulator runs
+//! for a fixed time window, so streams never terminate). Generators fill a
+//! caller-owned buffer to keep the hot path allocation-free.
+
+use crate::addr::PhysAddr;
+use crate::units::Ns;
+
+/// One warp-level memory instruction after coalescing: the set of 32 B
+/// sectors the warp's 32 threads touch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WarpInstruction {
+    /// Sector-aligned addresses touched by the warp (1..=32 entries).
+    pub sectors: Vec<PhysAddr>,
+    /// True when the instruction is a store.
+    pub is_store: bool,
+    /// Compute delay the warp spends before issuing this instruction,
+    /// measured from when it becomes schedulable again.
+    pub think_ns: Ns,
+}
+
+impl WarpInstruction {
+    /// Empties the buffer for refilling.
+    pub fn clear(&mut self) {
+        self.sectors.clear();
+        self.is_store = false;
+        self.think_ns = 0;
+    }
+}
+
+/// An endless per-warp instruction stream.
+///
+/// Implementors must be deterministic given their construction seed.
+pub trait AccessStream: Send {
+    /// Fills `out` (already cleared by the caller) with the next
+    /// instruction. Must push at least one sector.
+    fn fill_next(&mut self, out: &mut WarpInstruction);
+}
+
+/// Blanket impl so boxed streams compose.
+impl AccessStream for Box<dyn AccessStream> {
+    fn fill_next(&mut self, out: &mut WarpInstruction) {
+        (**self).fill_next(out)
+    }
+}
+
+/// A trivial stream replaying a fixed cyclic list of single-sector loads;
+/// useful for unit tests and microbenchmarks.
+#[derive(Debug, Clone)]
+pub struct ReplayStream {
+    addrs: Vec<PhysAddr>,
+    think_ns: Ns,
+    pos: usize,
+}
+
+impl ReplayStream {
+    /// Cycles over `addrs` with `think_ns` compute delay between loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty.
+    pub fn new(addrs: Vec<PhysAddr>, think_ns: Ns) -> Self {
+        assert!(!addrs.is_empty(), "ReplayStream needs at least one address");
+        ReplayStream { addrs, think_ns, pos: 0 }
+    }
+}
+
+impl AccessStream for ReplayStream {
+    fn fill_next(&mut self, out: &mut WarpInstruction) {
+        out.sectors.push(self.addrs[self.pos]);
+        out.think_ns = self.think_ns;
+        self.pos = (self.pos + 1) % self.addrs.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_cycles() {
+        let mut s = ReplayStream::new(vec![PhysAddr(0), PhysAddr(32)], 7);
+        let mut w = WarpInstruction::default();
+        s.fill_next(&mut w);
+        assert_eq!(w.sectors, vec![PhysAddr(0)]);
+        assert_eq!(w.think_ns, 7);
+        w.clear();
+        s.fill_next(&mut w);
+        assert_eq!(w.sectors, vec![PhysAddr(32)]);
+        w.clear();
+        s.fill_next(&mut w);
+        assert_eq!(w.sectors, vec![PhysAddr(0)]);
+    }
+
+    #[test]
+    fn clear_resets_all_fields() {
+        let mut w = WarpInstruction {
+            sectors: vec![PhysAddr(1)],
+            is_store: true,
+            think_ns: 9,
+        };
+        w.clear();
+        assert!(w.sectors.is_empty());
+        assert!(!w.is_store);
+        assert_eq!(w.think_ns, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address")]
+    fn replay_rejects_empty() {
+        let _ = ReplayStream::new(vec![], 0);
+    }
+
+    #[test]
+    fn boxed_stream_is_usable() {
+        let mut s: Box<dyn AccessStream> = Box::new(ReplayStream::new(vec![PhysAddr(64)], 0));
+        let mut w = WarpInstruction::default();
+        s.fill_next(&mut w);
+        assert_eq!(w.sectors, vec![PhysAddr(64)]);
+    }
+}

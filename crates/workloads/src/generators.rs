@@ -1,0 +1,365 @@
+//! Deterministic synthetic access-stream generators.
+//!
+//! Each generator produces the *memory character* of a class of GPU
+//! applications — the property the paper's results hinge on (row locality,
+//! randomness, dependence, tiling) — while staying laptop-synthesisable.
+//! All randomness flows from a per-warp seed, so identical runs produce
+//! identical streams on every architecture under test.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use fgdram_model::addr::PhysAddr;
+use fgdram_model::stream::{AccessStream, WarpInstruction};
+use fgdram_model::units::Ns;
+
+const SECTOR: u64 = 32;
+
+/// The access-pattern family of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Unit-stride streaming (STREAM, dense kernels): each warp walks its
+    /// own contiguous chunk, `sectors_per_instr` sectors at a time.
+    Sequential {
+        /// Coalesced sectors per warp instruction.
+        sectors_per_instr: u32,
+    },
+    /// Uniform-random sectors (GUPS, hash tables). With `rmw`, every load
+    /// is followed by a store to the same sectors (read-modify-write).
+    Random {
+        /// Distinct random sectors per instruction.
+        sectors_per_instr: u32,
+        /// Issue a store to the same sectors after each load.
+        rmw: bool,
+    },
+    /// Fixed-stride walk (nw's wavefronts, kmeans' column accesses):
+    /// consecutive instructions land `stride_bytes` apart, destroying row
+    /// locality without destroying coalescing.
+    Strided {
+        /// Stride between consecutive instructions.
+        stride_bytes: u64,
+        /// Coalesced sectors per instruction.
+        sectors_per_instr: u32,
+    },
+    /// Serialized data-dependent loads (bfs, sssp, dmr, MCB): one random
+    /// sector per instruction; pair with a small per-warp MLP.
+    PointerChase,
+    /// Structured-grid stencil (LULESH, HPGMG, CoMD): a streaming sweep
+    /// that also touches the rows one plane up and down.
+    Stencil {
+        /// Bytes per grid plane (distance to vertical neighbours).
+        plane_bytes: u64,
+    },
+    /// Tiled graphics (the 80-workload suite of Figure 9): sequential
+    /// sectors within screen tiles, `compression` of render-target
+    /// traffic elided (32 B-unit compression, Section 2.2), plus a
+    /// fraction of scattered texture reads.
+    Tiled {
+        /// Sectors per tile row burst.
+        tile_sectors: u32,
+        /// Fraction of sectors elided by compression (0..=1).
+        compression: f64,
+        /// Fraction of instructions that are scattered texture reads.
+        texture_fraction: f64,
+    },
+}
+
+/// A generator instance: one per warp.
+pub(crate) struct Generator {
+    pattern: Pattern,
+    rng: SmallRng,
+    /// Byte region this warp draws from: `[base, base + span)`.
+    base: u64,
+    span: u64,
+    cursor: u64,
+    /// Bytes the cursor advances after each instruction (walk pitch).
+    advance: u64,
+    think_ns: Ns,
+    write_fraction: f64,
+    pending_store: Vec<PhysAddr>,
+    flip: bool,
+}
+
+impl core::fmt::Debug for Generator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Generator").field("pattern", &self.pattern).finish_non_exhaustive()
+    }
+}
+
+impl Generator {
+    /// Builds the stream for one warp.
+    ///
+    /// `base`/`span` delimit the warp's byte region (generators that share
+    /// the whole footprint pass the same region to every warp).
+    pub fn new(
+        pattern: Pattern,
+        base: u64,
+        span: u64,
+        think_ns: Ns,
+        write_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        Self::with_phase(pattern, base, span, 0, think_ns, write_fraction, seed)
+    }
+
+    /// Like [`Self::new`], with the walk cursor starting `phase` bytes in
+    /// (used to spread warps across a shared footprint).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_phase(
+        pattern: Pattern,
+        base: u64,
+        span: u64,
+        phase: u64,
+        think_ns: Ns,
+        write_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        let span = span.max(SECTOR * 64);
+        let advance = match pattern {
+            Pattern::Sequential { sectors_per_instr } => sectors_per_instr as u64 * SECTOR,
+            Pattern::Strided { stride_bytes, .. } => stride_bytes,
+            Pattern::Stencil { .. } => SECTOR,
+            Pattern::Tiled { tile_sectors, .. } => tile_sectors as u64 * SECTOR,
+            Pattern::Random { .. } | Pattern::PointerChase => SECTOR,
+        };
+        Generator {
+            pattern,
+            rng: SmallRng::seed_from_u64(seed),
+            base,
+            span,
+            cursor: (phase / SECTOR) * SECTOR % span,
+            advance,
+            think_ns,
+            write_fraction,
+            pending_store: Vec::new(),
+            flip: false,
+        }
+    }
+
+    /// Overrides the per-instruction cursor advance (bytes). Used to
+    /// interleave many warps over one shared footprint, the way coalesced
+    /// GPU kernels stride thread blocks across an array.
+    pub fn set_advance(&mut self, advance: u64) {
+        self.advance = advance.max(SECTOR);
+    }
+
+    #[inline]
+    fn sectors_in_span(&self) -> u64 {
+        self.span / SECTOR
+    }
+
+    #[inline]
+    fn random_sector(&mut self) -> u64 {
+        let s = self.rng.random_range(0..self.sectors_in_span());
+        self.base + s * SECTOR
+    }
+
+    fn push_burst(&mut self, out: &mut WarpInstruction, count: u32) {
+        for i in 0..count as u64 {
+            out.sectors.push(PhysAddr(self.base + (self.cursor + i * SECTOR) % self.span));
+        }
+    }
+
+    fn maybe_store(&mut self, out: &mut WarpInstruction) {
+        if self.write_fraction > 0.0 && self.rng.random::<f64>() < self.write_fraction {
+            out.is_store = true;
+        }
+    }
+}
+
+impl AccessStream for Generator {
+    fn fill_next(&mut self, out: &mut WarpInstruction) {
+        out.think_ns = self.think_ns;
+        // A pending RMW store preempts pattern generation.
+        if !self.pending_store.is_empty() {
+            out.sectors.append(&mut self.pending_store);
+            out.is_store = true;
+            out.think_ns = 0;
+            return;
+        }
+        match self.pattern {
+            Pattern::Sequential { sectors_per_instr } => {
+                self.push_burst(out, sectors_per_instr);
+                self.cursor = (self.cursor + self.advance) % self.span;
+                self.maybe_store(out);
+            }
+            Pattern::Random { sectors_per_instr, rmw } => {
+                for _ in 0..sectors_per_instr {
+                    let s = self.random_sector();
+                    out.sectors.push(PhysAddr(s));
+                }
+                if rmw {
+                    self.pending_store = out.sectors.clone();
+                } else {
+                    self.maybe_store(out);
+                }
+            }
+            Pattern::Strided { sectors_per_instr, .. } => {
+                self.push_burst(out, sectors_per_instr);
+                self.cursor = (self.cursor + self.advance) % self.span;
+                self.maybe_store(out);
+            }
+            Pattern::PointerChase => {
+                let s = self.random_sector();
+                out.sectors.push(PhysAddr(s));
+            }
+            Pattern::Stencil { plane_bytes } => {
+                let center = self.base + self.cursor % self.span;
+                out.sectors.push(PhysAddr(center));
+                out.sectors.push(PhysAddr(self.base + (self.cursor + plane_bytes) % self.span));
+                out.sectors
+                    .push(PhysAddr(self.base + (self.cursor + 2 * plane_bytes) % self.span));
+                self.cursor = (self.cursor + self.advance) % self.span;
+                self.maybe_store(out);
+            }
+            Pattern::Tiled { tile_sectors, compression, texture_fraction } => {
+                if self.rng.random::<f64>() < texture_fraction {
+                    // Scattered texture fetch: random line, 2 sectors.
+                    // The tile cursor still advances so warps stay
+                    // spatially aligned across the frame.
+                    let s = self.random_sector() & !(2 * SECTOR - 1);
+                    out.sectors.push(PhysAddr(s));
+                    out.sectors.push(PhysAddr(s + SECTOR));
+                    self.cursor = (self.cursor + self.advance) % self.span;
+                    return;
+                }
+                // Whole-tile compression (render surfaces compress to
+                // 32 B units per tile, Section 2.2): a compressed tile
+                // transfers a quarter of its sectors, an uncompressed
+                // tile all of them. Either way the transfer is a dense
+                // run, preserving row locality.
+                let emit = if self.rng.random::<f64>() < compression {
+                    // A compressed tile is a single 32 B unit.
+                    1
+                } else {
+                    tile_sectors
+                };
+                for i in 0..emit as u64 {
+                    let addr = self.base + (self.cursor + i * SECTOR) % self.span;
+                    out.sectors.push(PhysAddr(addr));
+                }
+                self.cursor = (self.cursor + self.advance) % self.span;
+                // Alternate colour write-back / texture read phases.
+                self.flip = !self.flip;
+                if self.flip && self.rng.random::<f64>() < self.write_fraction {
+                    out.is_store = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(pattern: Pattern, n: usize) -> Vec<WarpInstruction> {
+        let mut g = Generator::new(pattern, 0, 1 << 20, 5, 0.0, 42);
+        (0..n)
+            .map(|_| {
+                let mut w = WarpInstruction::default();
+                g.fill_next(&mut w);
+                w
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_is_contiguous() {
+        let instrs = collect(Pattern::Sequential { sectors_per_instr: 4 }, 3);
+        let flat: Vec<u64> = instrs.iter().flat_map(|i| i.sectors.iter().map(|a| a.0)).collect();
+        let expect: Vec<u64> = (0..12).map(|i| i * 32).collect();
+        assert_eq!(flat, expect);
+        assert!(instrs.iter().all(|i| i.think_ns == 5));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = collect(Pattern::Random { sectors_per_instr: 2, rmw: false }, 10);
+        let b = collect(Pattern::Random { sectors_per_instr: 2, rmw: false }, 10);
+        assert_eq!(a, b);
+        let mut g = Generator::new(Pattern::Random { sectors_per_instr: 2, rmw: false }, 0, 1 << 20, 5, 0.0, 43);
+        let mut w = WarpInstruction::default();
+        g.fill_next(&mut w);
+        assert_ne!(w.sectors, a[0].sectors, "different seed, different stream");
+    }
+
+    #[test]
+    fn rmw_alternates_load_store_on_same_sectors() {
+        let instrs = collect(Pattern::Random { sectors_per_instr: 2, rmw: true }, 4);
+        assert!(!instrs[0].is_store);
+        assert!(instrs[1].is_store);
+        assert_eq!(instrs[0].sectors, instrs[1].sectors);
+        assert!(!instrs[2].is_store);
+        assert_eq!(instrs[2].sectors, instrs[3].sectors);
+        assert_ne!(instrs[0].sectors, instrs[2].sectors);
+    }
+
+    #[test]
+    fn strided_jumps_by_stride() {
+        let instrs = collect(Pattern::Strided { stride_bytes: 1 << 16, sectors_per_instr: 1 }, 3);
+        assert_eq!(instrs[0].sectors[0].0, 0);
+        assert_eq!(instrs[1].sectors[0].0, 1 << 16);
+        assert_eq!(instrs[2].sectors[0].0, 2 << 16);
+    }
+
+    #[test]
+    fn pointer_chase_is_single_sector() {
+        let instrs = collect(Pattern::PointerChase, 20);
+        assert!(instrs.iter().all(|i| i.sectors.len() == 1 && !i.is_store));
+    }
+
+    #[test]
+    fn stencil_touches_three_planes() {
+        let instrs = collect(Pattern::Stencil { plane_bytes: 1 << 14 }, 1);
+        let s = &instrs[0].sectors;
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1].0 - s[0].0, 1 << 14);
+    }
+
+    #[test]
+    fn tiled_compression_reduces_sectors() {
+        let none = collect(
+            Pattern::Tiled { tile_sectors: 8, compression: 0.0, texture_fraction: 0.0 },
+            50,
+        );
+        let heavy = collect(
+            Pattern::Tiled { tile_sectors: 8, compression: 0.9, texture_fraction: 0.0 },
+            50,
+        );
+        let count = |v: &[WarpInstruction]| v.iter().map(|i| i.sectors.len()).sum::<usize>();
+        assert_eq!(count(&none), 400);
+        assert!(count(&heavy) < 150, "{}", count(&heavy));
+        assert!(count(&heavy) >= 50, "compressed tiles still transfer one 32 B unit");
+        // Compressed transfers are dense runs from the tile base.
+        for i in &heavy {
+            for (k, s) in i.sectors.iter().enumerate() {
+                assert_eq!(s.0, i.sectors[0].0 + k as u64 * 32);
+            }
+        }
+    }
+
+    #[test]
+    fn write_fraction_produces_stores() {
+        let mut g = Generator::new(Pattern::Sequential { sectors_per_instr: 1 }, 0, 1 << 20, 0, 0.5, 7);
+        let mut stores = 0;
+        for _ in 0..200 {
+            let mut w = WarpInstruction::default();
+            g.fill_next(&mut w);
+            stores += w.is_store as u32;
+        }
+        assert!((50..150).contains(&stores), "{stores}");
+    }
+
+    #[test]
+    fn footprint_span_is_respected() {
+        let mut g = Generator::new(Pattern::Random { sectors_per_instr: 4, rmw: false }, 1 << 30, 1 << 20, 0, 0.0, 3);
+        for _ in 0..100 {
+            let mut w = WarpInstruction::default();
+            g.fill_next(&mut w);
+            for s in &w.sectors {
+                assert!(s.0 >= 1 << 30 && s.0 < (1 << 30) + (1 << 20));
+            }
+        }
+    }
+}

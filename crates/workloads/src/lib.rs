@@ -1,0 +1,31 @@
+//! # fgdram-workloads
+//!
+//! Deterministic synthetic workload suites for the FGDRAM (MICRO 2017)
+//! reproduction: the access-pattern generators ([`generators`]), the
+//! per-application parameterisation ([`spec::Workload`]), and the paper's
+//! 26-application compute suite plus 80-workload graphics suite
+//! ([`suites`]).
+//!
+//! ## Examples
+//!
+//! ```
+//! use fgdram_workloads::suites;
+//! use fgdram_model::stream::WarpInstruction;
+//!
+//! let gups = suites::by_name("GUPS").expect("GUPS is in the suite");
+//! let mut warp0 = gups.stream_for_warp(0, 3840);
+//! let mut instr = WarpInstruction::default();
+//! warp0.fill_next(&mut instr);
+//! assert_eq!(instr.sectors.len(), 1); // one random 32 B update at a time
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod spec;
+pub mod suites;
+
+pub use generators::Pattern;
+pub use spec::Workload;

@@ -1,0 +1,193 @@
+//! Workload specifications: a pattern plus the scalar character the paper's
+//! methodology assigns to each application (footprint, arithmetic
+//! intensity, write mix, memory-level parallelism, data activity).
+
+use fgdram_model::stream::AccessStream;
+use fgdram_model::units::Ns;
+
+use crate::generators::{Generator, Pattern};
+
+/// A fully parameterised workload: everything needed to build one access
+/// stream per warp plus the data-activity figures the energy meter uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Application name as it appears in the paper's figures.
+    pub name: String,
+    /// Access-pattern family.
+    pub pattern: Pattern,
+    /// Total bytes touched.
+    pub footprint_bytes: u64,
+    /// Compute time a warp spends between memory instructions
+    /// (arithmetic intensity).
+    pub think_ns: Ns,
+    /// Fraction of instructions that are stores.
+    pub write_fraction: f64,
+    /// Outstanding memory instructions a warp may keep in flight
+    /// (1 = fully dependent pointer chasing).
+    pub mlp: usize,
+    /// Data-bus toggle rate of this application's data.
+    pub toggle_rate: f64,
+    /// Ones density of this application's data (PODL termination).
+    pub ones_density: f64,
+    /// Paper grouping: uses >60% of QB-HBM bandwidth.
+    pub memory_intensive: bool,
+    /// Base RNG seed; warp `w` derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Whether all warps share one footprint (scatter patterns) or carve
+    /// it into private chunks (streaming patterns).
+    fn shares_footprint(&self) -> bool {
+        matches!(self.pattern, Pattern::Random { .. } | Pattern::PointerChase)
+    }
+
+    /// Builds one deterministic access stream per warp.
+    pub fn streams(&self, n_warps: usize) -> Vec<Box<dyn AccessStream>> {
+        (0..n_warps).map(|w| self.stream_for_warp(w, n_warps)).collect()
+    }
+
+    /// The stream for warp `w` of `n_warps`.
+    ///
+    /// Scatter patterns share the whole footprint; streaming patterns
+    /// interleave warps across it the way coalesced GPU kernels stride
+    /// thread blocks over an array (warp `w` starts `w` pitches in and
+    /// advances by `n_warps` pitches per instruction), which is what gives
+    /// real streaming kernels their DRAM row locality. Strided walkers
+    /// spread warps by a large per-warp phase instead, preserving their
+    /// characteristic row-locality loss.
+    pub fn stream_for_warp(&self, w: usize, n_warps: usize) -> Box<dyn AccessStream> {
+        let seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((w as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let n = n_warps.max(1) as u64;
+        let gen = if self.shares_footprint() {
+            Generator::new(
+                self.pattern,
+                0,
+                self.footprint_bytes,
+                self.think_ns,
+                self.write_fraction,
+                seed,
+            )
+        } else {
+            match self.pattern {
+                Pattern::Strided { .. } => {
+                    // Strided walkers share the footprint but start spread
+                    // out by a per-warp phase.
+                    let phase = self.footprint_bytes / n * w as u64;
+                    Generator::with_phase(
+                        self.pattern,
+                        0,
+                        self.footprint_bytes,
+                        phase,
+                        self.think_ns,
+                        self.write_fraction,
+                        seed,
+                    )
+                }
+                _ => {
+                    let pitch = match self.pattern {
+                        Pattern::Sequential { sectors_per_instr } => sectors_per_instr as u64 * 32,
+                        Pattern::Tiled { tile_sectors, .. } => tile_sectors as u64 * 32,
+                        _ => 32,
+                    };
+                    let mut g = Generator::with_phase(
+                        self.pattern,
+                        0,
+                        self.footprint_bytes,
+                        pitch * w as u64,
+                        self.think_ns,
+                        self.write_fraction,
+                        seed,
+                    );
+                    g.set_advance(pitch * n);
+                    g
+                }
+            }
+        };
+        Box::new(gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::stream::WarpInstruction;
+
+    fn wl(pattern: Pattern) -> Workload {
+        Workload {
+            name: "test".into(),
+            pattern,
+            footprint_bytes: 1 << 24,
+            think_ns: 3,
+            write_fraction: 0.0,
+            mlp: 4,
+            toggle_rate: 0.3,
+            ones_density: 0.3,
+            memory_intensive: true,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn sequential_warps_interleave_like_coalesced_kernels() {
+        let w = wl(Pattern::Sequential { sectors_per_instr: 4 });
+        let mut streams = w.streams(4);
+        // First instruction of each warp: warp w starts w pitches in.
+        let pitch = 4 * 32u64;
+        for (wid, s) in streams.iter_mut().enumerate() {
+            let mut i = WarpInstruction::default();
+            s.fill_next(&mut i);
+            assert_eq!(i.sectors[0].0, wid as u64 * pitch);
+            // Second instruction advances by n_warps pitches.
+            let mut j = WarpInstruction::default();
+            s.fill_next(&mut j);
+            assert_eq!(j.sectors[0].0, wid as u64 * pitch + 4 * pitch);
+        }
+    }
+
+    #[test]
+    fn random_warps_share_footprint_with_distinct_streams() {
+        let w = wl(Pattern::Random { sectors_per_instr: 2, rmw: false });
+        let mut streams = w.streams(2);
+        let mut a = WarpInstruction::default();
+        let mut b = WarpInstruction::default();
+        streams[0].fill_next(&mut a);
+        streams[1].fill_next(&mut b);
+        assert_ne!(a.sectors, b.sectors);
+        for s in a.sectors.iter().chain(&b.sectors) {
+            assert!(s.0 < 1 << 24);
+        }
+    }
+
+    #[test]
+    fn strided_warps_are_phase_shifted() {
+        let w = wl(Pattern::Strided { stride_bytes: 4096, sectors_per_instr: 1 });
+        let mut streams = w.streams(4);
+        let mut firsts = Vec::new();
+        for s in &mut streams {
+            let mut i = WarpInstruction::default();
+            s.fill_next(&mut i);
+            firsts.push(i.sectors[0].0);
+        }
+        assert_eq!(firsts.len(), 4);
+        let unique: std::collections::HashSet<_> = firsts.iter().collect();
+        assert_eq!(unique.len(), 4, "{firsts:?}");
+    }
+
+    #[test]
+    fn same_workload_same_streams() {
+        let w = wl(Pattern::Random { sectors_per_instr: 2, rmw: true });
+        let mut s1 = w.stream_for_warp(5, 8);
+        let mut s2 = w.stream_for_warp(5, 8);
+        for _ in 0..10 {
+            let mut a = WarpInstruction::default();
+            let mut b = WarpInstruction::default();
+            s1.fill_next(&mut a);
+            s2.fill_next(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Calibration sweep: run one workload at several arithmetic intensities
+//! (think_ns) on QB-HBM and FGDRAM in parallel and print the speedup each
+//! yields. Used to fix the per-application constants in
+//! `fgdram-workloads::suites` against the paper's Figure 10.
+//!
+//! Usage: cargo run --release --example calibrate <workload> <think>...
+
+use fgdram::core::{SimReport, SystemBuilder};
+use fgdram::model::config::DramKind;
+use fgdram::workloads::suites;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().ok_or("usage: calibrate <workload> <think>...")?;
+    let thinks: Vec<u64> = args.map(|a| a.parse()).collect::<Result<_, _>>()?;
+    let base = suites::by_name(&name).ok_or("unknown workload")?;
+
+    let mut jobs = Vec::new();
+    for &t in &thinks {
+        for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+            let mut w = base.clone();
+            if t != 999_999 {
+                w.think_ns = t;
+            }
+            jobs.push((t, kind, w));
+        }
+    }
+    let results: Vec<(u64, DramKind, SimReport)> = std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(t, kind, w)| {
+                s.spawn(move || {
+                    let r = SystemBuilder::new(kind).workload(w).run(20_000, 100_000).unwrap();
+                    (t, kind, r)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for &t in &thinks {
+        let get = |k: DramKind| results.iter().find(|(tt, kk, _)| *tt == t && *kk == k).unwrap();
+        let (_, _, qb) = get(DramKind::QbHbm);
+        let (_, _, fg) = get(DramKind::Fgdram);
+        println!(
+            "{name:<14} think {t:>6}: speedup {:.2}x  qb {:5.1}% fg {:5.1}%  qb-e {:.2} fg-e {:.2} pJ/b",
+            fg.speedup_over(qb),
+            qb.utilisation * 100.0,
+            fg.utilisation * 100.0,
+            qb.energy_per_bit.total().value(),
+            fg.energy_per_bit.total().value(),
+        );
+    }
+    Ok(())
+}

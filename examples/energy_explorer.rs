@@ -1,0 +1,93 @@
+//! Energy design-space explorer: everything the paper's energy argument is
+//! built on, without running a single timing simulation.
+//!
+//! Walks the analytic models:
+//!   1. the Figure 1a power-budget wall,
+//!   2. Table 3 per-operation energies for each architecture,
+//!   3. access energy as a function of row locality (atoms per activate)
+//!      and data toggle rate,
+//!   4. the GRS vs PODL I/O alternative of Section 3.5,
+//!   5. the Section 5.3 area bill for the same designs.
+//!
+//! Run with: `cargo run --release --example energy_explorer`
+
+use fgdram::energy::area::AreaModel;
+use fgdram::energy::budget::{self, DEFAULT_DRAM_BUDGET};
+use fgdram::energy::floorplan::EnergyProfile;
+use fgdram::energy::meter::{DataActivity, EnergyMeter, OpCounts};
+use fgdram::model::config::{DramConfig, DramKind};
+
+fn main() {
+    // 1. The power wall.
+    println!("== Figure 1a: what 60 W of DRAM power buys ==");
+    for p in budget::budget_curve(DEFAULT_DRAM_BUDGET, &budget::fig1a_bandwidth_grid()) {
+        println!("  {:7.0} GB/s tolerates {:5.2} pJ/b", p.bandwidth.value(), p.max_energy.value());
+    }
+    for t in [budget::GDDR5, budget::HBM2, budget::TARGET_2PJ] {
+        println!(
+            "  {:<12} {:5.2} pJ/b -> tops out at {:6.0} GB/s",
+            t.name,
+            t.energy.value(),
+            budget::max_bandwidth(t, DEFAULT_DRAM_BUDGET).value()
+        );
+    }
+
+    // 2. Per-op energies.
+    println!("\n== Table 3: per-operation energy ==");
+    for kind in [DramKind::Hbm2, DramKind::QbHbm, DramKind::Fgdram] {
+        let p = EnergyProfile::for_kind(kind);
+        let cfg = DramConfig::new(kind);
+        println!(
+            "  {:<8} activate({} B) {:6.1} pJ | pre-GSA {:4.2} | post-GSA@50% {:4.2} | I/O@50% {:4.2} pJ/b",
+            kind.label(),
+            cfg.activation_bytes,
+            p.activation(cfg.activation_bytes).value(),
+            p.pre_gsa().value(),
+            p.post_gsa(0.5).value(),
+            p.io(0.5, 0.5).value()
+        );
+    }
+
+    // 3. Energy vs row locality: where each architecture crosses 2 pJ/b.
+    println!("\n== Access energy vs row locality (toggle 0.35) ==");
+    println!("  atoms/activate:        1      2      4      8     16     32");
+    for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+        let cfg = DramConfig::new(kind);
+        let meter = EnergyMeter::new(&cfg);
+        let activity = DataActivity { toggle_rate: 0.35, ones_density: 0.35 };
+        print!("  {:<18}", kind.label());
+        for apa in [1u64, 2, 4, 8, 16, 32] {
+            let ops = OpCounts { activates: 1000, read_atoms: 1000 * apa, write_atoms: 0 };
+            print!(" {:6.2}", meter.energy_per_bit(&ops, activity).total().value());
+        }
+        println!();
+    }
+    println!("  (FGDRAM stays near 2 pJ/b even at one atom per activate — the");
+    println!("   GUPS point; QB-HBM needs ~8 atoms to amortise its 1 KB rows.)");
+
+    // 4. GRS I/O alternative.
+    println!("\n== Section 3.5: PODL vs GRS I/O (application ~28% activity) ==");
+    let fg = EnergyProfile::for_kind(DramKind::Fgdram);
+    println!("  PODL: {:4.2} pJ/b (data-dependent termination)", fg.io(0.28, 0.28).value());
+    println!(
+        "  GRS : {:4.2} pJ/b (constant current, organic-package reach)",
+        fg.with_grs().io(0.28, 0.28).value()
+    );
+
+    // 5. The area bill.
+    println!("\n== Section 5.3: die area vs HBM2 ==");
+    for kind in DramKind::ALL {
+        let m = AreaModel::for_kind(kind);
+        println!("  {:<16} +{:5.2}%", kind.label(), m.total_overhead() * 100.0);
+        for c in m.components() {
+            println!("      {:<58} +{:.2}%", c.name, c.fraction * 100.0);
+        }
+    }
+    let qb = AreaModel::without_tsv_scaling(DramKind::QbHbm);
+    let fg = AreaModel::without_tsv_scaling(DramKind::Fgdram);
+    println!(
+        "  without TSV rate scaling: QB-HBM +{:.2}%, FGDRAM {:+.2}% vs that",
+        qb.total_overhead() * 100.0,
+        (fg.relative_to(&qb) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Loaded-latency curves: mean DRAM read latency as offered load rises,
+//! for QB-HBM vs FGDRAM under random traffic.
+//!
+//! This is the classic memory-system characterisation behind the paper's
+//! Section 5.2 claim: FGDRAM's extra bank-level parallelism pushes the
+//! "knee" of the curve to much higher bandwidth, which is where its 40%
+//! average latency reduction comes from.
+//!
+//! Run with: `cargo run --release --example loaded_latency [window_ns]`
+
+use fgdram::core::SystemBuilder;
+use fgdram::model::config::DramKind;
+use fgdram::workloads::suites;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window: u64 =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(50_000);
+    // Offered load is controlled through arithmetic intensity: demand is
+    // roughly warps x 32 B / think.
+    let thinks = [4000u64, 2000, 1200, 800, 500, 300, 150, 0];
+    println!(
+        "{:>9} | {:>12} {:>10} | {:>12} {:>10}",
+        "think ns", "QB GB/s", "QB lat ns", "FG GB/s", "FG lat ns"
+    );
+    for &think in &thinks {
+        let mut base = suites::by_name("GUPS").expect("GUPS in suite");
+        base.think_ns = think;
+        let mut line = format!("{think:>9} |");
+        for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+            let r = SystemBuilder::new(kind)
+                .workload(base.clone())
+                .run(window / 4, window)?;
+            line.push_str(&format!(
+                " {:>12.1} {:>10.0}{}",
+                r.bandwidth.value(),
+                r.avg_read_latency_ns,
+                if kind == DramKind::QbHbm { " |" } else { "" }
+            ));
+        }
+        println!("{line}");
+    }
+    println!(
+        "\nBoth systems start near their unloaded latency; QB-HBM's curve\n\
+         turns up at ~1/7 of peak (256 banks behind 64 fat channels),\n\
+         FGDRAM's only past ~1/2 of peak (512 independently-addressed\n\
+         grains) — the queueing-delay gap the paper reports as a 40%\n\
+         average latency reduction."
+    );
+    Ok(())
+}

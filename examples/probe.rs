@@ -1,0 +1,79 @@
+//! Internal diagnostic: run one workload/architecture and dump all stats.
+use fgdram::core::SystemBuilder;
+use fgdram::model::config::DramKind;
+use fgdram::workloads::suites;
+
+fn builder_dram(kind: &DramKind) -> &'static fgdram::model::config::DramConfig {
+    use std::sync::OnceLock;
+    static CELL: OnceLock<Vec<fgdram::model::config::DramConfig>> = OnceLock::new();
+    let v = CELL.get_or_init(|| {
+        DramKind::ALL.iter().map(|k| fgdram::model::config::DramConfig::new(*k)).collect()
+    });
+    v.iter().find(|c| c.kind == *kind).unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "STREAM".into());
+    let kind = match std::env::args().nth(2).as_deref() {
+        Some("fg") => DramKind::Fgdram,
+        Some("hbm2") => DramKind::Hbm2,
+        Some("salp") => DramKind::QbHbmSalpSc,
+        _ => DramKind::QbHbm,
+    };
+    let mut w = suites::by_name(&name).ok_or("unknown workload")?;
+    let mut gpu_cfg = fgdram::model::config::GpuConfig::default();
+    let mut ctrl_cfg = fgdram::model::config::CtrlConfig::default();
+    for arg in std::env::args().skip(3) {
+        match arg.as_str() {
+            "--no-writes" => w.write_fraction = 0.0,
+            "--no-refresh" => ctrl_cfg.refresh_enabled = false,
+            "--deep-queues" => {
+                ctrl_cfg.read_queue_depth = 256;
+                ctrl_cfg.write_buffer_depth = 256;
+                ctrl_cfg.write_high_watermark = 192;
+                ctrl_cfg.write_low_watermark = 64;
+                ctrl_cfg.reorder_window = 64;
+            }
+            "--atom128" | "--deepbg" => {}
+            other => {
+                if let Some(v) = other.strip_prefix("--wave=") {
+                    gpu_cfg.wave_window = v.parse()?;
+                } else {
+                    return Err(format!("unknown flag {other}").into());
+                }
+            }
+        }
+    }
+    let mut builder = SystemBuilder::new(kind).workload(w).gpu_config(gpu_cfg);
+    if std::env::args().any(|a| a == "--atom128") {
+        builder = builder.dram_config(fgdram::model::config::DramConfig::qb_hbm_atom128());
+    }
+    if std::env::args().any(|a| a == "--deepbg") {
+        builder = builder.dram_config(fgdram::model::config::DramConfig::qb_hbm_deep_bank_groups());
+    }
+    if std::env::args().any(|a| a == "--no-refresh") {
+        let mut c = fgdram::model::config::CtrlConfig::for_dram(builder_dram(&kind));
+        c.refresh_enabled = false;
+        builder = builder.ctrl_config(c);
+    }
+    let _ = ctrl_cfg;
+    let mut sys = builder.build()?;
+    sys.run_for(20_000)?;
+    sys.reset_stats();
+    sys.run_for(100_000)?;
+    let r = sys.report(100_000);
+    println!("{r}");
+    let cs = sys.controller().stats();
+    println!("ctrl: accepted r={} w={} rejected={} acts={} hits={} conflictpre={} autopre={} timeoutpre={} refpre={} refreshes={} drains={} qdepth={:.1}",
+        cs.reads_accepted, cs.writes_accepted, cs.rejected, cs.activates, cs.row_hits,
+        cs.conflict_precharges, cs.auto_precharges, cs.timeout_precharges, cs.refresh_precharges,
+        cs.refreshes, cs.drain_entries, cs.queue_depth.mean());
+    let l2 = sys.l2().stats();
+    println!("l2: hits={} misses={} merges={} stores={} wb={} evic={} blocked={} inflight={}",
+        l2.hits.get(), l2.misses.get(), l2.merges.get(), l2.stores.get(),
+        l2.writeback_sectors.get(), l2.evictions.get(), l2.blocked.get(), sys.l2().inflight_fills());
+    let g = sys.gpu().stats();
+    println!("gpu: retired={} loads={} stores={} sectors={}", g.retired, g.loads_issued, g.stores_issued, g.sectors);
+    println!("lat: mean={:.0} p95={} max={}", cs.read_latency.stat().mean(), cs.read_latency.quantile(0.95), cs.read_latency.stat().max());
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! Quickstart: simulate one workload on the QB-HBM baseline and on FGDRAM,
+//! and print the paper's two headline metrics — energy per bit and
+//! performance — side by side.
+//!
+//! Run with: `cargo run --release --example quickstart [workload]`
+
+use fgdram::core::SystemBuilder;
+use fgdram::model::config::DramKind;
+use fgdram::workloads::suites;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "GUPS".to_string());
+    let workload = suites::by_name(&name)
+        .ok_or_else(|| format!("unknown workload {name}; try GUPS, STREAM, bfs, gfx00 ..."))?;
+
+    println!("workload: {name}  (warmup 20 us, window 100 us)\n");
+    let mut reports = Vec::new();
+    for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+        let report = SystemBuilder::new(kind)
+            .workload(workload.clone())
+            .run(20_000, 100_000)?;
+        println!("{report}");
+        reports.push(report);
+    }
+    let (qb, fg) = (&reports[0], &reports[1]);
+    println!(
+        "\nFGDRAM vs QB-HBM: {:.2}x performance, {:.0}% energy per bit",
+        fg.speedup_over(qb),
+        100.0 * fg.energy_per_bit.total().value() / qb.energy_per_bit.total().value()
+    );
+    Ok(())
+}

@@ -1,0 +1,218 @@
+//! `fgdram-sim` — command-line front end to the FGDRAM reproduction.
+//!
+//! ```text
+//! fgdram-sim list                          workloads in both suites
+//! fgdram-sim info                          Table 2 configurations
+//! fgdram-sim run <workload> [flags]        one simulation, full report
+//! fgdram-sim compare <workload> [flags]    all four architectures side by side
+//! fgdram-sim suite <compute|graphics>      suite summary on QB-HBM vs FGDRAM
+//!
+//! flags: --arch <hbm2|qb|salp|fg>  --warmup <ns>  --window <ns>
+//!        --grs  --closed-page  --trace-check  --wave <n>  --mlp <n>
+//! ```
+
+use fgdram::core::{SimReport, SystemBuilder};
+use fgdram::dram::ProtocolChecker;
+use fgdram::energy::floorplan::IoTechnology;
+use fgdram::model::config::{CtrlConfig, DramConfig, DramKind, GpuConfig, PagePolicy};
+use fgdram::workloads::{suites, Workload};
+
+#[derive(Debug, Clone)]
+struct Flags {
+    arch: DramKind,
+    warmup: u64,
+    window: u64,
+    grs: bool,
+    closed_page: bool,
+    trace_check: bool,
+    wave: Option<usize>,
+    mlp: Option<usize>,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            arch: DramKind::Fgdram,
+            warmup: 20_000,
+            window: 100_000,
+            grs: false,
+            closed_page: false,
+            trace_check: false,
+            wave: None,
+            mlp: None,
+        }
+    }
+}
+
+fn parse_arch(s: &str) -> Result<DramKind, String> {
+    match s {
+        "hbm2" => Ok(DramKind::Hbm2),
+        "qb" | "qb-hbm" => Ok(DramKind::QbHbm),
+        "salp" | "salp-sc" => Ok(DramKind::QbHbmSalpSc),
+        "fg" | "fgdram" => Ok(DramKind::Fgdram),
+        other => Err(format!("unknown arch '{other}' (hbm2|qb|salp|fg)")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--arch" => f.arch = parse_arch(&next("--arch")?)?,
+            "--warmup" => f.warmup = next("--warmup")?.parse().map_err(|e| format!("{e}"))?,
+            "--window" => f.window = next("--window")?.parse().map_err(|e| format!("{e}"))?,
+            "--wave" => f.wave = Some(next("--wave")?.parse().map_err(|e| format!("{e}"))?),
+            "--mlp" => f.mlp = Some(next("--mlp")?.parse().map_err(|e| format!("{e}"))?),
+            "--grs" => f.grs = true,
+            "--closed-page" => f.closed_page = true,
+            "--trace-check" => f.trace_check = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(f)
+}
+
+fn simulate(mut workload: Workload, kind: DramKind, f: &Flags) -> Result<SimReport, String> {
+    if let Some(mlp) = f.mlp {
+        workload.mlp = mlp;
+    }
+    let mut gpu = GpuConfig::default();
+    if let Some(wave) = f.wave {
+        gpu.wave_window = wave;
+    }
+    let mut ctrl = CtrlConfig::for_dram(&DramConfig::new(kind));
+    if f.closed_page {
+        ctrl.page_policy = PagePolicy::Closed;
+    }
+    let mut builder = SystemBuilder::new(kind)
+        .workload(workload)
+        .gpu_config(gpu)
+        .ctrl_config(ctrl)
+        .io_technology(if f.grs { IoTechnology::Grs } else { IoTechnology::Podl });
+    if f.trace_check {
+        builder = builder.with_trace();
+    }
+    let mut sys = builder.build().map_err(|e| e.to_string())?;
+    sys.run_for(f.warmup).map_err(|e| e.to_string())?;
+    sys.reset_stats();
+    sys.run_for(f.window).map_err(|e| e.to_string())?;
+    if f.trace_check {
+        let trace = sys.take_trace();
+        ProtocolChecker::new(DramConfig::new(kind))
+            .check_trace(&trace)
+            .map_err(|e| format!("protocol violation: {e}"))?;
+        eprintln!("trace-check: {} commands, protocol clean", trace.len());
+    }
+    Ok(sys.report(f.window))
+}
+
+fn cmd_list() {
+    println!("compute suite ({}):", suites::compute_suite().len());
+    for w in suites::compute_suite() {
+        println!(
+            "  {:<14} {}",
+            w.name,
+            if w.memory_intensive { "memory-intensive" } else { "low-bandwidth" }
+        );
+    }
+    println!("graphics suite ({}): gfx00 .. gfx79", suites::graphics_suite().len());
+}
+
+fn cmd_info() {
+    println!("{:<28} {:>10} {:>10} {:>16} {:>10}", "parameter", "HBM2", "QB-HBM", "QB+SALP+SC", "FGDRAM");
+    let cfgs: Vec<DramConfig> = DramKind::ALL.iter().map(|&k| DramConfig::new(k)).collect();
+    let row = |name: &str, f: &dyn Fn(&DramConfig) -> String| {
+        println!(
+            "{:<28} {:>10} {:>10} {:>16} {:>10}",
+            name,
+            f(&cfgs[0]),
+            f(&cfgs[1]),
+            f(&cfgs[2]),
+            f(&cfgs[3])
+        );
+    };
+    row("channels (grains)", &|c| c.channels.to_string());
+    row("banks/channel", &|c| c.banks_per_channel.to_string());
+    row("row/activate (B)", &|c| c.activation_bytes.to_string());
+    row("stack bandwidth (GB/s)", &|c| format!("{:.0}", c.stack_bandwidth().value()));
+    row("tBURST (ns)", &|c| c.timing.t_burst.to_string());
+    row("tCCDL (ns)", &|c| c.timing.t_ccd_l.to_string());
+}
+
+fn main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("info") => cmd_info(),
+        Some("run") => {
+            let name = args.get(1).ok_or("run needs a workload name")?;
+            let w = suites::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
+            let f = parse_flags(&args[2..])?;
+            println!("{}", simulate(w, f.arch, &f)?);
+        }
+        Some("compare") => {
+            let name = args.get(1).ok_or("compare needs a workload name")?;
+            let w = suites::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
+            let f = parse_flags(&args[2..])?;
+            let mut base: Option<SimReport> = None;
+            for kind in DramKind::ALL {
+                let r = simulate(w.clone(), kind, &f)?;
+                let speedup = base
+                    .as_ref()
+                    .map(|b| format!("  {:.2}x vs QB-HBM", r.speedup_over(b)))
+                    .unwrap_or_default();
+                if kind == DramKind::QbHbm {
+                    base = Some(r.clone());
+                }
+                println!("{r}{speedup}");
+            }
+        }
+        Some("suite") => {
+            let which = args.get(1).map(String::as_str).unwrap_or("compute");
+            let f = parse_flags(&args[2..])?;
+            let workloads = match which {
+                "compute" => suites::compute_suite(),
+                "graphics" => suites::graphics_suite(),
+                other => return Err(format!("unknown suite {other} (compute|graphics)")),
+            };
+            let mut logsum = 0.0;
+            let (mut eq, mut ef) = (0.0, 0.0);
+            for w in &workloads {
+                let qb = simulate(w.clone(), DramKind::QbHbm, &f)?;
+                let fg = simulate(w.clone(), DramKind::Fgdram, &f)?;
+                println!(
+                    "{:<14} speedup {:>5.2}x   {:>5.2} -> {:>5.2} pJ/b",
+                    w.name,
+                    fg.speedup_over(&qb),
+                    qb.energy_per_bit.total().value(),
+                    fg.energy_per_bit.total().value()
+                );
+                logsum += fg.speedup_over(&qb).max(1e-9).ln();
+                eq += qb.energy_per_bit.total().value();
+                ef += fg.energy_per_bit.total().value();
+            }
+            let n = workloads.len() as f64;
+            println!(
+                "\n{} suite: gmean speedup {:.2}x, energy {:.2} -> {:.2} pJ/b ({:.0}%)",
+                which,
+                (logsum / n).exp(),
+                eq / n,
+                ef / n,
+                100.0 * (1.0 - (ef / eq))
+            );
+        }
+        _ => {
+            eprintln!(
+                "usage: fgdram-sim <list|info|run|compare|suite> [args]\n\
+                 e.g.   fgdram-sim run GUPS --arch fg --trace-check\n\
+                        fgdram-sim compare STREAM --window 50000\n\
+                        fgdram-sim suite compute"
+            );
+        }
+    }
+    Ok(())
+}

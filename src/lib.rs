@@ -1,0 +1,41 @@
+//! # fgdram
+//!
+//! Facade crate for the Fine-Grained DRAM (MICRO 2017) reproduction.
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`model`] — units, configurations (Tables 1 and 2), commands, address
+//!   mapping, statistics;
+//! * [`dram`] — cycle-accurate stack timing models (HBM2, QB-HBM,
+//!   QB-HBM+SALP+SC, FGDRAM) and the independent protocol checker;
+//! * [`ctrl`] — the throughput-optimized GPU memory controller;
+//! * [`gpu`] — SM/warp front end and sectored L2;
+//! * [`energy`] — Table 3 energy model, Section 5.3 area model, Figure 1a
+//!   power budget;
+//! * [`workloads`] — the 26-application compute suite and 80-workload
+//!   graphics suite as deterministic synthetic streams;
+//! * [`core`] — system composition ([`core::SystemBuilder`]) and reports.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fgdram::core::SystemBuilder;
+//! use fgdram::model::config::DramKind;
+//! use fgdram::workloads::suites;
+//!
+//! let report = SystemBuilder::new(DramKind::Fgdram)
+//!     .workload(suites::by_name("STREAM").unwrap())
+//!     .run(20_000, 100_000)?;
+//! println!("{report}");
+//! # Ok::<(), fgdram::core::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fgdram_core as core;
+pub use fgdram_ctrl as ctrl;
+pub use fgdram_dram as dram;
+pub use fgdram_energy as energy;
+pub use fgdram_gpu as gpu;
+pub use fgdram_model as model;
+pub use fgdram_workloads as workloads;

@@ -1,0 +1,142 @@
+//! Property tests for the address mapper: bijectivity, field ranges, and
+//! spreading, across randomized (valid) geometries.
+
+use fgdram::model::addr::{AddressMapper, Location, PhysAddr};
+use fgdram::model::config::{DramConfig, DramKind};
+use proptest::prelude::*;
+
+/// A random but valid DRAM geometry derived from a Table 2 base config.
+fn arb_config() -> impl Strategy<Value = DramConfig> {
+    (
+        prop_oneof![
+            Just(DramKind::Hbm2),
+            Just(DramKind::QbHbm),
+            Just(DramKind::QbHbmSalpSc),
+            Just(DramKind::Fgdram)
+        ],
+        1u32..=6,   // channel shift
+        0u32..=2,   // bank shift
+        9u32..=14,  // row bits
+    )
+        .prop_map(|(kind, ch_shift, bank_shift, row_bits)| {
+            let mut c = DramConfig::new(kind);
+            c.channels = 1 << ch_shift;
+            c.channels_per_cmd_channel = c.channels_per_cmd_channel.min(c.channels);
+            c.banks_per_channel = (c.banks_per_channel << bank_shift).min(32);
+            c.bank_groups = c.bank_groups.min(c.banks_per_channel);
+            c.rows_per_bank = 1 << row_bits;
+            c.subarrays_per_bank = c.subarrays_per_bank.min(c.rows_per_bank);
+            c
+        })
+        .prop_filter("valid geometry", |c| c.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// decode then encode is the identity on atom-aligned addresses.
+    #[test]
+    fn mapper_roundtrips(cfg in arb_config(), addr in any::<u64>()) {
+        let m = AddressMapper::new(&cfg).unwrap();
+        let aligned = PhysAddr((addr % cfg.capacity_bytes()) & !(cfg.atom_bytes - 1));
+        let loc = m.decode(aligned);
+        prop_assert_eq!(m.encode(loc), aligned);
+    }
+
+    /// Every decoded field is within the configured geometry.
+    #[test]
+    fn mapper_fields_in_range(cfg in arb_config(), addr in any::<u64>()) {
+        let m = AddressMapper::new(&cfg).unwrap();
+        let loc = m.decode(PhysAddr(addr));
+        prop_assert!((loc.channel as usize) < cfg.channels);
+        prop_assert!((loc.bank as usize) < cfg.banks_per_channel);
+        prop_assert!((loc.row as usize) < cfg.rows_per_bank);
+        prop_assert!((loc.col as u64) < cfg.atoms_per_row());
+        prop_assert!(loc.subarray(&cfg) < cfg.subarrays_per_bank as u32);
+        prop_assert!((loc.slice(&cfg) as u64) < cfg.slices_per_row());
+    }
+
+    /// Distinct atom-aligned addresses map to distinct locations
+    /// (injectivity over a random window).
+    #[test]
+    fn mapper_is_injective_on_windows(cfg in arb_config(), base in any::<u64>()) {
+        let m = AddressMapper::new(&cfg).unwrap();
+        let base = (base % cfg.capacity_bytes()) & !(cfg.atom_bytes - 1);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let a = PhysAddr((base + i * cfg.atom_bytes) % cfg.capacity_bytes());
+            let loc = m.decode(a);
+            prop_assert!(seen.insert((loc.channel, loc.bank, loc.row, loc.col)));
+        }
+    }
+
+    /// Encoding any in-range location yields an in-capacity address.
+    #[test]
+    fn encode_stays_in_capacity(
+        cfg in arb_config(),
+        ch in any::<u32>(),
+        bank in any::<u32>(),
+        row in any::<u32>(),
+        col in any::<u32>()
+    ) {
+        let m = AddressMapper::new(&cfg).unwrap();
+        let loc = Location {
+            channel: ch % cfg.channels as u32,
+            bank: bank % cfg.banks_per_channel as u32,
+            row: row % cfg.rows_per_bank as u32,
+            col: col % cfg.atoms_per_row() as u32,
+        };
+        let addr = m.encode(loc);
+        prop_assert!(addr.0 < cfg.capacity_bytes());
+        prop_assert_eq!(m.decode(addr), loc);
+    }
+}
+
+/// Sequential streams must spread across all channels within one
+/// channel-interleave span (no camping).
+#[test]
+fn sequential_covers_all_channels() {
+    for kind in DramKind::ALL {
+        let cfg = DramConfig::new(kind);
+        let m = AddressMapper::new(&cfg).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let span = cfg.channels as u64 * 128;
+        for a in (0..span).step_by(128) {
+            seen.insert(m.decode(PhysAddr(a)).channel);
+        }
+        assert_eq!(seen.len(), cfg.channels, "{kind}");
+    }
+}
+
+/// FGDRAM sequential streams never trip the pseudobank subarray-conflict
+/// rule: sibling pseudobanks visited by a dense window always hold rows of
+/// different subarrays (or the same row).
+#[test]
+fn fgdram_stream_avoids_subarray_conflicts() {
+    let cfg = DramConfig::new(DramKind::Fgdram);
+    let m = AddressMapper::new(&cfg).unwrap();
+    use std::collections::HashMap;
+    // Walk 4 MiB densely; track rows seen per (grain, pseudobank).
+    let mut rows: HashMap<(u32, u32), Vec<Location>> = HashMap::new();
+    for a in (0..4u64 << 20).step_by(32) {
+        let loc = m.decode(PhysAddr(a));
+        rows.entry((loc.channel, loc.bank)).or_default().push(loc);
+    }
+    for ((grain, bank), locs) in &rows {
+        let sibling = ((*grain, 1 - *bank), locs);
+        let Some(sib_locs) = rows.get(&sibling.0) else { continue };
+        for a in locs {
+            for b in sib_locs {
+                if a.row != b.row {
+                    assert_ne!(
+                        a.subarray(&cfg),
+                        b.subarray(&cfg),
+                        "grain {grain}: rows {} and {} share a subarray",
+                        a.row,
+                        b.row
+                    );
+                }
+            }
+        }
+    }
+}

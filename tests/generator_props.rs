@@ -1,0 +1,115 @@
+//! Property tests over the workload generator space: every pattern, at any
+//! warp count and footprint, must produce sector-aligned, in-footprint,
+//! non-empty, deterministic instruction streams.
+
+use fgdram::model::stream::WarpInstruction;
+use fgdram::workloads::{Pattern, Workload};
+use proptest::prelude::*;
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        (1u32..=8).prop_map(|s| Pattern::Sequential { sectors_per_instr: s }),
+        (1u32..=8, any::<bool>())
+            .prop_map(|(s, rmw)| Pattern::Random { sectors_per_instr: s, rmw }),
+        (6u32..=20, 1u32..=4).prop_map(|(shift, s)| Pattern::Strided {
+            stride_bytes: 1 << shift,
+            sectors_per_instr: s
+        }),
+        Just(Pattern::PointerChase),
+        (10u32..=18).prop_map(|shift| Pattern::Stencil { plane_bytes: 1 << shift }),
+        (2u32..=16, 0.0f64..0.9, 0.0f64..0.5).prop_map(|(t, c, tx)| Pattern::Tiled {
+            tile_sectors: t,
+            compression: c,
+            texture_fraction: tx
+        }),
+    ]
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (arb_pattern(), 20u32..=28, 0u64..500, 0.0f64..0.5, any::<u64>()).prop_map(
+        |(pattern, fp_shift, think, wf, seed)| Workload {
+            name: "prop".into(),
+            pattern,
+            footprint_bytes: 1 << fp_shift,
+            think_ns: think,
+            write_fraction: wf,
+            mlp: 4,
+            toggle_rate: 0.3,
+            ones_density: 0.3,
+            memory_intensive: false,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn streams_are_aligned_bounded_nonempty(
+        w in arb_workload(),
+        warp in 0usize..64,
+        n_warps in 1usize..256
+    ) {
+        let warp = warp % n_warps;
+        let mut s = w.stream_for_warp(warp, n_warps);
+        let mut instr = WarpInstruction::default();
+        // The generator floors tiny footprints at 64 sectors.
+        let span = w.footprint_bytes.max(64 * 32);
+        for _ in 0..200 {
+            instr.clear();
+            s.fill_next(&mut instr);
+            prop_assert!(!instr.sectors.is_empty());
+            prop_assert!(instr.sectors.len() <= 32, "{} sectors", instr.sectors.len());
+            for a in &instr.sectors {
+                prop_assert_eq!(a.0 % 32, 0, "unaligned sector {}", a);
+                prop_assert!(a.0 < span, "sector {} outside footprint {}", a, span);
+            }
+            prop_assert!(instr.think_ns <= w.think_ns);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic(w in arb_workload(), warp in 0usize..32) {
+        let mut a = w.stream_for_warp(warp, 64);
+        let mut b = w.stream_for_warp(warp, 64);
+        let mut ia = WarpInstruction::default();
+        let mut ib = WarpInstruction::default();
+        for _ in 0..100 {
+            ia.clear();
+            ib.clear();
+            a.fill_next(&mut ia);
+            b.fill_next(&mut ib);
+            prop_assert_eq!(&ia, &ib);
+        }
+    }
+
+    /// RMW streams alternate load/store over identical sector sets.
+    #[test]
+    fn rmw_streams_pair_loads_with_stores(seed in any::<u64>()) {
+        let w = Workload {
+            name: "rmw".into(),
+            pattern: Pattern::Random { sectors_per_instr: 2, rmw: true },
+            footprint_bytes: 1 << 24,
+            think_ns: 0,
+            write_fraction: 0.0,
+            mlp: 4,
+            toggle_rate: 0.3,
+            ones_density: 0.3,
+            memory_intensive: true,
+            seed,
+        };
+        let mut s = w.stream_for_warp(3, 64);
+        let mut load = WarpInstruction::default();
+        let mut store = WarpInstruction::default();
+        for _ in 0..50 {
+            load.clear();
+            store.clear();
+            s.fill_next(&mut load);
+            s.fill_next(&mut store);
+            prop_assert!(!load.is_store);
+            prop_assert!(store.is_store);
+            prop_assert_eq!(&load.sectors, &store.sectors);
+        }
+    }
+}

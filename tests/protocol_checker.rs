@@ -1,0 +1,74 @@
+//! End-to-end protocol validation: run full-system simulations with
+//! command tracing on every architecture and replay each trace through the
+//! independent checker. A scheduler bug and a device-model bug would have
+//! to agree to slip through.
+
+use fgdram::core::SystemBuilder;
+use fgdram::dram::ProtocolChecker;
+use fgdram::model::config::{DramConfig, DramKind};
+use fgdram::workloads::suites;
+
+fn check(kind: DramKind, workload: &str) {
+    let w = suites::by_name(workload).expect("workload exists");
+    let mut sys = SystemBuilder::new(kind).workload(w).with_trace().build().expect("build");
+    sys.run_for(12_000).expect("run");
+    let trace = sys.take_trace();
+    assert!(
+        trace.len() > 500,
+        "{kind} {workload}: expected real traffic, got {} commands",
+        trace.len()
+    );
+    let mut checker = ProtocolChecker::new(DramConfig::new(kind));
+    if let Err(e) = checker.check_trace(&trace) {
+        panic!("{kind} {workload}: protocol violation: {e}");
+    }
+}
+
+#[test]
+fn hbm2_trace_is_protocol_clean() {
+    check(DramKind::Hbm2, "STREAM");
+    check(DramKind::Hbm2, "GUPS");
+}
+
+#[test]
+fn qb_hbm_trace_is_protocol_clean() {
+    check(DramKind::QbHbm, "STREAM");
+    check(DramKind::QbHbm, "GUPS");
+    check(DramKind::QbHbm, "bfs");
+}
+
+#[test]
+fn qb_hbm_salp_sc_trace_is_protocol_clean() {
+    check(DramKind::QbHbmSalpSc, "STREAM");
+    check(DramKind::QbHbmSalpSc, "GUPS");
+}
+
+#[test]
+fn fgdram_trace_is_protocol_clean() {
+    check(DramKind::Fgdram, "STREAM");
+    check(DramKind::Fgdram, "GUPS");
+    check(DramKind::Fgdram, "nw");
+}
+
+#[test]
+fn graphics_trace_is_protocol_clean() {
+    check(DramKind::QbHbm, "gfx00");
+    check(DramKind::Fgdram, "gfx00");
+}
+
+#[test]
+fn ablation_configs_trace_clean() {
+    let w = suites::by_name("gfx07").expect("workload");
+    for cfg in [DramConfig::qb_hbm_atom128(), DramConfig::qb_hbm_deep_bank_groups()] {
+        let mut sys = SystemBuilder::new(DramKind::QbHbm)
+            .dram_config(cfg.clone())
+            .workload(w.clone())
+            .with_trace()
+            .build()
+            .expect("build");
+        sys.run_for(12_000).expect("run");
+        let trace = sys.take_trace();
+        assert!(trace.len() > 200);
+        ProtocolChecker::new(cfg).check_trace(&trace).expect("protocol clean");
+    }
+}

@@ -1,0 +1,221 @@
+//! Cross-crate system invariants: determinism, accounting identities, and
+//! the paper's headline orderings on a fast subset.
+
+use fgdram::core::SystemBuilder;
+use fgdram::model::config::{DramKind, GpuConfig};
+use fgdram::workloads::suites;
+
+const WARMUP: u64 = 6_000;
+const WINDOW: u64 = 20_000;
+
+#[test]
+fn identical_seeds_identical_reports() {
+    let w = suites::by_name("kmeans").unwrap();
+    let run = || {
+        SystemBuilder::new(DramKind::Fgdram)
+            .workload(w.clone())
+            .run(WARMUP, WINDOW)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.read_atoms, b.read_atoms);
+    assert_eq!(a.write_atoms, b.write_atoms);
+    assert_eq!(a.activates, b.activates);
+    assert_eq!(a.energy.total(), b.energy.total());
+}
+
+#[test]
+fn bandwidth_never_exceeds_peak() {
+    for kind in DramKind::ALL {
+        let r = SystemBuilder::new(kind)
+            .workload(suites::by_name("STREAM").unwrap())
+            .run(WARMUP, WINDOW)
+            .unwrap();
+        assert!(r.utilisation <= 1.0, "{kind}: {:.3}", r.utilisation);
+        assert!(r.utilisation > 0.05, "{kind}: no traffic?");
+    }
+}
+
+#[test]
+fn energy_identity_total_is_component_sum() {
+    let r = SystemBuilder::new(DramKind::QbHbm)
+        .workload(suites::by_name("GUPS").unwrap())
+        .run(WARMUP, WINDOW)
+        .unwrap();
+    let e = r.energy_per_bit;
+    assert!((e.total().value() - (e.activation + e.data_movement + e.io).value()).abs() < 1e-12);
+    let t = r.energy;
+    assert!((t.total().value() - (t.activation + t.data_movement + t.io).value()).abs() < 1e-9);
+}
+
+#[test]
+fn fgdram_beats_qb_on_energy_for_every_pattern_family() {
+    for name in ["GUPS", "STREAM", "kmeans", "gfx00"] {
+        let w = suites::by_name(name).unwrap();
+        let qb = SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(WARMUP, WINDOW).unwrap();
+        let fg = SystemBuilder::new(DramKind::Fgdram).workload(w).run(WARMUP, WINDOW).unwrap();
+        assert!(
+            fg.energy_per_bit.total() < qb.energy_per_bit.total(),
+            "{name}: fg {} !< qb {}",
+            fg.energy_per_bit.total(),
+            qb.energy_per_bit.total()
+        );
+        // Activation and movement components individually improve too.
+        assert!(fg.energy_per_bit.data_movement < qb.energy_per_bit.data_movement, "{name}");
+    }
+}
+
+#[test]
+fn gups_speedup_is_large_and_stream_is_not() {
+    let run = |kind, name: &str| {
+        SystemBuilder::new(kind)
+            .workload(suites::by_name(name).unwrap())
+            .run(WARMUP, WINDOW)
+            .unwrap()
+    };
+    let gups = run(DramKind::Fgdram, "GUPS").speedup_over(&run(DramKind::QbHbm, "GUPS"));
+    assert!(gups > 2.0, "GUPS speedup {gups:.2}");
+    let stream = run(DramKind::Fgdram, "STREAM").speedup_over(&run(DramKind::QbHbm, "STREAM"));
+    assert!((0.85..=1.25).contains(&stream), "STREAM speedup {stream:.2}");
+}
+
+#[test]
+fn atoms_per_activate_tracks_row_locality() {
+    let run = |name: &str| {
+        SystemBuilder::new(DramKind::QbHbm)
+            .workload(suites::by_name(name).unwrap())
+            .run(WARMUP, WINDOW)
+            .unwrap()
+    };
+    let stream = run("STREAM").atoms_per_activate();
+    let gups = run("GUPS").atoms_per_activate();
+    assert!(stream > 4.0 * gups, "stream {stream:.1} vs gups {gups:.1}");
+}
+
+#[test]
+fn refresh_happens_on_every_architecture() {
+    for kind in DramKind::ALL {
+        let r = SystemBuilder::new(kind)
+            .workload(suites::by_name("pathfinder").unwrap())
+            .run(WARMUP, WINDOW)
+            .unwrap();
+        // Each channel refreshes roughly every tREFI.
+        assert!(r.refreshes > 0, "{kind}: no refreshes in window");
+    }
+}
+
+#[test]
+fn wave_window_off_still_runs() {
+    let gpu = GpuConfig { wave_window: 0, ..GpuConfig::default() };
+    let r = SystemBuilder::new(DramKind::Fgdram)
+        .workload(suites::by_name("STREAM").unwrap())
+        .gpu_config(gpu)
+        .run(WARMUP, WINDOW)
+        .unwrap();
+    assert!(r.retired > 0);
+}
+
+#[test]
+fn latency_reduction_on_irregular_workloads() {
+    // Section 5.2: FGDRAM lowers average DRAM access latency (~40% across
+    // the suite) by relieving queueing delay. bfs is queueing-delay bound
+    // on QB-HBM; GUPS saturates both systems' queues so its latencies are
+    // comparable.
+    let w = suites::by_name("bfs").unwrap();
+    let qb =
+        SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(WARMUP, 3 * WINDOW).unwrap();
+    let fg =
+        SystemBuilder::new(DramKind::Fgdram).workload(w).run(WARMUP, 3 * WINDOW).unwrap();
+    assert!(
+        fg.avg_read_latency_ns < qb.avg_read_latency_ns,
+        "fg {} !< qb {}",
+        fg.avg_read_latency_ns,
+        qb.avg_read_latency_ns
+    );
+}
+
+#[test]
+fn grs_io_is_constant_per_bit() {
+    use fgdram::energy::floorplan::IoTechnology;
+    let w = suites::by_name("STREAM").unwrap();
+    let podl =
+        SystemBuilder::new(DramKind::Fgdram).workload(w.clone()).run(WARMUP, WINDOW).unwrap();
+    let grs = SystemBuilder::new(DramKind::Fgdram)
+        .workload(w)
+        .io_technology(IoTechnology::Grs)
+        .run(WARMUP, WINDOW)
+        .unwrap();
+    // Section 3.5 / 5.1: GRS raises I/O slightly at application activity
+    // (0.54 pJ/b constant vs ~0.43-0.54 for PODL) but is data-independent.
+    assert!((grs.energy_per_bit.io.value() - 0.54).abs() < 1e-6);
+    assert!(grs.energy_per_bit.io > podl.energy_per_bit.io);
+    // Activation and movement are unaffected by the I/O choice.
+    assert_eq!(
+        grs.energy_per_bit.activation.value(),
+        podl.energy_per_bit.activation.value()
+    );
+}
+
+#[test]
+fn trace_is_empty_without_opt_in() {
+    let w = suites::by_name("STREAM").unwrap();
+    let mut sys = SystemBuilder::new(DramKind::QbHbm).workload(w).build().unwrap();
+    sys.run_for(2_000).unwrap();
+    assert!(sys.take_trace().is_empty());
+}
+
+#[test]
+fn design_choice_ablations_run_and_order_sensibly() {
+    use fgdram::model::config::DramConfig;
+    // Activation energy: subchannels-only < SALP-only (256 B vs 1 KB rows).
+    let w = suites::by_name("GUPS").unwrap();
+    let run = |cfg: DramConfig| {
+        SystemBuilder::new(DramKind::QbHbmSalpSc)
+            .dram_config(cfg)
+            .workload(w.clone())
+            .run(WARMUP, WINDOW)
+            .unwrap()
+    };
+    let salp_only = run(DramConfig::qb_hbm_salp_only());
+    let sc_only = run(DramConfig::qb_hbm_subchannels_only());
+    assert!(
+        sc_only.energy_per_bit.activation < salp_only.energy_per_bit.activation,
+        "sc {} !< salp {}",
+        sc_only.energy_per_bit.activation,
+        salp_only.energy_per_bit.activation
+    );
+}
+
+#[test]
+fn report_counts_are_consistent() {
+    let w = suites::by_name("mst").unwrap();
+    let r = SystemBuilder::new(DramKind::QbHbm).workload(w).run(WARMUP, WINDOW).unwrap();
+    // Bandwidth derives exactly from atoms over the window.
+    let bytes = (r.read_atoms + r.write_atoms) * 32;
+    let bw = bytes as f64 / r.window_ns as f64;
+    assert!((r.bandwidth.value() - bw).abs() < 1e-9);
+    // Atoms per activate matches the counters.
+    if r.activates > 0 {
+        let apa = (r.read_atoms + r.write_atoms) as f64 / r.activates as f64;
+        assert!((r.atoms_per_activate() - apa).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn swizzle_keeps_channels_balanced() {
+    // Strided and random traffic alike should spread across channels
+    // (Section 4.1's anti-camping address mapping).
+    for name in ["kmeans", "GUPS", "STREAM"] {
+        let r = SystemBuilder::new(DramKind::QbHbm)
+            .workload(suites::by_name(name).unwrap())
+            .run(WARMUP, WINDOW)
+            .unwrap();
+        assert!(
+            r.channel_imbalance_cv < 0.25,
+            "{name}: channel imbalance CV {:.3}",
+            r.channel_imbalance_cv
+        );
+    }
+}
