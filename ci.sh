@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: the main workspace must build, test, and lint with no
+# registry access (crates/bench, which needs criterion, is excluded from
+# the workspace and is exercised separately when a registry is reachable).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: test =="
+cargo test -q
+
+echo "== lint: clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

@@ -2,33 +2,49 @@
 //! rewrites `EXPERIMENTS.md` with paper-vs-measured values.
 //!
 //! Usage:
-//!   cargo run --release -p fgdram-bench --bin regen-experiments [--quick] [OUT.md]
+//!   cargo run --release --bin regen-experiments [--quick] [--jobs N] [OUT.md]
+//!   (from `crates/bench`; the crate lives outside the root workspace so
+//!   the tier-1 build stays registry-free)
 //!
 //! `--quick` uses reduced windows and workload subsets (for smoke runs);
-//! the checked-in `EXPERIMENTS.md` is produced by a full run (~25 min).
+//! the checked-in `EXPERIMENTS.md` is produced by a full run. `--jobs N`
+//! caps the matrix worker threads (default: all cores); the output is
+//! bit-identical at any job count.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use fgdram_core::experiments::{self, MatrixRow, Scale};
+use fgdram_core::experiments::{self, MatrixRow, Parallelism, Scale};
 use fgdram_model::config::DramKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut quick = false;
+    let mut jobs = 0usize; // 0 = available parallelism
     let mut out_path = "EXPERIMENTS.md".to_string();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
             other => out_path = other.to_string(),
         }
     }
-    let scale = if quick { Scale::quick() } else { Scale::full() };
-    let ablation_scale = if quick {
+    let parallelism = Parallelism { jobs, progress: !quick };
+    let mut scale = if quick { Scale::quick() } else { Scale::full() };
+    scale.parallelism = parallelism;
+    let mut ablation_scale = if quick {
         Scale::quick()
     } else {
         // Ablations need the suite spread but not the longest windows.
-        Scale { warmup: 15_000, window: 60_000, max_workloads: Some(12) }
+        Scale { warmup: 15_000, window: 60_000, max_workloads: Some(12), parallelism }
     };
+    ablation_scale.parallelism = parallelism;
     let t0 = Instant::now();
     let mut md = String::new();
     let w = &mut md;
@@ -37,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(
         w,
         "Reproduction of every table and figure in *Fine-Grained DRAM* (MICRO 2017).\n\
-         Regenerate with `cargo run --release -p fgdram-bench --bin regen-experiments`{}.\n\
+         Regenerate with `cd crates/bench && cargo run --release --bin regen-experiments`{}.\n\
          Absolute numbers come from synthetic workloads on a from-scratch simulator\n\
          (see DESIGN.md); the paper-shape columns state what must hold and does.\n",
         if quick { " (this file: `--quick` scale)" } else { "" }
@@ -199,12 +215,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (kind, (_, ptotal)) in kinds.iter().zip(paper11) {
         let (mut a, mut m, mut i) = (0.0, 0.0, 0.0);
         for row in &matrix {
-            let e = row.report(*kind).energy_per_bit;
+            let Some(r) = row.try_report(*kind) else { continue };
+            let e = r.energy_per_bit;
             a += e.activation.value();
             m += e.data_movement.value();
             i += e.io.value();
         }
-        let n = matrix.len() as f64;
+        let n = matrix.len().max(1) as f64;
         writeln!(
             w,
             "| {} | {:.2} | {:.2} | {:.2} | {:.2} | {} |",
@@ -235,8 +252,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(w, "| workload | QB-HBM pJ/b | FGDRAM pJ/b | FG/QB | speedup |")?;
     writeln!(w, "|---|---|---|---|---|")?;
     for row in &gfx {
-        let qb = row.report(DramKind::QbHbm);
-        let fg = row.report(DramKind::Fgdram);
+        // This matrix holds two of the four architectures; tolerate the
+        // partial rows rather than panicking on a missing kind.
+        let (Some(qb), Some(fg)) =
+            (row.try_report(DramKind::QbHbm), row.try_report(DramKind::Fgdram))
+        else {
+            continue;
+        };
         writeln!(
             w,
             "| {} | {:.2} | {:.2} | {:.0}% | {:.2}x |",

@@ -18,6 +18,57 @@ use fgdram_workloads::{suites, Workload};
 use crate::report::SimReport;
 use crate::system::{SimError, SystemBuilder};
 
+/// How many worker threads a matrix run may use.
+///
+/// Every (workload, architecture) cell of a matrix is an independent
+/// simulation, so — in the same spirit as bank-level parallelism inside
+/// the DRAM itself — cells never serialise behind each other unless asked
+/// to. The executor stays deterministic at any job count: results land in
+/// an input-order slot table, so output rows are bit-identical to a
+/// sequential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker-thread cap; `0` means "use the machine's available
+    /// parallelism". The effective count is further capped by the number
+    /// of cells.
+    pub jobs: usize,
+    /// Emit one stderr line per completed cell (coarse progress for long
+    /// `Scale::full()` runs).
+    pub progress: bool,
+}
+
+impl Parallelism {
+    /// As many workers as the machine offers, no progress output.
+    pub fn auto() -> Self {
+        Parallelism { jobs: 0, progress: false }
+    }
+
+    /// Strictly sequential, in the calling thread.
+    pub fn serial() -> Self {
+        Parallelism { jobs: 1, progress: false }
+    }
+
+    /// Exactly `jobs` workers (`0` = auto).
+    pub fn jobs(jobs: usize) -> Self {
+        Parallelism { jobs, progress: false }
+    }
+
+    /// The actual worker count for `cells` independent jobs.
+    pub fn resolve(&self, cells: usize) -> usize {
+        let hw = match self.jobs {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        };
+        hw.min(cells).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
 /// Simulation effort: the full windows used for `EXPERIMENTS.md`, or a
 /// quick subset for CI/benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,17 +79,41 @@ pub struct Scale {
     pub window: Ns,
     /// Cap on the number of workloads per suite (`None` = all).
     pub max_workloads: Option<usize>,
+    /// Worker threads for matrix runs (does not affect results).
+    pub parallelism: Parallelism,
 }
 
 impl Scale {
     /// Full-fidelity scale used to regenerate `EXPERIMENTS.md`.
     pub fn full() -> Self {
-        Scale { warmup: 20_000, window: 100_000, max_workloads: None }
+        Scale {
+            warmup: 20_000,
+            window: 100_000,
+            max_workloads: None,
+            parallelism: Parallelism::auto(),
+        }
     }
 
     /// Reduced scale for benches and smoke tests.
     pub fn quick() -> Self {
-        Scale { warmup: 8_000, window: 30_000, max_workloads: Some(4) }
+        Scale {
+            warmup: 8_000,
+            window: 30_000,
+            max_workloads: Some(4),
+            parallelism: Parallelism::auto(),
+        }
+    }
+
+    /// Returns `self` with a worker-thread cap (`0` = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.parallelism.jobs = jobs;
+        self
+    }
+
+    /// Returns `self` with per-cell completion logging enabled.
+    pub fn with_progress(mut self) -> Self {
+        self.parallelism.progress = true;
+        self
     }
 
     fn cap<'a>(&self, list: &'a [Workload]) -> &'a [Workload] {
@@ -59,38 +134,152 @@ pub struct MatrixRow {
 }
 
 impl MatrixRow {
+    /// The report for `kind`, or `None` if that architecture was not part
+    /// of this matrix run. Prefer this from any path that may see a
+    /// partial matrix (subset of architectures, custom kind lists).
+    pub fn try_report(&self, kind: DramKind) -> Option<&SimReport> {
+        self.reports.iter().find(|r| r.kind == kind)
+    }
+
     /// The report for `kind`.
     ///
     /// # Panics
     ///
-    /// Panics if `kind` was not part of the matrix run.
+    /// Panics if `kind` was not part of the matrix run; use
+    /// [`Self::try_report`] where that is a reachable state.
     pub fn report(&self, kind: DramKind) -> &SimReport {
-        self.reports.iter().find(|r| r.kind == kind).expect("kind simulated")
+        self.try_report(kind).expect("kind simulated")
     }
 }
 
 /// Runs `workloads` x `kinds` full-system simulations.
 ///
+/// Cells run on up to `scale.parallelism` worker threads; results are
+/// identical to a sequential run at any job count (see [`Parallelism`]).
+///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
+/// Propagates the first [`SimError`] in cell order (lowest
+/// workload-major index wins), regardless of which worker hit it first.
 pub fn run_matrix(
     workloads: &[Workload],
     kinds: &[DramKind],
     scale: Scale,
 ) -> Result<Vec<MatrixRow>, SimError> {
-    workloads
-        .iter()
-        .map(|w| {
-            let reports = kinds
-                .iter()
-                .map(|&k| {
-                    SystemBuilder::new(k).workload(w.clone()).run(scale.warmup, scale.window)
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(MatrixRow { workload: w.clone(), reports })
-        })
-        .collect()
+    run_matrix_with(workloads, kinds, scale, |w, k| SystemBuilder::new(k).workload(w.clone()))
+}
+
+/// [`run_matrix`] with a caller-supplied cell builder, for sweeps that
+/// customise the system per cell (I/O technology, page policy, overridden
+/// configs) while keeping the sharded executor and its determinism.
+///
+/// `build` must be deterministic: it is invoked once per cell, from
+/// whichever worker claims the cell.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] in cell order.
+pub fn run_matrix_with<B>(
+    workloads: &[Workload],
+    kinds: &[DramKind],
+    scale: Scale,
+    build: B,
+) -> Result<Vec<MatrixRow>, SimError>
+where
+    B: Fn(&Workload, DramKind) -> SystemBuilder + Sync,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    // Degenerate shapes: no cells to run.
+    if workloads.is_empty() || kinds.is_empty() {
+        return Ok(workloads
+            .iter()
+            .map(|w| MatrixRow { workload: w.clone(), reports: Vec::new() })
+            .collect());
+    }
+
+    let cells = workloads.len() * kinds.len();
+    let started = std::time::Instant::now();
+    let run_cell = |i: usize| -> Result<SimReport, SimError> {
+        let w = &workloads[i / kinds.len()];
+        let k = kinds[i % kinds.len()];
+        let res = build(w, k).run(scale.warmup, scale.window);
+        if scale.parallelism.progress {
+            eprintln!(
+                "[matrix {:6.1?}] cell {}/{}: {} on {} {}",
+                started.elapsed(),
+                i + 1,
+                cells,
+                w.name,
+                k.label(),
+                if res.is_ok() { "done" } else { "FAILED" },
+            );
+        }
+        res
+    };
+
+    let jobs = scale.parallelism.resolve(cells);
+    if jobs == 1 {
+        // Strictly sequential reference path: no threads spawned.
+        let mut rows = Vec::with_capacity(workloads.len());
+        for (wi, w) in workloads.iter().enumerate() {
+            let mut reports = Vec::with_capacity(kinds.len());
+            for ki in 0..kinds.len() {
+                reports.push(run_cell(wi * kinds.len() + ki)?);
+            }
+            rows.push(MatrixRow { workload: w.clone(), reports });
+        }
+        return Ok(rows);
+    }
+
+    // Sharded executor: workers pull cell indices from a shared counter
+    // and write results into an input-order slot table. Claims happen in
+    // index order and every claimed cell runs to completion, so after the
+    // scope the filled prefix of the table always contains the
+    // lowest-index error (if any) — the same error a sequential run
+    // returns.
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<Result<SimReport, SimError>>>> =
+        Mutex::new((0..cells).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells {
+                    break;
+                }
+                let res = run_cell(i);
+                if res.is_err() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                slots.lock().expect("matrix slot table poisoned")[i] = Some(res);
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("matrix slot table poisoned");
+    let mut rows = Vec::with_capacity(workloads.len());
+    let mut reports = Vec::with_capacity(kinds.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(Ok(report)) => reports.push(report),
+            Some(Err(e)) => return Err(e),
+            // Cells are claimed in index order and claimed cells always
+            // complete, so a hole can only follow an error we already
+            // returned above.
+            None => unreachable!("cell {i} skipped without a prior error"),
+        }
+        if reports.len() == kinds.len() {
+            let workload = workloads[i / kinds.len()].clone();
+            rows.push(MatrixRow { workload, reports: std::mem::take(&mut reports) });
+        }
+    }
+    Ok(rows)
 }
 
 /// Runs the compute suite (Figures 8/10/11) across `kinds`.
@@ -134,7 +323,9 @@ pub fn fig1b(scale: Scale) -> Result<EnergyPerBit, SimError> {
         acc.data_movement += e.data_movement;
         acc.io += e.io;
     }
-    let n = rows.len() as f64;
+    // Guard the capped-to-empty suite (e.g. `max_workloads: Some(0)`):
+    // 0/0 would otherwise propagate NaN into every energy component.
+    let n = rows.len().max(1) as f64;
     acc.activation = acc.activation / n;
     acc.data_movement = acc.data_movement / n;
     acc.io = acc.io / n;

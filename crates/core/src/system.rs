@@ -475,3 +475,30 @@ impl System {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The matrix executor hands each worker thread its own whole
+    /// simulation, so the system (and everything it owns, down through
+    /// `fgdram-dram`, `fgdram-ctrl`, `fgdram-gpu` and the boxed
+    /// `fgdram-workloads` streams) must stay `Send`. This is a
+    /// compile-time audit: it fails to build if any layer grows a
+    /// thread-bound type (`Rc`, `RefCell`, raw pointers, non-`Send`
+    /// trait objects).
+    #[test]
+    fn simulation_ownership_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<System>();
+        assert_send::<SystemBuilder>();
+        assert_send::<SimError>();
+        assert_send::<SimReport>();
+        assert_send::<Workload>();
+        assert_send::<fgdram_dram::DramDevice>();
+        assert_send::<fgdram_ctrl::Controller>();
+        assert_send::<fgdram_gpu::Gpu>();
+        assert_send::<fgdram_gpu::L2Cache>();
+        assert_send::<Box<dyn fgdram_model::stream::AccessStream>>();
+    }
+}

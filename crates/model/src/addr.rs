@@ -10,7 +10,6 @@ use crate::config::{ConfigError, DramConfig};
 
 /// A byte address in the GPU's physical memory space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {
@@ -43,7 +42,6 @@ impl From<u64> for PhysAddr {
 ///
 /// For FGDRAM, `channel` is the grain index and `bank` the pseudobank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Location {
     /// Data channel (grain) index.
     pub channel: u32,

@@ -11,7 +11,6 @@ use crate::units::{GbPerSec, Ns, GIB};
 ///
 /// These are the four architectures compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DramKind {
     /// Contemporary High Bandwidth Memory 2, 16 pseudochannels per stack,
     /// 256 GB/s (the paper's Section 2 reference point).
@@ -58,7 +57,6 @@ impl core::fmt::Display for DramKind {
 /// All values are integral nanoseconds; `t_wl` is the paper's "2 clks" at
 /// the 500 MHz core clock, i.e. 4 ns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimingParams {
     /// Activate-to-activate delay, same bank (row cycle time).
     pub t_rc: Ns,
@@ -171,7 +169,6 @@ impl TimingParams {
 /// assert_eq!(fg.capacity_bytes(), 4 << 30); // iso-capacity with QB-HBM
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DramConfig {
     /// Architecture this configuration models.
     pub kind: DramKind,
@@ -522,7 +519,6 @@ impl std::error::Error for ConfigError {}
 
 /// GPU configuration (paper Table 1: an NVIDIA Tesla P100-class part).
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GpuConfig {
     /// Streaming multiprocessors.
     pub sms: usize,
@@ -564,7 +560,6 @@ impl Default for GpuConfig {
 
 /// Sectored L2 cache configuration (paper Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct L2Config {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -604,7 +599,6 @@ impl L2Config {
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PagePolicy {
     /// Keep rows open for reuse; close on conflict, opportunistic
     /// auto-precharge when no queued request can reuse the row, idle
@@ -618,7 +612,6 @@ pub enum PagePolicy {
 /// Memory-controller configuration (Section 4.1's "throughput-optimized"
 /// controller).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CtrlConfig {
     /// Read-queue capacity per channel (grain group for FGDRAM).
     pub read_queue_depth: usize,

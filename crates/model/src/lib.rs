@@ -33,6 +33,7 @@
 pub mod addr;
 pub mod cmd;
 pub mod config;
+pub mod rng;
 pub mod stats;
 pub mod stream;
 pub mod units;

@@ -6,10 +6,8 @@
 //! All randomness flows from a per-warp seed, so identical runs produce
 //! identical streams on every architecture under test.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use fgdram_model::addr::PhysAddr;
+use fgdram_model::rng::SmallRng;
 use fgdram_model::stream::{AccessStream, WarpInstruction};
 use fgdram_model::units::Ns;
 
@@ -161,7 +159,7 @@ impl Generator {
     }
 
     fn maybe_store(&mut self, out: &mut WarpInstruction) {
-        if self.write_fraction > 0.0 && self.rng.random::<f64>() < self.write_fraction {
+        if self.write_fraction > 0.0 && self.rng.random_bool(self.write_fraction) {
             out.is_store = true;
         }
     }
@@ -213,7 +211,7 @@ impl AccessStream for Generator {
                 self.maybe_store(out);
             }
             Pattern::Tiled { tile_sectors, compression, texture_fraction } => {
-                if self.rng.random::<f64>() < texture_fraction {
+                if self.rng.random_bool(texture_fraction) {
                     // Scattered texture fetch: random line, 2 sectors.
                     // The tile cursor still advances so warps stay
                     // spatially aligned across the frame.
@@ -228,7 +226,7 @@ impl AccessStream for Generator {
                 // transfers a quarter of its sectors, an uncompressed
                 // tile all of them. Either way the transfer is a dense
                 // run, preserving row locality.
-                let emit = if self.rng.random::<f64>() < compression {
+                let emit = if self.rng.random_bool(compression) {
                     // A compressed tile is a single 32 B unit.
                     1
                 } else {
@@ -241,7 +239,7 @@ impl AccessStream for Generator {
                 self.cursor = (self.cursor + self.advance) % self.span;
                 // Alternate colour write-back / texture read phases.
                 self.flip = !self.flip;
-                if self.flip && self.rng.random::<f64>() < self.write_fraction {
+                if self.flip && self.rng.random_bool(self.write_fraction) {
                     out.is_store = true;
                 }
             }

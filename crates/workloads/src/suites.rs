@@ -13,9 +13,7 @@
 //! The same stream drives every architecture, so relative results between
 //! QB-HBM and FGDRAM are emergent, not encoded.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use fgdram_model::rng::SmallRng;
 use fgdram_model::units::MIB;
 
 use crate::generators::Pattern;
@@ -98,15 +96,15 @@ pub fn graphics_suite() -> Vec<Workload> {
     let mut rng = SmallRng::seed_from_u64(SUITE_SEED ^ 0x6F78_1A2B);
     (0..80)
         .map(|i| {
-            let tile_sectors = *[4u32, 4, 4, 8].get(rng.random_range(0..4)).unwrap();
-            let compression = 0.45 + 0.35 * rng.random::<f64>();
-            let texture_fraction = 0.04 + 0.11 * rng.random::<f64>();
-            let footprint_mb = *[32u64, 64, 128, 256].get(rng.random_range(0..4)).unwrap();
-            let toggle = 0.22 + 0.28 * rng.random::<f64>();
+            let tile_sectors = *[4u32, 4, 4, 8].get(rng.random_index(4)).unwrap();
+            let compression = 0.45 + 0.35 * rng.random_f64();
+            let texture_fraction = 0.04 + 0.11 * rng.random_f64();
+            let footprint_mb = *[32u64, 64, 128, 256].get(rng.random_index(4)).unwrap();
+            let toggle = 0.22 + 0.28 * rng.random_f64();
             // Frames target a DRAM bandwidth in the 250-550 GB/s range
             // (graphics "are unable to fully utilize the baseline",
             // Section 5.2); think follows from the per-instruction bytes.
-            let target_gbps = 470.0 + 130.0 * rng.random::<f64>();
+            let target_gbps = 470.0 + 130.0 * rng.random_f64();
             let bytes_per_instr = (compression + (1.0 - compression) * tile_sectors as f64)
                 * 32.0
                 + texture_fraction * 64.0;

@@ -10,8 +10,7 @@ use fgdram::dram::DramDevice;
 use fgdram::model::addr::{MemRequest, PhysAddr, ReqId};
 use fgdram::model::config::{CtrlConfig, DramConfig, DramKind};
 use fgdram::model::units::GbPerSec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use fgdram::model::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pattern = std::env::args().nth(1).unwrap_or_else(|| "rand".into());
@@ -37,12 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "seq" => {
                 let a = *seq_addr;
                 *seq_addr += 32;
-                MemRequest { id: ReqId(*next_id), addr: PhysAddr(a), is_write: rng.random::<f64>() < 0.25 }
+                MemRequest { id: ReqId(*next_id), addr: PhysAddr(a), is_write: rng.random_bool(0.25) }
             }
             "rand-rw" => MemRequest {
                 id: ReqId(*next_id),
                 addr: PhysAddr(rng.random_range(0..1u64 << 30) & !31),
-                is_write: rng.random::<f64>() < 0.5,
+                is_write: rng.random_bool(0.5),
             },
             _ => MemRequest {
                 id: ReqId(*next_id),

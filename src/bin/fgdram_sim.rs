@@ -9,8 +9,11 @@
 //!
 //! flags: --arch <hbm2|qb|salp|fg>  --warmup <ns>  --window <ns>
 //!        --grs  --closed-page  --trace-check  --wave <n>  --mlp <n>
+//!        --jobs <n>   worker threads for `suite` (default: all cores;
+//!                     results are identical at any job count)
 //! ```
 
+use fgdram::core::experiments::{self, Scale};
 use fgdram::core::{SimReport, SystemBuilder};
 use fgdram::dram::ProtocolChecker;
 use fgdram::energy::floorplan::IoTechnology;
@@ -27,6 +30,8 @@ struct Flags {
     trace_check: bool,
     wave: Option<usize>,
     mlp: Option<usize>,
+    /// Worker threads for matrix-shaped commands; 0 = available cores.
+    jobs: usize,
 }
 
 impl Default for Flags {
@@ -40,6 +45,7 @@ impl Default for Flags {
             trace_check: false,
             wave: None,
             mlp: None,
+            jobs: 0,
         }
     }
 }
@@ -67,6 +73,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--window" => f.window = next("--window")?.parse().map_err(|e| format!("{e}"))?,
             "--wave" => f.wave = Some(next("--wave")?.parse().map_err(|e| format!("{e}"))?),
             "--mlp" => f.mlp = Some(next("--mlp")?.parse().map_err(|e| format!("{e}"))?),
+            "--jobs" => {
+                f.jobs = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+            }
             "--grs" => f.grs = true,
             "--closed-page" => f.closed_page = true,
             "--trace-check" => f.trace_check = true,
@@ -76,7 +85,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(f)
 }
 
-fn simulate(mut workload: Workload, kind: DramKind, f: &Flags) -> Result<SimReport, String> {
+/// The flag-customised system for one (workload, architecture) cell;
+/// shared between the one-shot commands and the parallel suite matrix.
+fn builder_for(mut workload: Workload, kind: DramKind, f: &Flags) -> SystemBuilder {
     if let Some(mlp) = f.mlp {
         workload.mlp = mlp;
     }
@@ -88,11 +99,15 @@ fn simulate(mut workload: Workload, kind: DramKind, f: &Flags) -> Result<SimRepo
     if f.closed_page {
         ctrl.page_policy = PagePolicy::Closed;
     }
-    let mut builder = SystemBuilder::new(kind)
+    SystemBuilder::new(kind)
         .workload(workload)
         .gpu_config(gpu)
         .ctrl_config(ctrl)
-        .io_technology(if f.grs { IoTechnology::Grs } else { IoTechnology::Podl });
+        .io_technology(if f.grs { IoTechnology::Grs } else { IoTechnology::Podl })
+}
+
+fn simulate(workload: Workload, kind: DramKind, f: &Flags) -> Result<SimReport, String> {
+    let mut builder = builder_for(workload, kind, f);
     if f.trace_check {
         builder = builder.with_trace();
     }
@@ -179,19 +194,39 @@ fn main() -> Result<(), String> {
                 "graphics" => suites::graphics_suite(),
                 other => return Err(format!("unknown suite {other} (compute|graphics)")),
             };
+            if f.trace_check {
+                eprintln!("note: --trace-check applies to run/compare only; ignored for suite");
+            }
+            // Every (workload, architecture) cell is independent; run the
+            // whole suite through the sharded matrix executor. Results are
+            // identical at any --jobs value.
+            let scale = Scale {
+                warmup: f.warmup,
+                window: f.window,
+                max_workloads: None,
+                parallelism: experiments::Parallelism::jobs(f.jobs),
+            };
+            let kinds = [DramKind::QbHbm, DramKind::Fgdram];
+            let matrix = experiments::run_matrix_with(&workloads, &kinds, scale, |w, k| {
+                builder_for(w.clone(), k, &f)
+            })
+            .map_err(|e| e.to_string())?;
             let mut logsum = 0.0;
             let (mut eq, mut ef) = (0.0, 0.0);
-            for w in &workloads {
-                let qb = simulate(w.clone(), DramKind::QbHbm, &f)?;
-                let fg = simulate(w.clone(), DramKind::Fgdram, &f)?;
+            for row in &matrix {
+                let (Some(qb), Some(fg)) =
+                    (row.try_report(DramKind::QbHbm), row.try_report(DramKind::Fgdram))
+                else {
+                    continue;
+                };
                 println!(
                     "{:<14} speedup {:>5.2}x   {:>5.2} -> {:>5.2} pJ/b",
-                    w.name,
-                    fg.speedup_over(&qb),
+                    row.workload.name,
+                    fg.speedup_over(qb),
                     qb.energy_per_bit.total().value(),
                     fg.energy_per_bit.total().value()
                 );
-                logsum += fg.speedup_over(&qb).max(1e-9).ln();
+                logsum += fg.speedup_over(qb).max(1e-9).ln();
                 eq += qb.energy_per_bit.total().value();
                 ef += fg.energy_per_bit.total().value();
             }
@@ -210,7 +245,7 @@ fn main() -> Result<(), String> {
                 "usage: fgdram-sim <list|info|run|compare|suite> [args]\n\
                  e.g.   fgdram-sim run GUPS --arch fg --trace-check\n\
                         fgdram-sim compare STREAM --window 50000\n\
-                        fgdram-sim suite compute"
+                        fgdram-sim suite compute --jobs 8"
             );
         }
     }

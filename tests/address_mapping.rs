@@ -1,94 +1,96 @@
-//! Property tests for the address mapper: bijectivity, field ranges, and
-//! spreading, across randomized (valid) geometries.
+//! Randomized property tests for the address mapper: bijectivity, field
+//! ranges, and spreading, across randomized (valid) geometries. Cases come
+//! from the repo's seeded PRNG, so failures reproduce exactly.
 
 use fgdram::model::addr::{AddressMapper, Location, PhysAddr};
 use fgdram::model::config::{DramConfig, DramKind};
-use proptest::prelude::*;
+use fgdram::model::rng::SmallRng;
 
 /// A random but valid DRAM geometry derived from a Table 2 base config.
-fn arb_config() -> impl Strategy<Value = DramConfig> {
-    (
-        prop_oneof![
-            Just(DramKind::Hbm2),
-            Just(DramKind::QbHbm),
-            Just(DramKind::QbHbmSalpSc),
-            Just(DramKind::Fgdram)
-        ],
-        1u32..=6,   // channel shift
-        0u32..=2,   // bank shift
-        9u32..=14,  // row bits
-    )
-        .prop_map(|(kind, ch_shift, bank_shift, row_bits)| {
-            let mut c = DramConfig::new(kind);
-            c.channels = 1 << ch_shift;
-            c.channels_per_cmd_channel = c.channels_per_cmd_channel.min(c.channels);
-            c.banks_per_channel = (c.banks_per_channel << bank_shift).min(32);
-            c.bank_groups = c.bank_groups.min(c.banks_per_channel);
-            c.rows_per_bank = 1 << row_bits;
-            c.subarrays_per_bank = c.subarrays_per_bank.min(c.rows_per_bank);
-            c
-        })
-        .prop_filter("valid geometry", |c| c.validate().is_ok())
+fn arb_config(r: &mut SmallRng) -> DramConfig {
+    loop {
+        let kind = DramKind::ALL[r.random_index(DramKind::ALL.len())];
+        let mut c = DramConfig::new(kind);
+        c.channels = 1 << r.random_range(1..7);
+        c.channels_per_cmd_channel = c.channels_per_cmd_channel.min(c.channels);
+        c.banks_per_channel = (c.banks_per_channel << r.random_range(0..3)).min(32);
+        c.bank_groups = c.bank_groups.min(c.banks_per_channel);
+        c.rows_per_bank = 1 << r.random_range(9..15);
+        c.subarrays_per_bank = c.subarrays_per_bank.min(c.rows_per_bank);
+        if c.validate().is_ok() {
+            return c;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// decode then encode is the identity on atom-aligned addresses.
-    #[test]
-    fn mapper_roundtrips(cfg in arb_config(), addr in any::<u64>()) {
+/// decode then encode is the identity on atom-aligned addresses.
+#[test]
+fn mapper_roundtrips() {
+    let mut r = SmallRng::seed_from_u64(0xADD2_0001);
+    for case in 0..200 {
+        let cfg = arb_config(&mut r);
         let m = AddressMapper::new(&cfg).unwrap();
+        let addr = r.next_u64();
         let aligned = PhysAddr((addr % cfg.capacity_bytes()) & !(cfg.atom_bytes - 1));
         let loc = m.decode(aligned);
-        prop_assert_eq!(m.encode(loc), aligned);
+        assert_eq!(m.encode(loc), aligned, "case {case}: {cfg:?}");
     }
+}
 
-    /// Every decoded field is within the configured geometry.
-    #[test]
-    fn mapper_fields_in_range(cfg in arb_config(), addr in any::<u64>()) {
+/// Every decoded field is within the configured geometry.
+#[test]
+fn mapper_fields_in_range() {
+    let mut r = SmallRng::seed_from_u64(0xADD2_0002);
+    for case in 0..200 {
+        let cfg = arb_config(&mut r);
         let m = AddressMapper::new(&cfg).unwrap();
-        let loc = m.decode(PhysAddr(addr));
-        prop_assert!((loc.channel as usize) < cfg.channels);
-        prop_assert!((loc.bank as usize) < cfg.banks_per_channel);
-        prop_assert!((loc.row as usize) < cfg.rows_per_bank);
-        prop_assert!((loc.col as u64) < cfg.atoms_per_row());
-        prop_assert!(loc.subarray(&cfg) < cfg.subarrays_per_bank as u32);
-        prop_assert!((loc.slice(&cfg) as u64) < cfg.slices_per_row());
+        let loc = m.decode(PhysAddr(r.next_u64()));
+        assert!((loc.channel as usize) < cfg.channels, "case {case}: {cfg:?}");
+        assert!((loc.bank as usize) < cfg.banks_per_channel, "case {case}: {cfg:?}");
+        assert!((loc.row as usize) < cfg.rows_per_bank, "case {case}: {cfg:?}");
+        assert!((loc.col as u64) < cfg.atoms_per_row(), "case {case}: {cfg:?}");
+        assert!(loc.subarray(&cfg) < cfg.subarrays_per_bank as u32, "case {case}: {cfg:?}");
+        assert!((loc.slice(&cfg) as u64) < cfg.slices_per_row(), "case {case}: {cfg:?}");
     }
+}
 
-    /// Distinct atom-aligned addresses map to distinct locations
-    /// (injectivity over a random window).
-    #[test]
-    fn mapper_is_injective_on_windows(cfg in arb_config(), base in any::<u64>()) {
+/// Distinct atom-aligned addresses map to distinct locations (injectivity
+/// over a random window).
+#[test]
+fn mapper_is_injective_on_windows() {
+    let mut r = SmallRng::seed_from_u64(0xADD2_0003);
+    for case in 0..200 {
+        let cfg = arb_config(&mut r);
         let m = AddressMapper::new(&cfg).unwrap();
-        let base = (base % cfg.capacity_bytes()) & !(cfg.atom_bytes - 1);
+        let base = (r.next_u64() % cfg.capacity_bytes()) & !(cfg.atom_bytes - 1);
         let mut seen = std::collections::HashSet::new();
         for i in 0..64u64 {
             let a = PhysAddr((base + i * cfg.atom_bytes) % cfg.capacity_bytes());
             let loc = m.decode(a);
-            prop_assert!(seen.insert((loc.channel, loc.bank, loc.row, loc.col)));
+            assert!(
+                seen.insert((loc.channel, loc.bank, loc.row, loc.col)),
+                "case {case}: collision at {a} for {cfg:?}"
+            );
         }
     }
+}
 
-    /// Encoding any in-range location yields an in-capacity address.
-    #[test]
-    fn encode_stays_in_capacity(
-        cfg in arb_config(),
-        ch in any::<u32>(),
-        bank in any::<u32>(),
-        row in any::<u32>(),
-        col in any::<u32>()
-    ) {
+/// Encoding any in-range location yields an in-capacity address.
+#[test]
+fn encode_stays_in_capacity() {
+    let mut r = SmallRng::seed_from_u64(0xADD2_0004);
+    for case in 0..200 {
+        let cfg = arb_config(&mut r);
         let m = AddressMapper::new(&cfg).unwrap();
         let loc = Location {
-            channel: ch % cfg.channels as u32,
-            bank: bank % cfg.banks_per_channel as u32,
-            row: row % cfg.rows_per_bank as u32,
-            col: col % cfg.atoms_per_row() as u32,
+            channel: (r.next_u64() % cfg.channels as u64) as u32,
+            bank: (r.next_u64() % cfg.banks_per_channel as u64) as u32,
+            row: (r.next_u64() % cfg.rows_per_bank as u64) as u32,
+            col: (r.next_u64() % cfg.atoms_per_row()) as u32,
         };
         let addr = m.encode(loc);
-        prop_assert!(addr.0 < cfg.capacity_bytes());
-        prop_assert_eq!(m.decode(addr), loc);
+        assert!(addr.0 < cfg.capacity_bytes(), "case {case}: {cfg:?}");
+        assert_eq!(m.decode(addr), loc, "case {case}: {cfg:?}");
     }
 }
 

@@ -1,13 +1,13 @@
-//! Property tests on the controller: every accepted request completes
+//! Randomized tests on the controller: every accepted request completes
 //! (liveness), completions conserve counts, and the command trace the
 //! scheduler produces is always protocol-clean — across architectures and
-//! randomized request mixes.
+//! randomized request mixes drawn from the repo's seeded PRNG.
 
 use fgdram::ctrl::Controller;
 use fgdram::dram::{DramDevice, ProtocolChecker};
 use fgdram::model::addr::{MemRequest, PhysAddr, ReqId};
 use fgdram::model::config::{CtrlConfig, DramConfig, DramKind, PagePolicy};
-use proptest::prelude::*;
+use fgdram::model::rng::SmallRng;
 
 #[derive(Debug, Clone, Copy)]
 struct Req {
@@ -15,12 +15,14 @@ struct Req {
     is_write: bool,
 }
 
-fn arb_reqs(max: usize) -> impl Strategy<Value = Vec<Req>> {
-    proptest::collection::vec(
-        (0u64..(1 << 26), any::<bool>())
-            .prop_map(|(addr, is_write)| Req { addr: addr & !31, is_write }),
-        1..max,
-    )
+fn arb_reqs(r: &mut SmallRng, max: u64) -> Vec<Req> {
+    let n = r.random_range(1..max);
+    (0..n)
+        .map(|_| Req {
+            addr: r.random_range(0..1 << 26) & !31,
+            is_write: r.random_bool(0.5),
+        })
+        .collect()
 }
 
 fn drain(kind: DramKind, reqs: &[Req], policy: PagePolicy) {
@@ -71,33 +73,37 @@ fn drain(kind: DramKind, reqs: &[Req], policy: PagePolicy) {
     assert_eq!(k.write_atoms, accepted_writes);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn qb_hbm_drains_everything(reqs in arb_reqs(300)) {
-        drain(DramKind::QbHbm, &reqs, PagePolicy::Open);
+fn drain_random_mixes(kind: DramKind, policy: PagePolicy, seed: u64, cases: usize, max: u64) {
+    let mut r = SmallRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        let reqs = arb_reqs(&mut r, max);
+        drain(kind, &reqs, policy);
     }
+}
 
-    #[test]
-    fn fgdram_drains_everything(reqs in arb_reqs(300)) {
-        drain(DramKind::Fgdram, &reqs, PagePolicy::Open);
-    }
+#[test]
+fn qb_hbm_drains_everything() {
+    drain_random_mixes(DramKind::QbHbm, PagePolicy::Open, 0xC7A1_0001, 24, 300);
+}
 
-    #[test]
-    fn salp_sc_drains_everything(reqs in arb_reqs(200)) {
-        drain(DramKind::QbHbmSalpSc, &reqs, PagePolicy::Open);
-    }
+#[test]
+fn fgdram_drains_everything() {
+    drain_random_mixes(DramKind::Fgdram, PagePolicy::Open, 0xC7A1_0002, 24, 300);
+}
 
-    #[test]
-    fn closed_page_drains_everything(reqs in arb_reqs(200)) {
-        drain(DramKind::QbHbm, &reqs, PagePolicy::Closed);
-    }
+#[test]
+fn salp_sc_drains_everything() {
+    drain_random_mixes(DramKind::QbHbmSalpSc, PagePolicy::Open, 0xC7A1_0003, 24, 200);
+}
 
-    #[test]
-    fn hbm2_drains_everything(reqs in arb_reqs(200)) {
-        drain(DramKind::Hbm2, &reqs, PagePolicy::Open);
-    }
+#[test]
+fn closed_page_drains_everything() {
+    drain_random_mixes(DramKind::QbHbm, PagePolicy::Closed, 0xC7A1_0004, 24, 200);
+}
+
+#[test]
+fn hbm2_drains_everything() {
+    drain_random_mixes(DramKind::Hbm2, PagePolicy::Open, 0xC7A1_0005, 24, 200);
 }
 
 /// Pathological same-bank storm: hundreds of conflicting rows on one bank

@@ -1,14 +1,14 @@
-//! Property tests driving randomized command schedules through the device
-//! model and replaying the accepted trace through the independent checker:
-//! the two implementations must agree that every accepted schedule is
-//! legal, and the device must reject anything issued before its own
-//! `earliest` time.
+//! Randomized command schedules driven through the device model, with the
+//! accepted trace replayed through the independent checker: the two
+//! implementations must agree that every accepted schedule is legal, and
+//! the device must reject anything issued before its own `earliest` time.
+//! Schedules are drawn from the repo's seeded PRNG, so runs reproduce.
 
 use fgdram::dram::{DramDevice, ProtocolChecker, Rule};
 use fgdram::model::addr::ReqId;
 use fgdram::model::cmd::{BankRef, DramCommand};
 use fgdram::model::config::{DramConfig, DramKind};
-use proptest::prelude::*;
+use fgdram::model::rng::SmallRng;
 
 #[derive(Debug, Clone, Copy)]
 enum OpChoice {
@@ -18,20 +18,18 @@ enum OpChoice {
     Refresh,
 }
 
-fn arb_op() -> impl Strategy<Value = (u8, u8, OpChoice, u8)> {
-    (
-        any::<u8>(), // channel selector
-        any::<u8>(), // bank selector
-        prop_oneof![
-            3 => (any::<u8>(), any::<u8>())
-                .prop_map(|(r, s)| OpChoice::Activate { row_sel: r, slice_sel: s }),
-            4 => (any::<bool>(), any::<u8>())
-                .prop_map(|(w, c)| OpChoice::Column { write: w, col_sel: c }),
-            2 => Just(OpChoice::Precharge),
-            1 => Just(OpChoice::Refresh),
-        ],
-        any::<u8>(), // time jitter
-    )
+/// Weighted op mix (3:4:2:1), matching the original proptest strategy.
+fn arb_op(r: &mut SmallRng) -> (u8, u8, OpChoice, u8) {
+    let op = match r.random_range(0..10) {
+        0..=2 => OpChoice::Activate {
+            row_sel: r.next_u64() as u8,
+            slice_sel: r.next_u64() as u8,
+        },
+        3..=6 => OpChoice::Column { write: r.random_bool(0.5), col_sel: r.next_u64() as u8 },
+        7..=8 => OpChoice::Precharge,
+        _ => OpChoice::Refresh,
+    };
+    (r.next_u64() as u8, r.next_u64() as u8, op, r.next_u64() as u8)
 }
 
 /// Runs a random schedule on `kind`; every command is issued at the
@@ -105,26 +103,31 @@ fn run_random_schedule(kind: DramKind, ops: &[(u8, u8, OpChoice, u8)]) {
     ProtocolChecker::new(cfg).check_trace(&trace).expect("accepted schedule is checker-clean");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn random_schedules_agree_with_checker_qb(ops in proptest::collection::vec(arb_op(), 1..120)) {
-        run_random_schedule(DramKind::QbHbm, &ops);
+fn random_schedules_agree_with_checker(kind: DramKind, seed: u64, cases: usize, max_ops: u64) {
+    let mut r = SmallRng::seed_from_u64(seed);
+    for _ in 0..cases {
+        let n = r.random_range(1..max_ops);
+        let ops: Vec<_> = (0..n).map(|_| arb_op(&mut r)).collect();
+        run_random_schedule(kind, &ops);
     }
+}
 
-    #[test]
-    fn random_schedules_agree_with_checker_fgdram(ops in proptest::collection::vec(arb_op(), 1..120)) {
-        run_random_schedule(DramKind::Fgdram, &ops);
-    }
+#[test]
+fn random_schedules_agree_with_checker_qb() {
+    random_schedules_agree_with_checker(DramKind::QbHbm, 0xD3A1_0001, 40, 120);
+}
 
-    #[test]
-    fn random_schedules_agree_with_checker_salp(ops in proptest::collection::vec(arb_op(), 1..120)) {
-        run_random_schedule(DramKind::QbHbmSalpSc, &ops);
-    }
+#[test]
+fn random_schedules_agree_with_checker_fgdram() {
+    random_schedules_agree_with_checker(DramKind::Fgdram, 0xD3A1_0002, 40, 120);
+}
 
-    #[test]
-    fn random_schedules_agree_with_checker_hbm2(ops in proptest::collection::vec(arb_op(), 1..100)) {
-        run_random_schedule(DramKind::Hbm2, &ops);
-    }
+#[test]
+fn random_schedules_agree_with_checker_salp() {
+    random_schedules_agree_with_checker(DramKind::QbHbmSalpSc, 0xD3A1_0003, 40, 120);
+}
+
+#[test]
+fn random_schedules_agree_with_checker_hbm2() {
+    random_schedules_agree_with_checker(DramKind::Hbm2, 0xD3A1_0004, 40, 100);
 }

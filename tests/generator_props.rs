@@ -1,57 +1,58 @@
-//! Property tests over the workload generator space: every pattern, at any
-//! warp count and footprint, must produce sector-aligned, in-footprint,
-//! non-empty, deterministic instruction streams.
+//! Randomized property tests over the workload generator space: every
+//! pattern, at any warp count and footprint, must produce sector-aligned,
+//! in-footprint, non-empty, deterministic instruction streams.
+//!
+//! Cases are drawn from the repo's own seeded PRNG (the tier-1 build is
+//! offline, so no proptest), which makes every run — and every failure —
+//! exactly reproducible from the constant seeds below.
 
+use fgdram::model::rng::SmallRng;
 use fgdram::model::stream::WarpInstruction;
 use fgdram::workloads::{Pattern, Workload};
-use proptest::prelude::*;
 
-fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    prop_oneof![
-        (1u32..=8).prop_map(|s| Pattern::Sequential { sectors_per_instr: s }),
-        (1u32..=8, any::<bool>())
-            .prop_map(|(s, rmw)| Pattern::Random { sectors_per_instr: s, rmw }),
-        (6u32..=20, 1u32..=4).prop_map(|(shift, s)| Pattern::Strided {
-            stride_bytes: 1 << shift,
-            sectors_per_instr: s
-        }),
-        Just(Pattern::PointerChase),
-        (10u32..=18).prop_map(|shift| Pattern::Stencil { plane_bytes: 1 << shift }),
-        (2u32..=16, 0.0f64..0.9, 0.0f64..0.5).prop_map(|(t, c, tx)| Pattern::Tiled {
-            tile_sectors: t,
-            compression: c,
-            texture_fraction: tx
-        }),
-    ]
-}
-
-fn arb_workload() -> impl Strategy<Value = Workload> {
-    (arb_pattern(), 20u32..=28, 0u64..500, 0.0f64..0.5, any::<u64>()).prop_map(
-        |(pattern, fp_shift, think, wf, seed)| Workload {
-            name: "prop".into(),
-            pattern,
-            footprint_bytes: 1 << fp_shift,
-            think_ns: think,
-            write_fraction: wf,
-            mlp: 4,
-            toggle_rate: 0.3,
-            ones_density: 0.3,
-            memory_intensive: false,
-            seed,
+fn arb_pattern(r: &mut SmallRng) -> Pattern {
+    match r.random_index(6) {
+        0 => Pattern::Sequential { sectors_per_instr: r.random_range(1..9) as u32 },
+        1 => Pattern::Random {
+            sectors_per_instr: r.random_range(1..9) as u32,
+            rmw: r.random_bool(0.5),
         },
-    )
+        2 => Pattern::Strided {
+            stride_bytes: 1 << r.random_range(6..21),
+            sectors_per_instr: r.random_range(1..5) as u32,
+        },
+        3 => Pattern::PointerChase,
+        4 => Pattern::Stencil { plane_bytes: 1 << r.random_range(10..19) },
+        _ => Pattern::Tiled {
+            tile_sectors: r.random_range(2..17) as u32,
+            compression: 0.9 * r.random_f64(),
+            texture_fraction: 0.5 * r.random_f64(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn arb_workload(r: &mut SmallRng) -> Workload {
+    Workload {
+        name: "prop".into(),
+        pattern: arb_pattern(r),
+        footprint_bytes: 1 << r.random_range(20..29),
+        think_ns: r.random_range(0..500),
+        write_fraction: 0.5 * r.random_f64(),
+        mlp: 4,
+        toggle_rate: 0.3,
+        ones_density: 0.3,
+        memory_intensive: false,
+        seed: r.next_u64(),
+    }
+}
 
-    #[test]
-    fn streams_are_aligned_bounded_nonempty(
-        w in arb_workload(),
-        warp in 0usize..64,
-        n_warps in 1usize..256
-    ) {
-        let warp = warp % n_warps;
+#[test]
+fn streams_are_aligned_bounded_nonempty() {
+    let mut r = SmallRng::seed_from_u64(0x6E6E_0001);
+    for case in 0..128 {
+        let w = arb_workload(&mut r);
+        let n_warps = r.random_range(1..256) as usize;
+        let warp = r.random_index(64) % n_warps;
         let mut s = w.stream_for_warp(warp, n_warps);
         let mut instr = WarpInstruction::default();
         // The generator floors tiny footprints at 64 sectors.
@@ -59,18 +60,30 @@ proptest! {
         for _ in 0..200 {
             instr.clear();
             s.fill_next(&mut instr);
-            prop_assert!(!instr.sectors.is_empty());
-            prop_assert!(instr.sectors.len() <= 32, "{} sectors", instr.sectors.len());
+            assert!(!instr.sectors.is_empty(), "case {case}: empty instr for {w:?}");
+            assert!(
+                instr.sectors.len() <= 32,
+                "case {case}: {} sectors for {w:?}",
+                instr.sectors.len()
+            );
             for a in &instr.sectors {
-                prop_assert_eq!(a.0 % 32, 0, "unaligned sector {}", a);
-                prop_assert!(a.0 < span, "sector {} outside footprint {}", a, span);
+                assert_eq!(a.0 % 32, 0, "case {case}: unaligned sector {a} for {w:?}");
+                assert!(
+                    a.0 < span,
+                    "case {case}: sector {a} outside footprint {span} for {w:?}"
+                );
             }
-            prop_assert!(instr.think_ns <= w.think_ns);
+            assert!(instr.think_ns <= w.think_ns, "case {case}: think for {w:?}");
         }
     }
+}
 
-    #[test]
-    fn streams_are_deterministic(w in arb_workload(), warp in 0usize..32) {
+#[test]
+fn streams_are_deterministic() {
+    let mut r = SmallRng::seed_from_u64(0x6E6E_0002);
+    for case in 0..128 {
+        let w = arb_workload(&mut r);
+        let warp = r.random_index(32);
         let mut a = w.stream_for_warp(warp, 64);
         let mut b = w.stream_for_warp(warp, 64);
         let mut ia = WarpInstruction::default();
@@ -80,13 +93,16 @@ proptest! {
             ib.clear();
             a.fill_next(&mut ia);
             b.fill_next(&mut ib);
-            prop_assert_eq!(&ia, &ib);
+            assert_eq!(ia, ib, "case {case}: diverged for {w:?}");
         }
     }
+}
 
-    /// RMW streams alternate load/store over identical sector sets.
-    #[test]
-    fn rmw_streams_pair_loads_with_stores(seed in any::<u64>()) {
+/// RMW streams alternate load/store over identical sector sets.
+#[test]
+fn rmw_streams_pair_loads_with_stores() {
+    let mut r = SmallRng::seed_from_u64(0x6E6E_0003);
+    for case in 0..64 {
         let w = Workload {
             name: "rmw".into(),
             pattern: Pattern::Random { sectors_per_instr: 2, rmw: true },
@@ -97,7 +113,7 @@ proptest! {
             toggle_rate: 0.3,
             ones_density: 0.3,
             memory_intensive: true,
-            seed,
+            seed: r.next_u64(),
         };
         let mut s = w.stream_for_warp(3, 64);
         let mut load = WarpInstruction::default();
@@ -107,9 +123,9 @@ proptest! {
             store.clear();
             s.fill_next(&mut load);
             s.fill_next(&mut store);
-            prop_assert!(!load.is_store);
-            prop_assert!(store.is_store);
-            prop_assert_eq!(&load.sectors, &store.sectors);
+            assert!(!load.is_store, "case {case}, seed {}", w.seed);
+            assert!(store.is_store, "case {case}, seed {}", w.seed);
+            assert_eq!(load.sectors, store.sectors, "case {case}, seed {}", w.seed);
         }
     }
 }

@@ -1,16 +1,17 @@
-//! Property test: the sectored L2 against a naive reference model.
+//! Randomized test: the sectored L2 against a naive reference model.
 //!
 //! The reference tracks, per 128 B line, which sectors are valid/dirty and
 //! an exact LRU order, with unlimited MSHRs resolved immediately. Driving
 //! both with random access sequences (fills applied instantly) must produce
 //! identical hit/miss classifications and identical writeback sets.
+//! Sequences come from the repo's seeded PRNG, so runs reproduce.
 
 use std::collections::{HashMap, VecDeque};
 
 use fgdram::gpu::{L2Access, L2Cache};
 use fgdram::model::addr::PhysAddr;
 use fgdram::model::config::L2Config;
-use proptest::prelude::*;
+use fgdram::model::rng::SmallRng;
 
 const LINE: u64 = 128;
 const SECTOR: u64 = 32;
@@ -79,13 +80,13 @@ fn small_cfg() -> L2Config {
     L2Config { capacity_bytes: 64 * 1024, ways: 4, ..L2Config::default() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn l2_matches_reference_model(
-        ops in proptest::collection::vec((0u64..(1 << 22), any::<bool>()), 1..600)
-    ) {
+#[test]
+fn l2_matches_reference_model() {
+    let mut r = SmallRng::seed_from_u64(0x12F_0001);
+    for case in 0..64 {
+        let n = r.random_range(1..600);
+        let ops: Vec<(u64, bool)> =
+            (0..n).map(|_| (r.random_range(0..1 << 22), r.random_bool(0.5))).collect();
         let cfg = small_cfg();
         let mut l2 = L2Cache::new(cfg, 1 << 16);
         let mut reference = RefCache::new(&cfg);
@@ -93,19 +94,21 @@ proptest! {
             let addr = raw & !(SECTOR - 1);
             let expect_hit = reference.access(addr, is_store);
             match l2.access(PhysAddr(addr), is_store, i as u64) {
-                L2Access::Hit => prop_assert!(expect_hit, "op {i}: L2 hit, reference miss"),
-                L2Access::StoreDone => prop_assert!(is_store),
+                L2Access::Hit => {
+                    assert!(expect_hit, "case {case} op {i}: L2 hit, reference miss")
+                }
+                L2Access::StoreDone => assert!(is_store, "case {case} op {i}"),
                 L2Access::Miss { fill } => {
-                    prop_assert!(!expect_hit, "op {i}: L2 miss, reference hit");
-                    prop_assert_eq!(fill.0, addr);
+                    assert!(!expect_hit, "case {case} op {i}: L2 miss, reference hit");
+                    assert_eq!(fill.0, addr, "case {case} op {i}");
                     // Resolve instantly so both models stay in lockstep.
                     let waiters = l2.fill_done(fill);
-                    prop_assert_eq!(waiters, vec![i as u64]);
+                    assert_eq!(waiters, vec![i as u64], "case {case} op {i}");
                 }
                 L2Access::Merged => {
-                    prop_assert!(false, "op {i}: merge impossible with instant fills")
+                    panic!("case {case} op {i}: merge impossible with instant fills")
                 }
-                L2Access::Blocked => prop_assert!(false, "op {i}: blocked with huge MSHR"),
+                L2Access::Blocked => panic!("case {case} op {i}: blocked with huge MSHR"),
             }
         }
         // Same eviction behaviour => same writeback multiset.
@@ -113,15 +116,19 @@ proptest! {
         let mut theirs = reference.writebacks;
         ours.sort_unstable();
         theirs.sort_unstable();
-        prop_assert_eq!(ours, theirs);
+        assert_eq!(ours, theirs, "case {case}");
     }
+}
 
-    /// Valid/dirty sector bookkeeping never loses a dirty sector: every
-    /// stored sector is either still resident or was written back.
-    #[test]
-    fn no_dirty_sector_is_lost(
-        ops in proptest::collection::vec((0u64..(1 << 20), any::<bool>()), 1..400)
-    ) {
+/// Valid/dirty sector bookkeeping never loses a dirty sector: every
+/// stored sector is either still resident or was written back.
+#[test]
+fn no_dirty_sector_is_lost() {
+    let mut r = SmallRng::seed_from_u64(0x12F_0002);
+    for case in 0..64 {
+        let n = r.random_range(1..400);
+        let ops: Vec<(u64, bool)> =
+            (0..n).map(|_| (r.random_range(0..1 << 20), r.random_bool(0.5))).collect();
         let cfg = small_cfg();
         let mut l2 = L2Cache::new(cfg, 1 << 16);
         let mut stored: HashMap<u64, ()> = HashMap::new();
@@ -145,7 +152,7 @@ proptest! {
         for (&addr, ()) in &stored {
             if !written_back.contains_key(&addr) {
                 let r = l2.access(PhysAddr(addr), false, 0);
-                prop_assert_eq!(r, L2Access::Hit, "dirty sector {:#x} lost", addr);
+                assert_eq!(r, L2Access::Hit, "case {case}: dirty sector {addr:#x} lost");
                 // (This final probe may itself evict; stop checking after
                 // mutations by breaking on first eviction.)
                 if !l2.take_writebacks().is_empty() {

@@ -1,0 +1,159 @@
+//! The sharded matrix executor must be invisible in the results: any
+//! `--jobs` value yields bit-identical reports in input order, errors
+//! surface deterministically (lowest cell index wins), and the capped
+//! empty suite cannot poison aggregates with NaN.
+
+use fgdram::core::experiments::{self, Parallelism, Scale};
+use fgdram::core::SystemBuilder;
+use fgdram::model::config::{DramConfig, DramKind};
+use fgdram::workloads::suites;
+
+/// A small but real slice of the compute matrix, short windows.
+fn test_scale(jobs: usize) -> Scale {
+    Scale {
+        warmup: 2_000,
+        window: 8_000,
+        max_workloads: Some(3),
+        parallelism: Parallelism::jobs(jobs),
+    }
+}
+
+/// `jobs = 1` (pure in-thread loop) and `jobs = 4` (sharded workers) must
+/// produce bit-identical reports: same workloads, same kinds, same order,
+/// same values. Debug formatting covers every field of every report and
+/// round-trips f64s exactly, so equal strings mean equal bits.
+#[test]
+fn run_matrix_is_deterministic_across_job_counts() {
+    let workloads = &suites::compute_suite()[..3];
+    let kinds = [DramKind::QbHbm, DramKind::Fgdram];
+
+    let serial = experiments::run_matrix(workloads, &kinds, test_scale(1)).expect("serial run");
+    let sharded = experiments::run_matrix(workloads, &kinds, test_scale(4)).expect("sharded run");
+    let auto = experiments::run_matrix(workloads, &kinds, test_scale(0)).expect("auto run");
+
+    assert_eq!(serial.len(), workloads.len());
+    assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+    assert_eq!(format!("{serial:?}"), format!("{auto:?}"));
+    // Input ordering survives sharding.
+    for (row, w) in sharded.iter().zip(workloads) {
+        assert_eq!(row.workload.name, w.name);
+        let reported: Vec<DramKind> = row.reports.iter().map(|r| r.kind).collect();
+        assert_eq!(reported, kinds.to_vec());
+    }
+}
+
+/// More workers than cells, and a worker count that does not divide the
+/// cell count, both behave.
+#[test]
+fn run_matrix_handles_odd_job_counts() {
+    let workloads = &suites::compute_suite()[..2];
+    let kinds = [DramKind::Fgdram];
+    let a = experiments::run_matrix(workloads, &kinds, test_scale(1)).expect("jobs=1");
+    let b = experiments::run_matrix(workloads, &kinds, test_scale(3)).expect("jobs=3");
+    let c = experiments::run_matrix(workloads, &kinds, test_scale(64)).expect("jobs=64");
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(format!("{a:?}"), format!("{c:?}"));
+}
+
+/// The first error in cell order wins, no matter which worker hits an
+/// error first: two cells are broken here, and every job count must
+/// report the lower-index one (workload #1, not workload #2).
+#[test]
+fn run_matrix_reports_lowest_cell_error_at_any_job_count() {
+    let workloads = &suites::compute_suite()[..4];
+    let kinds = [DramKind::QbHbm];
+    let broken = |w_name: &str| -> Option<u64> {
+        // Distinct invalid row counts so the two failures are told apart.
+        match w_name {
+            n if n == workloads[1].name => Some(3),
+            n if n == workloads[3].name => Some(5),
+            _ => None,
+        }
+    };
+    let run = |jobs: usize| {
+        experiments::run_matrix_with(workloads, &kinds, test_scale(jobs), |w, k| {
+            let b = SystemBuilder::new(k).workload(w.clone());
+            match broken(&w.name) {
+                Some(rows) => {
+                    let mut cfg = DramConfig::new(k);
+                    cfg.rows_per_bank = rows as usize;
+                    b.dram_config(cfg)
+                }
+                None => b,
+            }
+        })
+    };
+    let serial_err = run(1).expect_err("workload #1 is broken");
+    for jobs in [2, 4, 8] {
+        let err = run(jobs).expect_err("workload #1 is broken");
+        assert_eq!(
+            format!("{err:?}"),
+            format!("{serial_err:?}"),
+            "jobs={jobs} surfaced a different error"
+        );
+        // And it is the lower-index failure (rows_per_bank = 3, not 5).
+        assert!(format!("{err:?}").contains('3'), "jobs={jobs}: {err:?}");
+    }
+}
+
+/// Empty-suite regression: `fig1b` at `max_workloads = Some(0)` used to
+/// divide by zero and report NaN energy components.
+#[test]
+fn fig1b_with_empty_suite_is_finite() {
+    let scale = Scale {
+        warmup: 1_000,
+        window: 2_000,
+        max_workloads: Some(0),
+        parallelism: Parallelism::serial(),
+    };
+    let e = experiments::fig1b(scale).expect("empty fig1b runs");
+    assert!(e.activation.value().is_finite(), "activation NaN: {e:?}");
+    assert!(e.data_movement.value().is_finite(), "data movement NaN: {e:?}");
+    assert!(e.io.value().is_finite(), "io NaN: {e:?}");
+    assert!(e.total().value().is_finite(), "total NaN: {e:?}");
+}
+
+/// Sharded execution must beat sequential wall-clock on a multi-core
+/// host. Self-skips on single-core machines, where no overlap is
+/// possible; the conservative 1.2x bar (not jobs x) absorbs scheduler
+/// noise without flaking.
+#[test]
+fn sharded_matrix_is_faster_on_multicore() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("skipping speedup check: only {cores} core(s) online");
+        return;
+    }
+    let workloads = &suites::compute_suite()[..4];
+    let kinds = [DramKind::QbHbm, DramKind::Fgdram];
+    let scale = |jobs| Scale {
+        warmup: 2_000,
+        window: 30_000,
+        max_workloads: None,
+        parallelism: Parallelism::jobs(jobs),
+    };
+    // Warm caches/allocator so the timed runs compare like with like.
+    experiments::run_matrix(workloads, &kinds, scale(1)).expect("warmup");
+    let t0 = std::time::Instant::now();
+    experiments::run_matrix(workloads, &kinds, scale(1)).expect("serial");
+    let serial = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    experiments::run_matrix(workloads, &kinds, scale(cores.min(8))).expect("sharded");
+    let sharded = t1.elapsed();
+    assert!(
+        sharded.as_secs_f64() * 1.2 < serial.as_secs_f64(),
+        "expected >1.2x speedup on {cores} cores: serial {serial:?}, sharded {sharded:?}"
+    );
+}
+
+/// Degenerate shapes: empty workload list and empty kind list.
+#[test]
+fn run_matrix_degenerate_shapes() {
+    let kinds = [DramKind::Fgdram];
+    let empty = experiments::run_matrix(&[], &kinds, test_scale(4)).expect("no workloads");
+    assert!(empty.is_empty());
+    let workloads = &suites::compute_suite()[..2];
+    let no_kinds = experiments::run_matrix(workloads, &[], test_scale(4)).expect("no kinds");
+    assert_eq!(no_kinds.len(), 2);
+    assert!(no_kinds.iter().all(|r| r.reports.is_empty()));
+}
