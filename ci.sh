@@ -5,11 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== lint: rustfmt =="
+cargo fmt --all --check
+
 echo "== tier-1: build =="
 cargo build --release
 
 echo "== tier-1: test =="
 cargo test -q
+
+echo "== tier-1: telemetry golden schema =="
+cargo test -q --test telemetry
 
 echo "== lint: clippy =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -5,8 +5,8 @@
 //! * `benches/` — one Criterion bench per paper table/figure. Each bench
 //!   prints a reduced-scale rendition of its table/figure once, then
 //!   measures the simulator work that produces it.
-//! * `src/bin/regen_experiments.rs` — regenerates every table and figure
-//!   at full scale and rewrites `EXPERIMENTS.md`.
+//! The `regen-experiments` binary that rewrites `EXPERIMENTS.md` lives in
+//! the root package (registry-free, runs offline).
 
 #![forbid(unsafe_code)]
 

@@ -3,7 +3,7 @@
 //! Simulation-backed figures are driven through [`run_matrix`], which runs
 //! a workload list across architectures at a chosen [`Scale`]; analytic
 //! figures (1a, Table 2, Table 3, area) come straight from the models.
-//! The `regen-experiments` binary in `fgdram-bench` renders these into
+//! The root package's `regen-experiments` binary renders these into
 //! `EXPERIMENTS.md`; the Criterion benches exercise the same entry points
 //! at [`Scale::quick`].
 
@@ -188,23 +188,61 @@ pub fn run_matrix_with<B>(
 where
     B: Fn(&Workload, DramKind) -> SystemBuilder + Sync,
 {
+    let reports =
+        run_cells(workloads, kinds, scale, |w, k| build(w, k).run(scale.warmup, scale.window))?;
+    let mut it = reports.into_iter();
+    Ok(workloads
+        .iter()
+        .map(|w| MatrixRow {
+            workload: w.clone(),
+            reports: it.by_ref().take(kinds.len()).collect(),
+        })
+        .collect())
+}
+
+/// Runs an arbitrary per-cell computation over `workloads` x `kinds` on
+/// the sharded executor and returns the results as one flat vector in
+/// workload-major input order (`index = workload_idx * kinds.len() +
+/// kind_idx`).
+///
+/// This is the engine under [`run_matrix`]/[`run_matrix_with`], exposed
+/// for callers whose cells produce more than a [`SimReport`] — e.g. a
+/// report paired with its telemetry series. The executor is deterministic
+/// at any job count: workers pull cell indices from a shared counter and
+/// write into an input-order slot table, so the returned vector is
+/// bit-identical to a sequential run.
+///
+/// `cell` must be deterministic: it is invoked once per cell, from
+/// whichever worker claims the cell.
+///
+/// # Errors
+///
+/// Propagates the first cell error in cell order (lowest workload-major
+/// index wins), regardless of which worker hit it first.
+pub fn run_cells<R, F>(
+    workloads: &[Workload],
+    kinds: &[DramKind],
+    scale: Scale,
+    cell: F,
+) -> Result<Vec<R>, SimError>
+where
+    R: Send,
+    F: Fn(&Workload, DramKind) -> Result<R, SimError> + Sync,
+{
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     // Degenerate shapes: no cells to run.
     if workloads.is_empty() || kinds.is_empty() {
-        return Ok(workloads
-            .iter()
-            .map(|w| MatrixRow { workload: w.clone(), reports: Vec::new() })
-            .collect());
+        return Ok(Vec::new());
     }
 
     let cells = workloads.len() * kinds.len();
     let started = std::time::Instant::now();
-    let run_cell = |i: usize| -> Result<SimReport, SimError> {
+    let run_cell = |i: usize| -> Result<R, SimError> {
         let w = &workloads[i / kinds.len()];
         let k = kinds[i % kinds.len()];
-        let res = build(w, k).run(scale.warmup, scale.window);
+        let res = cell(w, k);
         if scale.parallelism.progress {
             eprintln!(
                 "[matrix {:6.1?}] cell {}/{}: {} on {} {}",
@@ -222,15 +260,11 @@ where
     let jobs = scale.parallelism.resolve(cells);
     if jobs == 1 {
         // Strictly sequential reference path: no threads spawned.
-        let mut rows = Vec::with_capacity(workloads.len());
-        for (wi, w) in workloads.iter().enumerate() {
-            let mut reports = Vec::with_capacity(kinds.len());
-            for ki in 0..kinds.len() {
-                reports.push(run_cell(wi * kinds.len() + ki)?);
-            }
-            rows.push(MatrixRow { workload: w.clone(), reports });
+        let mut out = Vec::with_capacity(cells);
+        for i in 0..cells {
+            out.push(run_cell(i)?);
         }
-        return Ok(rows);
+        return Ok(out);
     }
 
     // Sharded executor: workers pull cell indices from a shared counter
@@ -241,7 +275,7 @@ where
     // returns.
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
-    let slots: Mutex<Vec<Option<Result<SimReport, SimError>>>> =
+    let slots: Mutex<Vec<Option<Result<R, SimError>>>> =
         Mutex::new((0..cells).map(|_| None).collect());
     std::thread::scope(|s| {
         for _ in 0..jobs {
@@ -263,23 +297,18 @@ where
     });
 
     let slots = slots.into_inner().expect("matrix slot table poisoned");
-    let mut rows = Vec::with_capacity(workloads.len());
-    let mut reports = Vec::with_capacity(kinds.len());
+    let mut out = Vec::with_capacity(cells);
     for (i, slot) in slots.into_iter().enumerate() {
         match slot {
-            Some(Ok(report)) => reports.push(report),
+            Some(Ok(r)) => out.push(r),
             Some(Err(e)) => return Err(e),
             // Cells are claimed in index order and claimed cells always
             // complete, so a hole can only follow an error we already
             // returned above.
             None => unreachable!("cell {i} skipped without a prior error"),
         }
-        if reports.len() == kinds.len() {
-            let workload = workloads[i / kinds.len()].clone();
-            rows.push(MatrixRow { workload, reports: std::mem::take(&mut reports) });
-        }
     }
-    Ok(rows)
+    Ok(out)
 }
 
 /// Runs the compute suite (Figures 8/10/11) across `kinds`.
@@ -363,10 +392,7 @@ pub fn table2() -> Vec<Table2Row> {
                 }
             }),
         },
-        Table2Row {
-            name: "row size/activate (B)",
-            values: s(&|c| c.activation_bytes.to_string()),
-        },
+        Table2Row { name: "row size/activate (B)", values: s(&|c| c.activation_bytes.to_string()) },
         Table2Row {
             name: "bandwidth/channel (GB/s)",
             values: s(&|c| format!("{:.0}", c.channel_bandwidth().value())),
@@ -378,10 +404,7 @@ pub fn table2() -> Vec<Table2Row> {
         Table2Row { name: "tBURST (ns)", values: s(&|c| c.timing.t_burst.to_string()) },
         Table2Row { name: "tCCDL (ns)", values: s(&|c| c.timing.t_ccd_l.to_string()) },
         Table2Row { name: "tCCDS (ns)", values: s(&|c| c.timing.t_ccd_s.to_string()) },
-        Table2Row {
-            name: "activates in tFAW",
-            values: s(&|c| c.timing.acts_in_faw.to_string()),
-        },
+        Table2Row { name: "activates in tFAW", values: s(&|c| c.timing.acts_in_faw.to_string()) },
     ]
 }
 
@@ -441,8 +464,7 @@ pub fn area_table() -> Vec<AreaRow> {
         .iter()
         .map(|&k| {
             let m = AreaModel::for_kind(k);
-            let comps =
-                m.components().iter().map(|c| (c.name.to_string(), c.fraction)).collect();
+            let comps = m.components().iter().map(|c| (c.name.to_string(), c.fraction)).collect();
             (k, m.total_overhead(), comps)
         })
         .collect()
@@ -508,8 +530,9 @@ pub fn ablation_atom128(scale: Scale) -> Result<f64, SimError> {
     let workloads = scale.cap(&suite);
     let mut log_ratio = 0.0;
     for w in workloads {
-        let base =
-            SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(scale.warmup, scale.window)?;
+        let base = SystemBuilder::new(DramKind::QbHbm)
+            .workload(w.clone())
+            .run(scale.warmup, scale.window)?;
         let big = SystemBuilder::new(DramKind::QbHbm)
             .dram_config(DramConfig::qb_hbm_atom128())
             .workload(w.clone())
@@ -534,8 +557,9 @@ pub fn ablation_deep_bank_groups(scale: Scale) -> Result<f64, SimError> {
     let workloads = scale.cap(&suite);
     let mut log_ratio = 0.0;
     for w in workloads {
-        let base =
-            SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(scale.warmup, scale.window)?;
+        let base = SystemBuilder::new(DramKind::QbHbm)
+            .workload(w.clone())
+            .run(scale.warmup, scale.window)?;
         let deep = SystemBuilder::new(DramKind::QbHbm)
             .dram_config(DramConfig::qb_hbm_deep_bank_groups())
             .workload(w.clone())

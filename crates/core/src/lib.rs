@@ -32,6 +32,7 @@
 pub mod experiments;
 pub mod report;
 pub mod system;
+mod telemetry;
 
 pub use report::SimReport;
 pub use system::{SimError, System, SystemBuilder};

@@ -13,9 +13,11 @@ use fgdram_model::addr::{MemRequest, PhysAddr, ReqId};
 use fgdram_model::cmd::TimedCommand;
 use fgdram_model::config::{ConfigError, CtrlConfig, DramConfig, DramKind, GpuConfig};
 use fgdram_model::units::{GbPerSec, Ns};
+use fgdram_telemetry::{Recorder, Sampled, Telemetry, TelemetryConfig};
 use fgdram_workloads::Workload;
 
 use crate::report::SimReport;
+use crate::telemetry::EnergySampler;
 
 /// Simulation failure.
 #[derive(Debug)]
@@ -86,6 +88,7 @@ pub struct SystemBuilder {
     workload: Option<Workload>,
     io_tech: IoTechnology,
     trace: bool,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl SystemBuilder {
@@ -99,6 +102,7 @@ impl SystemBuilder {
             workload: None,
             io_tech: IoTechnology::Podl,
             trace: false,
+            telemetry: None,
         }
     }
 
@@ -133,6 +137,14 @@ impl SystemBuilder {
     /// Records the full DRAM command trace (for the protocol checker).
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables epoch-sampled telemetry over the measurement window of
+    /// [`Self::run_instrumented`] (size the capacity with
+    /// [`TelemetryConfig::for_window`] to retain every epoch).
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
         self
     }
 
@@ -195,6 +207,7 @@ impl SystemBuilder {
             next_req: 0,
             ctrl_next: 0,
             last_issue: 0,
+            telemetry: None,
         })
     }
 
@@ -205,11 +218,32 @@ impl SystemBuilder {
     ///
     /// Any [`SimError`].
     pub fn run(self, warmup: Ns, window: Ns) -> Result<SimReport, SimError> {
+        self.run_instrumented(warmup, window).map(|(r, _)| r)
+    }
+
+    /// Like [`Self::run`], but also returns the telemetry series when
+    /// [`Self::telemetry`] was configured. Recording covers exactly the
+    /// measurement window: it starts after warmup (with freshly reset
+    /// statistics) and flushes the trailing partial epoch at the end.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`].
+    pub fn run_instrumented(
+        self,
+        warmup: Ns,
+        window: Ns,
+    ) -> Result<(SimReport, Option<Telemetry>), SimError> {
+        let tcfg = self.telemetry;
         let mut sys = self.build()?;
         sys.run_for(warmup)?;
         sys.reset_stats();
+        if let Some(cfg) = tcfg {
+            sys.enable_telemetry(cfg);
+        }
         sys.run_for(window)?;
-        Ok(sys.report(window))
+        let series = sys.finish_telemetry();
+        Ok((sys.report(window), series))
     }
 }
 
@@ -235,6 +269,7 @@ pub struct System {
     next_req: u64,
     ctrl_next: Ns,
     last_issue: Ns,
+    telemetry: Option<Recorder>,
 }
 
 /// Backpressure thresholds: stop issuing new GPU work above these.
@@ -286,6 +321,42 @@ impl System {
         self.gpu.reset_stats();
     }
 
+    /// Starts epoch-sampled telemetry at the current simulated time,
+    /// observing the controller, DRAM device, GPU, L2, and energy meter.
+    /// Call after [`Self::reset_stats`] so epoch 0 starts from zeroed
+    /// counters; collect the series with [`Self::finish_telemetry`].
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        let mut rec = Recorder::new(cfg);
+        let es = EnergySampler { meter: &self.meter, dev: &self.dev, activity: self.activity };
+        let sources: [&dyn Sampled; 5] = [&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        rec.start(self.now, &sources);
+        self.telemetry = Some(rec);
+    }
+
+    /// Flushes the trailing partial epoch and returns the recorded series
+    /// (`None` when telemetry was never enabled). Telemetry is disabled
+    /// afterwards.
+    pub fn finish_telemetry(&mut self) -> Option<Telemetry> {
+        let rec = self.telemetry.take()?;
+        let es = EnergySampler { meter: &self.meter, dev: &self.dev, activity: self.activity };
+        let sources: [&dyn Sampled; 5] = [&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        Some(rec.finish(self.now, &sources))
+    }
+
+    /// Samples any epoch boundaries crossed by the last step. Exactness:
+    /// `step` advances `now` as its final action and processes events at
+    /// the new `now` on the *next* step, so when this poll runs, counters
+    /// are exact for every boundary B with `old_now < B <= now` — no
+    /// events occur between steps, and events at exactly B belong to the
+    /// epoch starting at B.
+    fn poll_telemetry(&mut self) {
+        let Some(mut rec) = self.telemetry.take() else { return };
+        let es = EnergySampler { meter: &self.meter, dev: &self.dev, activity: self.activity };
+        let sources: [&dyn Sampled; 5] = [&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        rec.poll(self.now, &sources);
+        self.telemetry = Some(rec);
+    }
+
     /// Advances simulated time by `duration`.
     ///
     /// # Errors
@@ -294,8 +365,15 @@ impl System {
     /// progress stops entirely.
     pub fn run_for(&mut self, duration: Ns) -> Result<(), SimError> {
         let end = self.now.saturating_add(duration);
+        if self.telemetry.is_none() {
+            while self.now < end {
+                self.step(end)?;
+            }
+            return Ok(());
+        }
         while self.now < end {
             self.step(end)?;
+            self.poll_telemetry();
         }
         Ok(())
     }

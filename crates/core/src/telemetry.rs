@@ -1,0 +1,94 @@
+//! System-level telemetry glue: the energy meter as a [`Sampled`] source.
+//!
+//! The meter itself is stateless (energy is a pure function of operation
+//! counts), so the sampler pairs it with the device's cumulative counters
+//! and lets the recorder's delta machinery attribute picojoules to epochs.
+
+use fgdram_dram::DramDevice;
+use fgdram_energy::meter::{DataActivity, EnergyMeter, OpCounts};
+use fgdram_model::units::Ns;
+use fgdram_telemetry::{SampleBuf, Sampled};
+
+/// Samples cumulative energy, decomposed per the paper's breakdown
+/// (activation / on-die data movement / I/O), as float counters.
+#[derive(Debug)]
+pub(crate) struct EnergySampler<'a> {
+    pub meter: &'a EnergyMeter,
+    pub dev: &'a DramDevice,
+    pub activity: DataActivity,
+}
+
+impl EnergySampler<'_> {
+    fn ops(&self) -> OpCounts {
+        let k = self.dev.total_counters();
+        OpCounts { activates: k.activates, read_atoms: k.read_atoms, write_atoms: k.write_atoms }
+    }
+}
+
+impl Sampled for EnergySampler<'_> {
+    fn component(&self) -> &'static str {
+        "energy"
+    }
+
+    fn sample(&self, out: &mut SampleBuf) {
+        let ops = self.ops();
+        let e = self.meter.energy(&ops, self.activity);
+        out.counter_f64("act_pj", e.activation.value());
+        out.counter_f64("move_pj", e.data_movement.value());
+        out.counter_f64("io_pj", e.io.value());
+        out.counter("bits", self.meter.data_bits(&ops));
+    }
+
+    fn derive(&self, delta: &mut SampleBuf, _epoch_ns: Ns) {
+        let bits = delta.get_u64("bits") as f64;
+        let per = |pj: f64| if bits == 0.0 { 0.0 } else { pj / bits };
+        let act = delta.get_f64("act_pj");
+        let mov = delta.get_f64("move_pj");
+        let io = delta.get_f64("io_pj");
+        delta.gauge("act_pj_per_bit", per(act));
+        delta.gauge("move_pj_per_bit", per(mov));
+        delta.gauge("io_pj_per_bit", per(io));
+        delta.gauge("pj_per_bit", per(act + mov + io));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::cmd::{BankRef, DramCommand};
+    use fgdram_model::config::{DramConfig, DramKind};
+
+    #[test]
+    fn energy_deltas_decompose_per_epoch() {
+        let cfg = DramConfig::new(DramKind::QbHbm);
+        let mut dev = DramDevice::new(cfg.clone());
+        let meter = EnergyMeter::new(&cfg);
+        let activity = DataActivity::default();
+        let mut before = SampleBuf::new();
+        EnergySampler { meter: &meter, dev: &dev, activity }.sample(&mut before);
+        let b = BankRef { channel: 0, bank: 0 };
+        dev.issue(DramCommand::Activate { bank: b, row: 1, slice: 0 }, 0).unwrap();
+        let rd = DramCommand::Read {
+            bank: b,
+            row: 1,
+            col: 0,
+            auto_precharge: false,
+            req: fgdram_model::addr::ReqId(0),
+        };
+        let t = dev.earliest(&rd, 0).unwrap();
+        dev.issue(rd, t).unwrap();
+        let es = EnergySampler { meter: &meter, dev: &dev, activity };
+        let mut after = SampleBuf::new();
+        es.sample(&mut after);
+        let mut d = SampleBuf::delta(&before, &after);
+        es.derive(&mut d, 1000);
+        assert!(d.get_f64("act_pj") > 0.0);
+        assert!(d.get_f64("move_pj") > 0.0);
+        assert!(d.get_f64("io_pj") > 0.0);
+        assert_eq!(d.get_u64("bits"), cfg.atom_bytes * 8);
+        let total = d.get_f64("pj_per_bit");
+        let parts =
+            d.get_f64("act_pj_per_bit") + d.get_f64("move_pj_per_bit") + d.get_f64("io_pj_per_bit");
+        assert!((total - parts).abs() < 1e-9);
+    }
+}

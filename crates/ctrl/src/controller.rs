@@ -169,7 +169,11 @@ mod tests {
         (dev, ctrl)
     }
 
-    fn run_until_drained(dev: &mut DramDevice, ctrl: &mut Controller, limit: Ns) -> Vec<Completion> {
+    fn run_until_drained(
+        dev: &mut DramDevice,
+        ctrl: &mut Controller,
+        limit: Ns,
+    ) -> Vec<Completion> {
         let mut out = Vec::new();
         let mut now = 0;
         while ctrl.pending() > 0 && now < limit {
@@ -201,24 +205,18 @@ mod tests {
         let b0 = m.encode(Location { channel: 0, bank: 0, row: 20, col: 0 });
         let a1 = m.encode(Location { channel: 0, bank: 0, row: 10, col: 1 });
         for (i, addr) in [a0, b0, a1].into_iter().enumerate() {
-            assert!(ctrl.try_enqueue(
-                MemRequest { id: ReqId(i as u64), addr, is_write: false },
-                0
-            ));
+            assert!(ctrl.try_enqueue(MemRequest { id: ReqId(i as u64), addr, is_write: false }, 0));
         }
         let done = run_until_drained(&mut dev, &mut ctrl, 10_000);
         assert_eq!(done.len(), 3);
         // FR-FCFS: the second row-A access (id 2) completes before row B.
-        let pos =
-            |id: u64| done.iter().position(|c| c.req == ReqId(id)).unwrap();
+        let pos = |id: u64| done.iter().position(|c| c.req == ReqId(id)).unwrap();
         assert!(pos(2) < pos(1), "row hit should bypass the conflict");
         assert!(ctrl.stats().row_hits.get() >= 1);
         // The last row-10 hit sees no further reuse, so the controller
         // closes the row via auto-precharge instead of an explicit
         // conflict precharge.
-        assert!(
-            ctrl.stats().auto_precharges.get() + ctrl.stats().conflict_precharges.get() >= 1
-        );
+        assert!(ctrl.stats().auto_precharges.get() + ctrl.stats().conflict_precharges.get() >= 1);
     }
 
     #[test]
@@ -231,10 +229,7 @@ mod tests {
         'outer: for row in 0..128u32 {
             for col in 0..4u32 {
                 let addr = m.encode(Location { channel: 1, bank: (row % 4), row, col });
-                if !ctrl.try_enqueue(
-                    MemRequest { id: ReqId(sent), addr, is_write: true },
-                    0,
-                ) {
+                if !ctrl.try_enqueue(MemRequest { id: ReqId(sent), addr, is_write: true }, 0) {
                     break 'outer;
                 }
                 sent += 1;

@@ -16,6 +16,7 @@
 mod controller;
 mod scheduler;
 pub mod stats;
+mod telemetry;
 
 pub use controller::Controller;
 pub use stats::CtrlStats;

@@ -203,12 +203,8 @@ impl ChannelSched {
     ) -> Result<Step, ProtocolError> {
         let mut any_open = false;
         for b in 0..self.banks as u32 {
-            let open: Vec<(u32, u32)> = dev
-                .channel(self.channel)
-                .bank(b)
-                .open_rows()
-                .map(|o| (o.row, o.slice))
-                .collect();
+            let open: Vec<(u32, u32)> =
+                dev.channel(self.channel).bank(b).open_rows().map(|o| (o.row, o.slice)).collect();
             for (row, slice) in open {
                 any_open = true;
                 let cmd = DramCommand::Precharge { bank: self.bank_ref(b), row: Some(row), slice };
@@ -265,10 +261,8 @@ impl ChannelSched {
             let mut candidate: Option<(usize, &Pending)> = None;
             for (i, p) in self.queue(use_writes)[b].iter().take(scan).enumerate() {
                 let slice = self.slice_of(&p.loc);
-                let hit = ch
-                    .bank(b as u32)
-                    .open_at(p.loc.row, slice)
-                    .is_some_and(|o| o.row == p.loc.row);
+                let hit =
+                    ch.bank(b as u32).open_at(p.loc.row, slice).is_some_and(|o| o.row == p.loc.row);
                 if hit {
                     candidate = Some((i, p));
                     break; // first hit in FIFO order is this bank's oldest
@@ -294,9 +288,21 @@ impl ChannelSched {
             || !self.row_reusable(bank, idx, use_writes, p.loc.row, slice);
         let bankref = self.bank_ref(bank as u32);
         let cmd = if p.req.is_write {
-            DramCommand::Write { bank: bankref, row: p.loc.row, col: p.loc.col, auto_precharge, req: p.req.id }
+            DramCommand::Write {
+                bank: bankref,
+                row: p.loc.row,
+                col: p.loc.col,
+                auto_precharge,
+                req: p.req.id,
+            }
         } else {
-            DramCommand::Read { bank: bankref, row: p.loc.row, col: p.loc.col, auto_precharge, req: p.req.id }
+            DramCommand::Read {
+                bank: bankref,
+                row: p.loc.row,
+                col: p.loc.col,
+                auto_precharge,
+                req: p.req.id,
+            }
         };
         let e = dev.earliest(&cmd, now)?;
         if e > now {
@@ -328,7 +334,14 @@ impl ChannelSched {
 
     /// True when another queued request (read or write) can still use the
     /// open (`row`, `slice`) of `bank`, so the row should stay open.
-    fn row_reusable(&self, bank: usize, skip_idx: usize, skip_writes: bool, row: u32, slice: u32) -> bool {
+    fn row_reusable(
+        &self,
+        bank: usize,
+        skip_idx: usize,
+        skip_writes: bool,
+        row: u32,
+        slice: u32,
+    ) -> bool {
         let scan = self.cfg.reorder_window.max(1);
         let matches = |p: &Pending| p.loc.row == row && self.slice_of(&p.loc) == slice;
         self.read_q[bank]
@@ -538,8 +551,8 @@ impl ChannelSched {
         let deadline = self.last_activity + self.cfg.idle_row_timeout;
         let mut wake = wake;
         if now < deadline {
-            let has_open = (0..self.banks as u32)
-                .any(|b| dev.channel(self.channel).bank(b).any_open());
+            let has_open =
+                (0..self.banks as u32).any(|b| dev.channel(self.channel).bank(b).any_open());
             if has_open {
                 wake = wake.min(deadline);
             }
@@ -549,12 +562,8 @@ impl ChannelSched {
             if !self.read_q[b as usize].is_empty() || !self.write_q[b as usize].is_empty() {
                 continue;
             }
-            let open = dev
-                .channel(self.channel)
-                .bank(b)
-                .open_rows()
-                .next()
-                .map(|o| (o.row, o.slice));
+            let open =
+                dev.channel(self.channel).bank(b).open_rows().next().map(|o| (o.row, o.slice));
             if let Some((row, slice)) = open {
                 if let Some(step) = self.try_precharge(
                     dev,

@@ -1,6 +1,6 @@
 //! Memory-controller statistics.
 
-use fgdram_model::stats::{Counter, Log2Histogram, MeanStat};
+use fgdram_model::stats::{Counter, Log2Histogram};
 use fgdram_model::units::Ns;
 
 /// Aggregate controller statistics across all channels.
@@ -30,8 +30,9 @@ pub struct CtrlStats {
     pub drain_entries: Counter,
     /// Read latency from enqueue to last data beat.
     pub read_latency: Log2Histogram,
-    /// Queue occupancy sampled at each enqueue.
-    pub queue_depth: MeanStat,
+    /// Queue occupancy sampled at each enqueue (histogram, so telemetry
+    /// can report per-epoch depth quantiles, not just a mean).
+    pub queue_depth: Log2Histogram,
 }
 
 impl CtrlStats {

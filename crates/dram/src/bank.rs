@@ -161,9 +161,7 @@ impl Bank {
     ///
     /// [`Rule::PreNothingOpen`] when nothing is open there.
     pub fn earliest_pre(&self, row: u32, slice: u32) -> Result<Ns, Rule> {
-        self.open_at(row, slice)
-            .map(|o| o.earliest_pre)
-            .ok_or(Rule::PreNothingOpen)
+        self.open_at(row, slice).map(|o| o.earliest_pre).ok_or(Rule::PreNothingOpen)
     }
 
     /// Records an accepted precharge of the slot at `at`.

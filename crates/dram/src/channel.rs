@@ -76,6 +76,8 @@ pub struct Channel {
     last_write_group: u32,
     refresh_until: Ns,
     counters: ChannelCounters,
+    bank_activates: Vec<u64>,
+    faw_headroom_sum: u64,
 }
 
 impl Channel {
@@ -97,6 +99,8 @@ impl Channel {
             last_write_group: u32::MAX,
             refresh_until: 0,
             counters: ChannelCounters::default(),
+            bank_activates: vec![0; cfg.banks_per_channel],
+            faw_headroom_sum: 0,
         }
     }
 
@@ -120,9 +124,25 @@ impl Channel {
         &self.data_bus
     }
 
+    /// Per-bank activate counts since the last reset (heatmap row for
+    /// telemetry; index = bank/pseudobank).
+    pub fn bank_activates(&self) -> &[u64] {
+        &self.bank_activates
+    }
+
+    /// Sum over all activates of the tFAW slots still free at issue time
+    /// (beyond the slot the activate itself consumes). Dividing the delta
+    /// by the epoch's activate count gives the average tFAW headroom —
+    /// near 0 means the activate rate is pinned to the power ceiling.
+    pub fn faw_headroom_sum(&self) -> u64 {
+        self.faw_headroom_sum
+    }
+
     /// Zeroes the operation counters (end-of-warmup bookkeeping).
     pub fn reset_counters(&mut self) {
         self.counters = ChannelCounters::default();
+        self.bank_activates.iter_mut().for_each(|b| *b = 0);
+        self.faw_headroom_sum = 0;
     }
 
     #[inline]
@@ -147,9 +167,8 @@ impl Channel {
     /// [`Rule::OutOfRange`].
     pub fn earliest_act(&self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
         self.check_bank(bank)?;
-        let mut t = self.banks[bank as usize]
-            .earliest_act(row, slice, at)
-            .map_err(Reject::structural)?;
+        let mut t =
+            self.banks[bank as usize].earliest_act(row, slice, at).map_err(Reject::structural)?;
         if self.grain_guard {
             let sub = row / self.rows_per_subarray;
             for (b, other) in self.banks.iter().enumerate() {
@@ -185,8 +204,12 @@ impl Channel {
         }
         self.banks[bank as usize].activate(row, slice, at);
         self.last_act = Some(at);
+        // Headroom is observed before recording: slots free beyond the one
+        // this activate takes.
+        self.faw_headroom_sum += self.faw.free_slots(at).saturating_sub(1) as u64;
         self.faw.record(at);
         self.counters.activates += 1;
+        self.bank_activates[bank as usize] += 1;
         Ok(())
     }
 
@@ -204,11 +227,8 @@ impl Channel {
         at: Ns,
     ) -> Result<Ns, Reject> {
         self.check_bank(bank)?;
-        let mut t = at.max(
-            self.banks[bank as usize]
-                .col_ready(row, slice)
-                .map_err(Reject::structural)?,
-        );
+        let mut t =
+            at.max(self.banks[bank as usize].col_ready(row, slice).map_err(Reject::structural)?);
         let group = self.group_of(bank);
         // Bank-group spacing.
         if let Some(any) = self.last_col_any {
@@ -283,9 +303,7 @@ impl Channel {
     /// [`Rule::PreNothingOpen`] / [`Rule::OutOfRange`].
     pub fn earliest_pre(&self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
         self.check_bank(bank)?;
-        let t = self.banks[bank as usize]
-            .earliest_pre(row, slice)
-            .map_err(Reject::structural)?;
+        let t = self.banks[bank as usize].earliest_pre(row, slice).map_err(Reject::structural)?;
         Ok(t.max(at).max(self.refresh_until))
     }
 
@@ -477,9 +495,6 @@ mod tests {
     #[test]
     fn out_of_range_bank_rejected() {
         let c = chan(DramKind::QbHbm);
-        assert_eq!(
-            c.earliest_act(99, 0, 0, 0).unwrap_err().rule,
-            Rule::OutOfRange
-        );
+        assert_eq!(c.earliest_act(99, 0, 0, 0).unwrap_err().rule, Rule::OutOfRange);
     }
 }

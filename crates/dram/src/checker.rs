@@ -112,7 +112,9 @@ impl ProtocolChecker {
         self.last_at = at;
         self.check_cmd_bus(tc)?;
         match tc.cmd {
-            DramCommand::Activate { bank, row, slice } => self.check_act(tc, bank.channel, bank.bank, row, slice),
+            DramCommand::Activate { bank, row, slice } => {
+                self.check_act(tc, bank.channel, bank.bank, row, slice)
+            }
             DramCommand::Read { bank, row, col, auto_precharge, .. } => {
                 self.check_col(tc, bank.channel, bank.bank, row, col, false, auto_precharge)
             }
@@ -396,12 +398,21 @@ mod tests {
     fn rd(ch: u32, bank: u32, row: u32, col: u32, at: Ns) -> TimedCommand {
         TimedCommand {
             at,
-            cmd: DramCommand::Read { bank: b(ch, bank), row, col, auto_precharge: false, req: ReqId(0) },
+            cmd: DramCommand::Read {
+                bank: b(ch, bank),
+                row,
+                col,
+                auto_precharge: false,
+                req: ReqId(0),
+            },
         }
     }
 
     fn pre(ch: u32, bank: u32, row: u32, at: Ns) -> TimedCommand {
-        TimedCommand { at, cmd: DramCommand::Precharge { bank: b(ch, bank), row: Some(row), slice: 0 } }
+        TimedCommand {
+            at,
+            cmd: DramCommand::Precharge { bank: b(ch, bank), row: Some(row), slice: 0 },
+        }
     }
 
     fn checker(kind: DramKind) -> ProtocolChecker {
@@ -438,9 +449,8 @@ mod tests {
     #[test]
     fn rejects_act_violating_trc() {
         let mut c = checker(DramKind::QbHbm);
-        let err = c
-            .check_trace(&[act(0, 0, 5, 0), pre(0, 0, 5, 29), act(0, 0, 6, 44)])
-            .unwrap_err();
+        let err =
+            c.check_trace(&[act(0, 0, 5, 0), pre(0, 0, 5, 29), act(0, 0, 6, 44)]).unwrap_err();
         assert_eq!(err.rule, Rule::ActTooEarly);
     }
 
@@ -448,9 +458,8 @@ mod tests {
     fn rejects_ccd_violations() {
         let mut c = checker(DramKind::QbHbm);
         // Same bank (group): tCCDL = 4.
-        let err = c
-            .check_trace(&[act(0, 0, 5, 0), rd(0, 0, 5, 0, 16), rd(0, 0, 5, 1, 18)])
-            .unwrap_err();
+        let err =
+            c.check_trace(&[act(0, 0, 5, 0), rd(0, 0, 5, 0, 16), rd(0, 0, 5, 1, 18)]).unwrap_err();
         assert_eq!(err.rule, Rule::ColCcd);
     }
 
@@ -504,7 +513,13 @@ mod tests {
         let mut c = checker(DramKind::QbHbm);
         let rd_ap = TimedCommand {
             at: 16,
-            cmd: DramCommand::Read { bank: b(0, 0), row: 5, col: 0, auto_precharge: true, req: ReqId(0) },
+            cmd: DramCommand::Read {
+                bank: b(0, 0),
+                row: 5,
+                col: 0,
+                auto_precharge: true,
+                req: ReqId(0),
+            },
         };
         // Auto-pre at max(tRAS=29, 16+tRTP=20) = 29; +tRP = 45; also tRC = 45.
         let err = c.check_trace(&[act(0, 0, 5, 0), rd_ap, act(0, 0, 6, 44)]).unwrap_err();
@@ -512,7 +527,13 @@ mod tests {
         let mut c = checker(DramKind::QbHbm);
         let rd_ap = TimedCommand {
             at: 16,
-            cmd: DramCommand::Read { bank: b(0, 0), row: 5, col: 0, auto_precharge: true, req: ReqId(0) },
+            cmd: DramCommand::Read {
+                bank: b(0, 0),
+                row: 5,
+                col: 0,
+                auto_precharge: true,
+                req: ReqId(0),
+            },
         };
         c.check_trace(&[act(0, 0, 5, 0), rd_ap, act(0, 0, 6, 45)]).unwrap();
     }
@@ -578,9 +599,8 @@ mod rule_coverage {
     #[test]
     fn catches_wtr_violation() {
         let mut c = ProtocolChecker::new(DramConfig::new(DramKind::QbHbm));
-        let err = c
-            .check_trace(&[act(0, 0, 5, 0), wr(0, 0, 5, 0, 16), rd(0, 0, 5, 1, 26)])
-            .unwrap_err();
+        let err =
+            c.check_trace(&[act(0, 0, 5, 0), wr(0, 0, 5, 0, 16), rd(0, 0, 5, 1, 26)]).unwrap_err();
         assert_eq!(err.rule, Rule::DataBusConflict);
         let mut c = ProtocolChecker::new(DramConfig::new(DramKind::QbHbm));
         c.check_trace(&[act(0, 0, 5, 0), wr(0, 0, 5, 0, 16), rd(0, 0, 5, 1, 30)]).unwrap();
@@ -595,9 +615,8 @@ mod rule_coverage {
         // < 34? 26 < 34 but write data would start before the read's end?
         // Write data 26..28 actually *precedes* the read data; the in-order
         // bus rule (data_start >= last_data_end) catches it.
-        let err = c
-            .check_trace(&[act(0, 0, 5, 0), rd(0, 0, 5, 0, 16), wr(0, 0, 5, 1, 22)])
-            .unwrap_err();
+        let err =
+            c.check_trace(&[act(0, 0, 5, 0), rd(0, 0, 5, 0, 16), wr(0, 0, 5, 1, 22)]).unwrap_err();
         assert_eq!(err.rule, Rule::DataBusConflict);
     }
 
@@ -607,10 +626,8 @@ mod rule_coverage {
     fn catches_wrong_slice_column() {
         let cfg = DramConfig::new(DramKind::QbHbmSalpSc);
         let mut c = ProtocolChecker::new(cfg);
-        let a0 = TimedCommand {
-            at: 0,
-            cmd: DramCommand::Activate { bank: b(0, 0), row: 7, slice: 0 },
-        };
+        let a0 =
+            TimedCommand { at: 0, cmd: DramCommand::Activate { bank: b(0, 0), row: 7, slice: 0 } };
         // Column 8 lives in slice 1 (8 atoms per 256 B activation).
         let err = c.check_trace(&[a0, rd(0, 0, 7, 8, 16)]).unwrap_err();
         assert_eq!(err.rule, Rule::RowNotOpen);
@@ -645,15 +662,13 @@ mod rule_coverage {
         cfg.timing.t_faw = 40;
         cfg.timing.acts_in_faw = 4;
         let mut c = ProtocolChecker::new(cfg.clone());
-        let mut trace: Vec<TimedCommand> =
-            (0..4).map(|i| act(0, i, 1, (i as u64) * 2)).collect();
+        let mut trace: Vec<TimedCommand> = (0..4).map(|i| act(0, i, 1, (i as u64) * 2)).collect();
         trace.push(act(0, 4, 1, 8)); // 5th activate 8 ns after the 1st
         let err = c.check_trace(&trace).unwrap_err();
         assert_eq!(err.rule, Rule::ActFaw);
         // At t0 + tFAW it passes.
         let mut c = ProtocolChecker::new(cfg);
-        let mut trace: Vec<TimedCommand> =
-            (0..4).map(|i| act(0, i, 1, (i as u64) * 2)).collect();
+        let mut trace: Vec<TimedCommand> = (0..4).map(|i| act(0, i, 1, (i as u64) * 2)).collect();
         trace.push(act(0, 4, 1, 40));
         c.check_trace(&trace).unwrap();
     }

@@ -152,7 +152,8 @@ impl DramDevice {
                     && (*row as usize) < self.cfg.rows_per_bank
                     && (*slice as u64) < self.cfg.slices_per_row()
             }
-            DramCommand::Read { bank, row, col, .. } | DramCommand::Write { bank, row, col, .. } => {
+            DramCommand::Read { bank, row, col, .. }
+            | DramCommand::Write { bank, row, col, .. } => {
                 (bank.channel as usize) < self.cfg.channels
                     && (bank.bank as usize) < self.cfg.banks_per_channel
                     && (*row as usize) < self.cfg.rows_per_bank
@@ -212,7 +213,8 @@ impl DramDevice {
     }
 
     fn earliest_pre_all(&self, ch: &Channel, bank: u32, at: Ns) -> Result<Ns, Reject> {
-        let open: Vec<_> = ch.bank(bank).open_rows().map(|o| (o.row, o.slice, o.earliest_pre)).collect();
+        let open: Vec<_> =
+            ch.bank(bank).open_rows().map(|o| (o.row, o.slice, o.earliest_pre)).collect();
         if open.is_empty() {
             return Err(Reject { rule: Rule::PreNothingOpen, earliest: None });
         }
@@ -337,7 +339,8 @@ mod tests {
         let mut d = dev(DramKind::Hbm2);
         let b = bank(0, 0);
         d.issue(DramCommand::Activate { bank: b, row: 3, slice: 0 }, 0).unwrap();
-        let rd = DramCommand::Read { bank: b, row: 3, col: 1, auto_precharge: false, req: ReqId(7) };
+        let rd =
+            DramCommand::Read { bank: b, row: 3, col: 1, auto_precharge: false, req: ReqId(7) };
         let t = d.earliest(&rd, 0).unwrap();
         assert_eq!(t, 16); // tRCD
         let done = d.issue(rd, t).unwrap().unwrap();
@@ -351,7 +354,8 @@ mod tests {
         let mut d = dev(DramKind::Fgdram);
         let b = bank(0, 0);
         d.issue(DramCommand::Activate { bank: b, row: 3, slice: 0 }, 0).unwrap();
-        let rd = DramCommand::Read { bank: b, row: 3, col: 0, auto_precharge: false, req: ReqId(1) };
+        let rd =
+            DramCommand::Read { bank: b, row: 3, col: 0, auto_precharge: false, req: ReqId(1) };
         let t = d.earliest(&rd, 0).unwrap();
         let done = d.issue(rd, t).unwrap().unwrap();
         assert_eq!(done.at - (t + 16), 16); // tCL then 16 ns serial burst
@@ -384,7 +388,8 @@ mod tests {
         d.issue(DramCommand::Activate { bank: b1, row: 1, slice: 0 }, 3).unwrap();
         // A read to grain 0 can issue at 16 (tRCD) even though the row bus
         // carried an activate at 3..6: separate buses.
-        let rd = DramCommand::Read { bank: b0, row: 1, col: 0, auto_precharge: false, req: ReqId(1) };
+        let rd =
+            DramCommand::Read { bank: b0, row: 1, col: 0, auto_precharge: false, req: ReqId(1) };
         assert_eq!(d.earliest(&rd, 0).unwrap(), 16);
     }
 
@@ -432,9 +437,8 @@ mod tests {
     #[test]
     fn out_of_range_targets_rejected() {
         let mut d = dev(DramKind::QbHbm);
-        let err = d
-            .issue(DramCommand::Activate { bank: bank(999, 0), row: 0, slice: 0 }, 0)
-            .unwrap_err();
+        let err =
+            d.issue(DramCommand::Activate { bank: bank(999, 0), row: 0, slice: 0 }, 0).unwrap_err();
         assert_eq!(err.rule, Rule::OutOfRange);
         let err = d
             .issue(DramCommand::Activate { bank: bank(0, 0), row: 1 << 30, slice: 0 }, 0)
@@ -448,7 +452,13 @@ mod tests {
         for ch in 0..4 {
             let b = bank(ch, 0);
             d.issue(DramCommand::Activate { bank: b, row: 1, slice: 0 }, 0).unwrap();
-            let rd = DramCommand::Read { bank: b, row: 1, col: 0, auto_precharge: false, req: ReqId(ch as u64) };
+            let rd = DramCommand::Read {
+                bank: b,
+                row: 1,
+                col: 0,
+                auto_precharge: false,
+                req: ReqId(ch as u64),
+            };
             let t = d.earliest(&rd, 0).unwrap();
             d.issue(rd, t).unwrap();
         }

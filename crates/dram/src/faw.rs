@@ -40,6 +40,20 @@ impl ActWindow {
         at.max(self.times[self.head] + self.window)
     }
 
+    /// Number of activate slots still free at `at`: `max_acts` minus the
+    /// recorded activates whose window has not yet expired. A disabled
+    /// window always reports all slots free. This is the channel's
+    /// instantaneous tFAW headroom — how far the activate rate sits below
+    /// the power-delivery ceiling.
+    pub fn free_slots(&self, at: Ns) -> u32 {
+        if !self.enabled {
+            return self.times.len() as u32;
+        }
+        let in_window =
+            self.times.iter().take(self.filled).filter(|&&t| t + self.window > at).count();
+        (self.times.len() - in_window) as u32
+    }
+
     /// Records an activate at `at`.
     ///
     /// Callers must only record times accepted by [`Self::earliest`];
@@ -87,6 +101,22 @@ mod tests {
             assert_eq!(w.earliest(i), i);
             w.record(i);
         }
+    }
+
+    #[test]
+    fn free_slots_tracks_window_occupancy() {
+        let mut w = ActWindow::new(4, 12);
+        assert_eq!(w.free_slots(0), 4);
+        w.record(0);
+        w.record(1);
+        assert_eq!(w.free_slots(1), 2);
+        // The t=0 activate leaves the window at t=12.
+        assert_eq!(w.free_slots(12), 3);
+        assert_eq!(w.free_slots(13), 4);
+        // Disabled windows always report full headroom.
+        let mut d = ActWindow::new(0, 12);
+        d.record(5);
+        assert_eq!(d.free_slots(5), 1);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod checker;
 pub mod device;
 pub mod error;
 pub mod faw;
+mod telemetry;
 
 pub use channel::{Channel, ChannelCounters, ColOutcome, Reject};
 pub use checker::ProtocolChecker;

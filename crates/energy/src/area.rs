@@ -37,18 +37,30 @@ impl AreaModel {
         let components = match kind {
             DramKind::Hbm2 => vec![],
             DramKind::QbHbm => vec![
-                AreaComponent { name: "global sense amplifiers (4x parallel banks)", fraction: 0.0320 },
+                AreaComponent {
+                    name: "global sense amplifiers (4x parallel banks)",
+                    fraction: 0.0320,
+                },
                 AreaComponent { name: "bank-to-I/O data routing channels", fraction: 0.0511 },
                 AreaComponent { name: "channel decode logic", fraction: 0.0026 },
             ],
             DramKind::QbHbmSalpSc => vec![
-                AreaComponent { name: "global sense amplifiers (4x parallel banks)", fraction: 0.0320 },
+                AreaComponent {
+                    name: "global sense amplifiers (4x parallel banks)",
+                    fraction: 0.0320,
+                },
                 AreaComponent { name: "bank-to-I/O data routing channels", fraction: 0.0511 },
                 AreaComponent { name: "channel decode logic", fraction: 0.0026 },
-                AreaComponent { name: "SALP row buffers + subchannel segmentation", fraction: 0.0347 },
+                AreaComponent {
+                    name: "SALP row buffers + subchannel segmentation",
+                    fraction: 0.0347,
+                },
             ],
             DramKind::Fgdram => vec![
-                AreaComponent { name: "global sense amplifiers (4x parallel banks)", fraction: 0.0320 },
+                AreaComponent {
+                    name: "global sense amplifiers (4x parallel banks)",
+                    fraction: 0.0320,
+                },
                 AreaComponent { name: "distributed grain control logic", fraction: 0.0341 },
                 AreaComponent {
                     name: "pseudobank structures (LWD stripes, latches, control routing)",

@@ -215,8 +215,7 @@ impl EnergyProfile {
         match self.io_tech {
             IoTechnology::Grs => PjPerBit::new(0.54),
             IoTechnology::Podl => {
-                let activity =
-                    if self.io_tracks_toggle { toggle_rate } else { ones_density };
+                let activity = if self.io_tracks_toggle { toggle_rate } else { ones_density };
                 PjPerBit::new(self.io_pj_per_bit_full * activity.clamp(0.0, 1.0))
             }
         }

@@ -218,10 +218,9 @@ mod tests {
         let sum = e.activation + e.data_movement + e.io;
         assert_eq!(e.total(), sum);
         let pb = e.per_bit(m.data_bits(&ops));
-        assert!((pb.total().value()
-            - (pb.activation + pb.data_movement + pb.io).value())
-        .abs()
-            < 1e-12);
+        assert!(
+            (pb.total().value() - (pb.activation + pb.data_movement + pb.io).value()).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -385,10 +385,7 @@ mod tests {
             la += 1;
         }
         for &la in &same_set[..2] {
-            assert!(matches!(
-                c.access(PhysAddr(la * 128), false, la),
-                L2Access::Miss { .. }
-            ));
+            assert!(matches!(c.access(PhysAddr(la * 128), false, la), L2Access::Miss { .. }));
         }
         // Third line: both ways pinned by pending fills.
         assert_eq!(c.access(PhysAddr(same_set[2] * 128), false, 9), L2Access::Blocked);

@@ -17,6 +17,7 @@
 
 pub mod l2;
 pub mod sm;
+mod telemetry;
 
 pub use l2::{L2Access, L2Cache, L2Stats};
 pub use sm::{AccessToken, Gpu, GpuStats, SectorAccess};

@@ -137,11 +137,7 @@ impl Gpu {
     ///
     /// Panics when `streams` does not match `cfg.sms * cfg.warps_per_sm`.
     pub fn new(cfg: GpuConfig, streams: Vec<Box<dyn AccessStream>>) -> Self {
-        assert_eq!(
-            streams.len(),
-            cfg.sms * cfg.warps_per_sm,
-            "need one stream per warp"
-        );
+        assert_eq!(streams.len(), cfg.sms * cfg.warps_per_sm, "need one stream per warp");
         let max_outstanding = cfg.max_outstanding_per_warp.clamp(1, MAX_SLOTS);
         let mut streams = streams.into_iter();
         let sms = (0..cfg.sms)
@@ -158,11 +154,7 @@ impl Gpu {
                         wave_parked: false,
                     })
                     .collect();
-                Sm {
-                    ready: (0..warps.len()).collect(),
-                    sleeping: BinaryHeap::new(),
-                    warps,
-                }
+                Sm { ready: (0..warps.len()).collect(), sleeping: BinaryHeap::new(), warps }
             })
             .collect();
         let window = cfg.wave_window;
@@ -254,6 +246,22 @@ impl Gpu {
     /// The configuration in use.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Warps with at least one load instruction in flight right now.
+    pub fn active_warps(&self) -> usize {
+        self.sms.iter().flat_map(|s| s.warps.iter()).filter(|w| w.outstanding > 0).count()
+    }
+
+    /// Load instructions in flight across all warps (instantaneous MLP
+    /// numerator).
+    pub fn outstanding_loads(&self) -> usize {
+        self.sms.iter().flat_map(|s| s.warps.iter()).map(|w| w.outstanding).sum()
+    }
+
+    /// Warps currently parked by the wave window.
+    pub fn parked_warps(&self) -> usize {
+        self.wave_parked.len()
     }
 
     /// Issues ready warps at `now`, emitting their sector accesses into
@@ -394,7 +402,13 @@ mod tests {
     use fgdram_model::stream::ReplayStream;
 
     fn tiny_cfg() -> GpuConfig {
-        GpuConfig { sms: 1, warps_per_sm: 2, max_outstanding_per_warp: 2, issue_per_ns: 4, ..GpuConfig::default() }
+        GpuConfig {
+            sms: 1,
+            warps_per_sm: 2,
+            max_outstanding_per_warp: 2,
+            issue_per_ns: 4,
+            ..GpuConfig::default()
+        }
     }
 
     fn gpu_with(cfg: GpuConfig, think: Ns) -> Gpu {
@@ -473,7 +487,12 @@ mod tests {
 
     #[test]
     fn issue_budget_caps_per_sm() {
-        let cfg = GpuConfig { sms: 1, warps_per_sm: 8, max_outstanding_per_warp: 1, ..GpuConfig::default() };
+        let cfg = GpuConfig {
+            sms: 1,
+            warps_per_sm: 8,
+            max_outstanding_per_warp: 1,
+            ..GpuConfig::default()
+        };
         let mut g = gpu_with(cfg, 0);
         let mut out = Vec::new();
         g.issue(0, 3, &mut out);

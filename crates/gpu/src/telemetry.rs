@@ -1,0 +1,84 @@
+//! Telemetry instrumentation: GPU front end and L2 as [`Sampled`] sources.
+
+use fgdram_model::units::Ns;
+use fgdram_telemetry::{SampleBuf, Sampled};
+
+use crate::l2::L2Cache;
+use crate::sm::Gpu;
+
+impl Sampled for Gpu {
+    fn component(&self) -> &'static str {
+        "gpu"
+    }
+
+    fn sample(&self, out: &mut SampleBuf) {
+        let s = self.stats();
+        out.counter("retired", s.retired);
+        out.counter("loads_issued", s.loads_issued);
+        out.counter("stores_issued", s.stores_issued);
+        out.counter("sectors", s.sectors);
+        out.gauge("active_warps", self.active_warps() as f64);
+        out.gauge("outstanding_loads", self.outstanding_loads() as f64);
+        out.gauge("parked_warps", self.parked_warps() as f64);
+    }
+
+    fn derive(&self, delta: &mut SampleBuf, _epoch_ns: Ns) {
+        // Instantaneous MLP: in-flight loads per warp that has any.
+        let active = delta.get_f64("active_warps");
+        let outstanding = delta.get_f64("outstanding_loads");
+        delta.gauge("mlp", if active == 0.0 { 0.0 } else { outstanding / active });
+    }
+}
+
+impl Sampled for L2Cache {
+    fn component(&self) -> &'static str {
+        "l2"
+    }
+
+    fn sample(&self, out: &mut SampleBuf) {
+        let s = self.stats();
+        out.counter("hits", s.hits.get());
+        out.counter("misses", s.misses.get());
+        out.counter("merges", s.merges.get());
+        out.counter("stores", s.stores.get());
+        out.counter("writeback_sectors", s.writeback_sectors.get());
+        out.counter("evictions", s.evictions.get());
+        out.counter("blocked", s.blocked.get());
+        out.gauge("inflight_fills", self.inflight_fills() as f64);
+    }
+
+    fn derive(&self, delta: &mut SampleBuf, _epoch_ns: Ns) {
+        let hits = delta.get_u64("hits") + delta.get_u64("merges");
+        let total = hits + delta.get_u64("misses");
+        delta.gauge("hit_rate", if total == 0 { 0.0 } else { hits as f64 / total as f64 });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::addr::PhysAddr;
+    use fgdram_model::config::L2Config;
+
+    #[test]
+    fn l2_epoch_hit_rate_from_deltas() {
+        let mut l2 = L2Cache::new(L2Config::default(), 64);
+        let a = PhysAddr(0x1000);
+        l2.access(a, false, 1); // miss
+        l2.fill_done(a);
+        let mut before = SampleBuf::new();
+        l2.sample(&mut before);
+        // Inside the "epoch": two hits, one fresh miss.
+        l2.access(a, false, 2);
+        l2.access(a, false, 3);
+        l2.access(PhysAddr(0x9000), false, 4);
+        let mut after = SampleBuf::new();
+        l2.sample(&mut after);
+        let mut d = SampleBuf::delta(&before, &after);
+        l2.derive(&mut d, 1000);
+        assert_eq!(d.get_u64("hits"), 2);
+        assert_eq!(d.get_u64("misses"), 1);
+        assert!((d.get_f64("hit_rate") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.get_f64("inflight_fills"), 1.0);
+    }
+}

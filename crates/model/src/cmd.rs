@@ -127,13 +127,8 @@ pub enum CmdKind {
 
 impl CmdKind {
     /// All kinds, for stats tables.
-    pub const ALL: [CmdKind; 5] = [
-        CmdKind::Activate,
-        CmdKind::Read,
-        CmdKind::Write,
-        CmdKind::Precharge,
-        CmdKind::Refresh,
-    ];
+    pub const ALL: [CmdKind; 5] =
+        [CmdKind::Activate, CmdKind::Read, CmdKind::Write, CmdKind::Precharge, CmdKind::Refresh];
 }
 
 impl core::fmt::Display for CmdKind {
@@ -183,7 +178,8 @@ mod tests {
         let b = bank();
         assert_eq!(DramCommand::Activate { bank: b, row: 5, slice: 0 }.kind(), CmdKind::Activate);
         assert!(DramCommand::Activate { bank: b, row: 5, slice: 0 }.is_row_cmd());
-        let rd = DramCommand::Read { bank: b, row: 5, col: 0, auto_precharge: false, req: ReqId(1) };
+        let rd =
+            DramCommand::Read { bank: b, row: 5, col: 0, auto_precharge: false, req: ReqId(1) };
         assert_eq!(rd.kind(), CmdKind::Read);
         assert!(!rd.is_row_cmd());
         assert!(DramCommand::Precharge { bank: b, row: None, slice: 0 }.is_row_cmd());

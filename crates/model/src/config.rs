@@ -28,12 +28,8 @@ pub enum DramKind {
 
 impl DramKind {
     /// All four architectures, in the order the paper's figures present them.
-    pub const ALL: [DramKind; 4] = [
-        DramKind::Hbm2,
-        DramKind::QbHbm,
-        DramKind::QbHbmSalpSc,
-        DramKind::Fgdram,
-    ];
+    pub const ALL: [DramKind; 4] =
+        [DramKind::Hbm2, DramKind::QbHbm, DramKind::QbHbmSalpSc, DramKind::Fgdram];
 
     /// Short display label matching the paper's figure legends.
     pub fn label(self) -> &'static str {
@@ -422,10 +418,7 @@ impl DramConfig {
         pow2("row_bytes", self.row_bytes)?;
         pow2("activation_bytes", self.activation_bytes)?;
         pow2("atom_bytes", self.atom_bytes)?;
-        pow2(
-            "channels_per_cmd_channel",
-            self.channels_per_cmd_channel as u64,
-        )?;
+        pow2("channels_per_cmd_channel", self.channels_per_cmd_channel as u64)?;
         if self.bank_groups > self.banks_per_channel {
             return Err(ConfigError::BankGroups {
                 groups: self.bank_groups,
@@ -675,10 +668,7 @@ mod tests {
         assert_eq!(DramConfig::new(DramKind::Hbm2).stack_bandwidth().value(), 256.0);
         assert_eq!(DramConfig::new(DramKind::QbHbm).stack_bandwidth().value(), 1024.0);
         assert_eq!(DramConfig::new(DramKind::Fgdram).stack_bandwidth().value(), 1024.0);
-        assert_eq!(
-            DramConfig::new(DramKind::QbHbmSalpSc).stack_bandwidth().value(),
-            1024.0
-        );
+        assert_eq!(DramConfig::new(DramKind::QbHbmSalpSc).stack_bandwidth().value(), 1024.0);
     }
 
     #[test]
@@ -738,10 +728,7 @@ mod tests {
     fn validation_rejects_bad_geometry() {
         let mut c = DramConfig::new(DramKind::QbHbm);
         c.channels = 3;
-        assert!(matches!(
-            c.validate(),
-            Err(ConfigError::NotPowerOfTwo { name: "channels", .. })
-        ));
+        assert!(matches!(c.validate(), Err(ConfigError::NotPowerOfTwo { name: "channels", .. })));
         let mut c = DramConfig::new(DramKind::QbHbm);
         c.atom_bytes = 4096;
         assert!(matches!(c.validate(), Err(ConfigError::AtomLargerThanRow { .. })));
@@ -763,10 +750,7 @@ mod tests {
         // Iso bank count with QB-HBM (256 total).
         assert_eq!(deep.channels * deep.banks_per_channel, 256);
         // Zero rotation slack: groups x t_ccd_s == t_ccd_l.
-        assert_eq!(
-            deep.bank_groups as u64 * deep.timing.t_ccd_s,
-            deep.timing.t_ccd_l
-        );
+        assert_eq!(deep.bank_groups as u64 * deep.timing.t_ccd_s, deep.timing.t_ccd_l);
     }
 
     #[test]

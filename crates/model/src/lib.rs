@@ -40,6 +40,8 @@ pub mod units;
 
 pub use addr::{AddressMapper, Location, MemRequest, PhysAddr, ReqId};
 pub use cmd::{BankRef, CmdKind, Completion, DramCommand, TimedCommand};
-pub use config::{ConfigError, CtrlConfig, DramConfig, DramKind, GpuConfig, L2Config, TimingParams};
+pub use config::{
+    ConfigError, CtrlConfig, DramConfig, DramKind, GpuConfig, L2Config, TimingParams,
+};
 pub use stream::{AccessStream, WarpInstruction};
 pub use units::{GbPerSec, Ns, Picojoules, PjPerBit, Watts};

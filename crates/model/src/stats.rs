@@ -71,6 +71,11 @@ impl MeanStat {
         self.count
     }
 
+    /// Sum of all samples (exact, u128 to avoid overflow).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of the samples, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -138,6 +143,24 @@ impl Log2Histogram {
     /// Underlying mean/min/max accumulator.
     pub fn stat(&self) -> &MeanStat {
         &self.stat
+    }
+
+    /// Raw bucket counts (bucket 0 holds zero; bucket `i` holds values in
+    /// `[2^(i-1), 2^i)`). Exposed for per-epoch delta sampling: bucket
+    /// counts are cumulative counters, so subtracting two snapshots yields
+    /// the distribution of the interval between them.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition plus
+    /// the underlying [`MeanStat`] merge). Used for per-epoch and
+    /// cross-channel aggregation.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.stat.merge(&other.stat);
     }
 
     /// Value below which `q` (0..=1) of the samples fall, estimated at
@@ -265,6 +288,56 @@ mod tests {
     #[test]
     fn empty_histogram_quantile_is_zero() {
         assert_eq!(Log2Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn mean_stat_merge_empty_and_one_sided() {
+        // Empty into empty: still empty, and min()/max() stay well-defined.
+        let mut a = MeanStat::new();
+        a.merge(&MeanStat::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!((a.min(), a.max()), (0, 0));
+        // Non-empty into empty adopts the other side verbatim.
+        let mut filled = MeanStat::new();
+        for v in [5, 15] {
+            filled.record(v);
+        }
+        a.merge(&filled);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 10.0);
+        assert_eq!((a.min(), a.max()), (5, 15));
+        assert_eq!(a.sum(), 20);
+        // Empty into non-empty changes nothing.
+        a.merge(&MeanStat::new());
+        assert_eq!(a.count(), 2);
+        assert_eq!((a.min(), a.max()), (5, 15));
+    }
+
+    #[test]
+    fn histogram_merge_empty_and_one_sided() {
+        // Empty into empty.
+        let mut a = Log2Histogram::new();
+        a.merge(&Log2Histogram::new());
+        assert_eq!(a.stat().count(), 0);
+        assert_eq!(a.quantile(0.5), 0);
+        // Non-empty into empty adopts the distribution.
+        let mut b = Log2Histogram::new();
+        for v in [1u64, 2, 1000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.stat().count(), 3);
+        assert_eq!(a.stat().max(), 1000);
+        assert_eq!(a.buckets(), b.buckets());
+        // Empty into non-empty changes nothing.
+        a.merge(&Log2Histogram::new());
+        assert_eq!(a.stat().count(), 3);
+        // Two-sided: bucket counts add.
+        a.merge(&b);
+        assert_eq!(a.stat().count(), 6);
+        assert_eq!(a.iter().map(|(_, c)| c).sum::<u64>(), 6);
+        assert_eq!(a.stat().sum(), 2 * (1 + 2 + 1000));
     }
 
     #[test]

@@ -96,11 +96,7 @@ mod tests {
 
     #[test]
     fn clear_resets_all_fields() {
-        let mut w = WarpInstruction {
-            sectors: vec![PhysAddr(1)],
-            is_store: true,
-            think_ns: 9,
-        };
+        let mut w = WarpInstruction { sectors: vec![PhysAddr(1)], is_store: true, think_ns: 9 };
         w.clear();
         assert!(w.sectors.is_empty());
         assert!(!w.is_store);

@@ -1,0 +1,71 @@
+//! # fgdram-telemetry
+//!
+//! Epoch-sampled time-series observability for every simulated component.
+//!
+//! End-of-run aggregates (`SimReport`, `CtrlStats`) average away exactly
+//! the dynamics the paper argues about: activate-rate saturation against
+//! tFAW, bank-level-parallelism ramp-up, row-locality phases. This crate
+//! snapshots component counters every N *simulated* nanoseconds into
+//! ring-buffered time series and exports them as JSONL or CSV with
+//! hand-rolled, dependency-free writers (the offline no-registry build
+//! stays intact).
+//!
+//! ## The delta-snapshot pattern
+//!
+//! Components never maintain per-epoch state. They implement [`Sampled`]
+//! by dumping their *cumulative* counters into a [`SampleBuf`]; the
+//! [`Recorder`] keeps the previous snapshot per component and subtracts,
+//! so each [`EpochRecord`] carries exactly what happened inside one epoch.
+//! Monotonic kinds (counters, counter arrays, log2-histogram buckets) are
+//! subtracted; gauges pass through as instantaneous readings; a
+//! post-delta [`Sampled::derive`] hook turns per-epoch deltas into rates
+//! and ratios (row-hit rate, busy fraction, pJ/bit).
+//!
+//! ## Determinism
+//!
+//! Epoch boundaries derive from simulated time only — never wall clock,
+//! never thread scheduling — so telemetry output is bit-identical across
+//! repeated runs and across any `--jobs` worker count.
+//!
+//! ## Examples
+//!
+//! ```
+//! use fgdram_telemetry::{Recorder, SampleBuf, Sampled, TelemetryConfig};
+//!
+//! struct Widget {
+//!     ops: u64,
+//! }
+//! impl Sampled for Widget {
+//!     fn component(&self) -> &'static str {
+//!         "widget"
+//!     }
+//!     fn sample(&self, out: &mut SampleBuf) {
+//!         out.counter("ops", self.ops);
+//!     }
+//! }
+//!
+//! let mut w = Widget { ops: 0 };
+//! let mut rec = Recorder::new(TelemetryConfig { epoch_ns: 100, capacity: 16 });
+//! rec.start(0, &[&w]);
+//! w.ops = 7;
+//! rec.poll(150, &[&w]); // crosses the boundary at 100
+//! let series = rec.finish(150, &[&w]);
+//! assert_eq!(series.records.len(), 2); // [0,100) full + [100,150) partial
+//! let jsonl = fgdram_telemetry::export::to_jsonl_string(&[], &series);
+//! assert!(jsonl.lines().next().unwrap().contains("\"ops\":7"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod record;
+pub mod recorder;
+pub mod sample;
+pub mod series;
+
+pub use record::{ComponentRecord, EpochRecord, FieldValue, HistSummary};
+pub use recorder::{Recorder, Telemetry, TelemetryConfig};
+pub use sample::{RawValue, SampleBuf, Sampled};
+pub use series::RingBuffer;

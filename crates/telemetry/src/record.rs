@@ -1,0 +1,124 @@
+//! Finished per-epoch records: what exporters and tests consume.
+
+use crate::sample::{log2_bucket_quantile, RawValue, SampleBuf};
+use fgdram_model::units::Ns;
+
+/// Summary of a per-epoch latency/depth distribution, computed from
+/// delta'd log2-histogram buckets at bucket-edge resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Samples recorded inside the epoch.
+    pub count: u64,
+    /// Median (upper bucket edge), 0 when empty.
+    pub p50: u64,
+    /// 95th percentile (upper bucket edge), 0 when empty.
+    pub p95: u64,
+}
+
+impl HistSummary {
+    /// Summarises a bucket-wise delta.
+    pub fn from_buckets(buckets: &[u64]) -> Self {
+        HistSummary {
+            count: buckets.iter().sum(),
+            p50: log2_bucket_quantile(buckets, 0.5),
+            p95: log2_bucket_quantile(buckets, 0.95),
+        }
+    }
+}
+
+/// One finished per-epoch field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Delta of a counter (events inside the epoch).
+    U64(u64),
+    /// Gauge reading or delta of a float accumulator.
+    F64(f64),
+    /// Element-wise delta of a counter array (heatmap row).
+    Array(Vec<u64>),
+    /// Summarised histogram delta.
+    Hist(HistSummary),
+}
+
+/// One component's finished fields for one epoch.
+#[derive(Debug, Clone)]
+pub struct ComponentRecord {
+    /// Component name ("ctrl", "dram", ...), from [`crate::Sampled::component`].
+    pub component: &'static str,
+    /// Fields in sample order, derived fields last.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl ComponentRecord {
+    /// Builds a finished record from a delta'd [`SampleBuf`].
+    pub fn from_delta(component: &'static str, delta: &SampleBuf) -> Self {
+        let fields = delta
+            .fields()
+            .iter()
+            .map(|(name, v)| {
+                let fv = match v {
+                    RawValue::Counter(c) => FieldValue::U64(*c),
+                    RawValue::CounterF64(c) => FieldValue::F64(*c),
+                    RawValue::Gauge(g) => FieldValue::F64(*g),
+                    RawValue::CounterArray(a) => FieldValue::Array(a.clone()),
+                    RawValue::Log2Hist(b) => FieldValue::Hist(HistSummary::from_buckets(b)),
+                };
+                (*name, fv)
+            })
+            .collect();
+        ComponentRecord { component, fields }
+    }
+
+    /// Looks a finished field up by name.
+    pub fn get(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+}
+
+/// Everything sampled for one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// 0-based epoch index since recording started.
+    pub index: u64,
+    /// Inclusive epoch start in simulated ns.
+    pub start_ns: Ns,
+    /// Exclusive epoch end in simulated ns (may be closer than
+    /// `epoch_ns` for a trailing partial epoch).
+    pub end_ns: Ns,
+    /// One record per sampled component, in source order.
+    pub components: Vec<ComponentRecord>,
+}
+
+impl EpochRecord {
+    /// Looks a component up by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentRecord> {
+        self.components.iter().find(|c| c.component == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_summary_from_empty() {
+        let s = HistSummary::from_buckets(&[0; 64]);
+        assert_eq!(s, HistSummary { count: 0, p50: 0, p95: 0 });
+    }
+
+    #[test]
+    fn component_record_preserves_order_and_kinds() {
+        let mut d = SampleBuf::new();
+        d.counter("a", 1);
+        d.gauge("b", 2.5);
+        d.counter_array("c", vec![3, 4]);
+        let mut buckets = [0u64; 64];
+        buckets[3] = 2; // two samples in (4, 8]
+        d.log2_hist("d", &buckets);
+        let r = ComponentRecord::from_delta("x", &d);
+        assert_eq!(r.fields.iter().map(|(n, _)| *n).collect::<Vec<_>>(), ["a", "b", "c", "d"]);
+        assert_eq!(r.get("a"), Some(&FieldValue::U64(1)));
+        assert_eq!(r.get("b"), Some(&FieldValue::F64(2.5)));
+        assert_eq!(r.get("c"), Some(&FieldValue::Array(vec![3, 4])));
+        assert_eq!(r.get("d"), Some(&FieldValue::Hist(HistSummary { count: 2, p50: 8, p95: 8 })));
+    }
+}

@@ -1,0 +1,268 @@
+//! The epoch recorder: drives delta snapshots off simulated time.
+
+use crate::record::{ComponentRecord, EpochRecord};
+use crate::sample::{SampleBuf, Sampled};
+use crate::series::RingBuffer;
+use fgdram_model::units::Ns;
+
+/// Recorder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Epoch length in simulated nanoseconds (clamped to >= 1).
+    pub epoch_ns: Ns,
+    /// Ring-buffer capacity in epochs; oldest epochs are evicted (and
+    /// counted) beyond this.
+    pub capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { epoch_ns: 1000, capacity: 4096 }
+    }
+}
+
+impl TelemetryConfig {
+    /// Capacity sized so a `window`-long run with this `epoch_ns` never
+    /// drops an epoch (full epochs + a trailing partial + slack).
+    pub fn for_window(epoch_ns: Ns, window: Ns) -> Self {
+        let epoch_ns = epoch_ns.max(1);
+        let capacity = (window / epoch_ns) as usize + 2;
+        TelemetryConfig { epoch_ns, capacity }
+    }
+}
+
+/// A finished telemetry series, ready for export.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Configured epoch length in simulated ns.
+    pub epoch_ns: Ns,
+    /// Retained epoch records, oldest first.
+    pub records: Vec<EpochRecord>,
+    /// Epochs evicted from the ring buffer (0 unless capacity was
+    /// exceeded).
+    pub dropped_epochs: u64,
+}
+
+/// Samples a set of [`Sampled`] components at epoch boundaries derived
+/// purely from simulated time.
+///
+/// Protocol: [`Recorder::start`] once at the beginning of the observation
+/// window (takes the baseline snapshot), [`Recorder::poll`] after every
+/// simulation step (emits a record per crossed boundary), and
+/// [`Recorder::finish`] at the end (flushes a trailing partial epoch).
+/// Component order must be identical across all three calls.
+#[derive(Debug)]
+pub struct Recorder {
+    cfg: TelemetryConfig,
+    start_ns: Ns,
+    epoch_start: Ns,
+    epoch_index: u64,
+    prev: Vec<SampleBuf>,
+    ring: RingBuffer<EpochRecord>,
+    started: bool,
+}
+
+impl Recorder {
+    /// New recorder; call [`Recorder::start`] before polling.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        let cfg = TelemetryConfig { epoch_ns: cfg.epoch_ns.max(1), capacity: cfg.capacity };
+        Recorder {
+            cfg,
+            start_ns: 0,
+            epoch_start: 0,
+            epoch_index: 0,
+            prev: Vec::new(),
+            ring: RingBuffer::new(cfg.capacity),
+            started: false,
+        }
+    }
+
+    /// Configured epoch length in simulated ns.
+    pub fn epoch_ns(&self) -> Ns {
+        self.cfg.epoch_ns
+    }
+
+    /// Takes the baseline snapshot at simulated time `now`; epoch 0 spans
+    /// `[now, now + epoch_ns)`.
+    pub fn start(&mut self, now: Ns, sources: &[&dyn Sampled]) {
+        self.start_ns = now;
+        self.epoch_start = now;
+        self.epoch_index = 0;
+        self.prev = sources
+            .iter()
+            .map(|s| {
+                let mut buf = SampleBuf::new();
+                s.sample(&mut buf);
+                buf
+            })
+            .collect();
+        self.started = true;
+    }
+
+    /// Emits one record per epoch boundary crossed up to simulated time
+    /// `now`. Counters are cumulative, so sampling several boundaries at
+    /// once only loses *attribution between* the skipped epochs, never
+    /// events; with per-step polling in the simulator, boundaries are
+    /// exact because no events occur between steps.
+    pub fn poll(&mut self, now: Ns, sources: &[&dyn Sampled]) {
+        debug_assert!(self.started, "poll before start");
+        while now >= self.epoch_start + self.cfg.epoch_ns {
+            let end = self.epoch_start + self.cfg.epoch_ns;
+            self.emit(end, sources);
+        }
+    }
+
+    /// Flushes any trailing partial epoch `[epoch_start, now)` and returns
+    /// the finished series. A zero-length tail (now == epoch_start)
+    /// produces no extra record, so a zero-length window yields an empty
+    /// series.
+    pub fn finish(mut self, now: Ns, sources: &[&dyn Sampled]) -> Telemetry {
+        debug_assert!(self.started, "finish before start");
+        self.poll(now, sources);
+        if now > self.epoch_start {
+            self.emit(now, sources);
+        }
+        Telemetry {
+            epoch_ns: self.cfg.epoch_ns,
+            dropped_epochs: self.ring.dropped(),
+            records: self.ring.into_vec(),
+        }
+    }
+
+    fn emit(&mut self, end: Ns, sources: &[&dyn Sampled]) {
+        debug_assert_eq!(sources.len(), self.prev.len(), "source set changed between polls");
+        let epoch_len = end - self.epoch_start;
+        let mut components = Vec::with_capacity(sources.len());
+        for (src, prev) in sources.iter().zip(self.prev.iter_mut()) {
+            let mut cur = SampleBuf::new();
+            src.sample(&mut cur);
+            let mut delta = SampleBuf::delta(prev, &cur);
+            src.derive(&mut delta, epoch_len);
+            components.push(ComponentRecord::from_delta(src.component(), &delta));
+            *prev = cur;
+        }
+        self.ring.push(EpochRecord {
+            index: self.epoch_index,
+            start_ns: self.epoch_start,
+            end_ns: end,
+            components,
+        });
+        self.epoch_index += 1;
+        self.epoch_start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    struct Fake {
+        ops: Cell<u64>,
+        depth: Cell<f64>,
+    }
+
+    impl Sampled for Fake {
+        fn component(&self) -> &'static str {
+            "fake"
+        }
+        fn sample(&self, out: &mut SampleBuf) {
+            out.counter("ops", self.ops.get());
+            out.gauge("depth", self.depth.get());
+        }
+        fn derive(&self, delta: &mut SampleBuf, epoch_ns: Ns) {
+            let rate = delta.get_u64("ops") as f64 / epoch_ns as f64;
+            delta.gauge("ops_per_ns", rate);
+        }
+    }
+
+    fn record_u64(t: &Telemetry, epoch: usize, field: &str) -> u64 {
+        match t.records[epoch].component("fake").unwrap().get(field).unwrap() {
+            crate::record::FieldValue::U64(v) => *v,
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_and_partial_epochs() {
+        let f = Fake { ops: Cell::new(0), depth: Cell::new(0.0) };
+        let mut rec = Recorder::new(TelemetryConfig { epoch_ns: 100, capacity: 16 });
+        rec.start(0, &[&f]);
+        f.ops.set(3);
+        rec.poll(50, &[&f]); // mid-epoch: nothing emitted yet
+        f.ops.set(10);
+        f.depth.set(4.0);
+        rec.poll(120, &[&f]); // crosses 100
+        f.ops.set(12);
+        let t = rec.finish(150, &[&f]); // partial [100,150)
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.dropped_epochs, 0);
+        assert_eq!((t.records[0].start_ns, t.records[0].end_ns), (0, 100));
+        assert_eq!((t.records[1].start_ns, t.records[1].end_ns), (100, 150));
+        assert_eq!(record_u64(&t, 0, "ops"), 10);
+        assert_eq!(record_u64(&t, 1, "ops"), 2);
+    }
+
+    #[test]
+    fn window_exact_multiple_has_no_partial() {
+        let f = Fake { ops: Cell::new(0), depth: Cell::new(0.0) };
+        let mut rec = Recorder::new(TelemetryConfig { epoch_ns: 50, capacity: 16 });
+        rec.start(0, &[&f]);
+        let t = rec.finish(100, &[&f]);
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.records[1].end_ns, 100);
+    }
+
+    #[test]
+    fn zero_length_window_yields_no_records() {
+        let f = Fake { ops: Cell::new(5), depth: Cell::new(0.0) };
+        let mut rec = Recorder::new(TelemetryConfig::default());
+        rec.start(42, &[&f]);
+        let t = rec.finish(42, &[&f]);
+        assert!(t.records.is_empty());
+    }
+
+    #[test]
+    fn nonzero_start_offsets_boundaries() {
+        let f = Fake { ops: Cell::new(0), depth: Cell::new(0.0) };
+        let mut rec = Recorder::new(TelemetryConfig { epoch_ns: 100, capacity: 16 });
+        rec.start(250, &[&f]); // warmup ended at 250
+        f.ops.set(1);
+        rec.poll(360, &[&f]);
+        let t = rec.finish(360, &[&f]);
+        assert_eq!((t.records[0].start_ns, t.records[0].end_ns), (250, 350));
+        assert_eq!((t.records[1].start_ns, t.records[1].end_ns), (350, 360));
+    }
+
+    #[test]
+    fn derive_appends_rates() {
+        let f = Fake { ops: Cell::new(0), depth: Cell::new(0.0) };
+        let mut rec = Recorder::new(TelemetryConfig { epoch_ns: 100, capacity: 4 });
+        rec.start(0, &[&f]);
+        f.ops.set(50);
+        let t = rec.finish(100, &[&f]);
+        let c = t.records[0].component("fake").unwrap();
+        match c.get("ops_per_ns").unwrap() {
+            crate::record::FieldValue::F64(v) => assert!((v - 0.5).abs() < 1e-12),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_capacity_drops_oldest() {
+        let f = Fake { ops: Cell::new(0), depth: Cell::new(0.0) };
+        let mut rec = Recorder::new(TelemetryConfig { epoch_ns: 10, capacity: 2 });
+        rec.start(0, &[&f]);
+        let t = rec.finish(50, &[&f]); // 5 epochs into capacity 2
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.dropped_epochs, 3);
+        assert_eq!(t.records[0].index, 3);
+        assert_eq!(t.records[1].index, 4);
+    }
+
+    #[test]
+    fn epoch_zero_clamps_to_one() {
+        let rec = Recorder::new(TelemetryConfig { epoch_ns: 0, capacity: 4 });
+        assert_eq!(rec.epoch_ns(), 1);
+    }
+}

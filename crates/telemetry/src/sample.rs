@@ -1,0 +1,244 @@
+//! The [`Sampled`] trait and raw snapshot buffers.
+
+use fgdram_model::units::Ns;
+
+/// One raw sampled value. The kind decides how the recorder turns two
+/// consecutive snapshots into a per-epoch reading.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawValue {
+    /// Monotonic event count; per-epoch value is the delta.
+    Counter(u64),
+    /// Monotonic float accumulator (e.g. cumulative picojoules); delta'd.
+    CounterF64(f64),
+    /// Instantaneous reading (queue occupancy, active warps); passed
+    /// through unchanged.
+    Gauge(f64),
+    /// Array of monotonic counters (per-bank heatmaps); element-wise delta.
+    CounterArray(Vec<u64>),
+    /// Cumulative log2-histogram buckets (layout of
+    /// `fgdram_model::stats::Log2Histogram`); the bucket-wise delta is the
+    /// epoch's distribution, summarised as count/p50/p95.
+    Log2Hist(Vec<u64>),
+}
+
+/// An ordered, named collection of raw values — one component's snapshot.
+///
+/// Field order is insertion order and must be identical on every
+/// [`Sampled::sample`] call: the recorder pairs fields positionally when
+/// computing deltas, and exporters derive the schema from it.
+#[derive(Debug, Clone, Default)]
+pub struct SampleBuf {
+    fields: Vec<(&'static str, RawValue)>,
+}
+
+impl SampleBuf {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        SampleBuf { fields: Vec::new() }
+    }
+
+    /// Appends a monotonic counter.
+    pub fn counter(&mut self, name: &'static str, v: u64) {
+        self.fields.push((name, RawValue::Counter(v)));
+    }
+
+    /// Appends a monotonic float accumulator.
+    pub fn counter_f64(&mut self, name: &'static str, v: f64) {
+        self.fields.push((name, RawValue::CounterF64(v)));
+    }
+
+    /// Appends an instantaneous gauge.
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        self.fields.push((name, RawValue::Gauge(v)));
+    }
+
+    /// Appends an array of monotonic counters.
+    pub fn counter_array(&mut self, name: &'static str, v: Vec<u64>) {
+        self.fields.push((name, RawValue::CounterArray(v)));
+    }
+
+    /// Appends cumulative log2-histogram buckets.
+    pub fn log2_hist(&mut self, name: &'static str, buckets: &[u64; 64]) {
+        self.fields.push((name, RawValue::Log2Hist(buckets.to_vec())));
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(&'static str, RawValue)] {
+        &self.fields
+    }
+
+    /// Looks a field up by name (for [`Sampled::derive`] implementations).
+    pub fn get(&self, name: &str) -> Option<&RawValue> {
+        self.fields.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
+    }
+
+    /// A counter field's value, or 0 when absent or of another kind.
+    pub fn get_u64(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(RawValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// A float-counter or gauge field's value, or 0.0 otherwise.
+    pub fn get_f64(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(RawValue::CounterF64(v)) | Some(RawValue::Gauge(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// Sum of a counter-array field, or 0 when absent.
+    pub fn get_array_sum(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(RawValue::CounterArray(v)) => v.iter().sum(),
+            _ => 0,
+        }
+    }
+
+    /// Computes the delta snapshot `cur - prev`.
+    ///
+    /// Both buffers must come from the same [`Sampled::sample`]
+    /// implementation: identical field names, kinds, and array lengths, in
+    /// the same order (debug-asserted). Counters subtract saturating so a
+    /// mid-window external reset degrades to a zero reading instead of
+    /// wrapping.
+    pub fn delta(prev: &SampleBuf, cur: &SampleBuf) -> SampleBuf {
+        debug_assert_eq!(prev.fields.len(), cur.fields.len(), "snapshot schema changed");
+        let fields = cur
+            .fields
+            .iter()
+            .zip(prev.fields.iter())
+            .map(|((name, c), (pname, p))| {
+                debug_assert_eq!(name, pname, "snapshot field order changed");
+                let v = match (c, p) {
+                    (RawValue::Counter(c), RawValue::Counter(p)) => {
+                        RawValue::Counter(c.saturating_sub(*p))
+                    }
+                    (RawValue::CounterF64(c), RawValue::CounterF64(p)) => {
+                        RawValue::CounterF64(c - p)
+                    }
+                    (RawValue::Gauge(c), RawValue::Gauge(_)) => RawValue::Gauge(*c),
+                    (RawValue::CounterArray(c), RawValue::CounterArray(p)) => {
+                        RawValue::CounterArray(
+                            c.iter().zip(p.iter()).map(|(c, p)| c.saturating_sub(*p)).collect(),
+                        )
+                    }
+                    (RawValue::Log2Hist(c), RawValue::Log2Hist(p)) => RawValue::Log2Hist(
+                        c.iter().zip(p.iter()).map(|(c, p)| c.saturating_sub(*p)).collect(),
+                    ),
+                    (c, _) => {
+                        debug_assert!(false, "snapshot field kind changed for {name}");
+                        c.clone()
+                    }
+                };
+                (*name, v)
+            })
+            .collect();
+        SampleBuf { fields }
+    }
+}
+
+/// A component that can be observed by the epoch sampler.
+///
+/// Implementations dump *cumulative* counters — never per-epoch state —
+/// and may derive rates/ratios from the computed delta afterwards.
+pub trait Sampled {
+    /// Stable component name; becomes the JSONL object key ("ctrl",
+    /// "dram", "gpu", "l2", "energy").
+    fn component(&self) -> &'static str;
+
+    /// Writes the cumulative snapshot. Must emit the same fields in the
+    /// same order on every call.
+    fn sample(&self, out: &mut SampleBuf);
+
+    /// Post-delta hook: append gauge fields computed from the epoch's
+    /// delta (`epoch_ns` is the epoch's actual duration — shorter than the
+    /// configured epoch for a final partial window). Default: nothing.
+    fn derive(&self, _delta: &mut SampleBuf, _epoch_ns: Ns) {}
+}
+
+/// Value below which `q` (0..=1) of the samples in a log2-bucket delta
+/// fall, at bucket-edge resolution (mirrors
+/// `fgdram_model::stats::Log2Histogram::quantile`, which cannot be used
+/// directly because a delta exists only as raw buckets). Returns 0 for an
+/// empty distribution.
+pub fn log2_bucket_quantile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+    let mut seen = 0;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= target.max(1) {
+            return if i == 0 { 1 } else { 1u64 << i };
+        }
+    }
+    // Unreachable for consistent buckets; cap at the top edge.
+    1u64 << (buckets.len().min(64) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counters_and_passes_gauges() {
+        let mut prev = SampleBuf::new();
+        prev.counter("ops", 10);
+        prev.counter_f64("pj", 1.5);
+        prev.gauge("depth", 4.0);
+        prev.counter_array("heat", vec![1, 2, 3]);
+        let mut cur = SampleBuf::new();
+        cur.counter("ops", 17);
+        cur.counter_f64("pj", 4.0);
+        cur.gauge("depth", 9.0);
+        cur.counter_array("heat", vec![2, 2, 10]);
+        let d = SampleBuf::delta(&prev, &cur);
+        assert_eq!(d.get_u64("ops"), 7);
+        assert!((d.get_f64("pj") - 2.5).abs() < 1e-12);
+        assert_eq!(d.get_f64("depth"), 9.0);
+        assert_eq!(d.get_array_sum("heat"), 8); // per-element deltas 1, 0, 7
+    }
+
+    #[test]
+    fn delta_saturates_on_external_reset() {
+        let mut prev = SampleBuf::new();
+        prev.counter("ops", 100);
+        let mut cur = SampleBuf::new();
+        cur.counter("ops", 3); // counter was reset under us
+        assert_eq!(SampleBuf::delta(&prev, &cur).get_u64("ops"), 3u64.saturating_sub(100));
+    }
+
+    #[test]
+    fn hist_delta_is_bucketwise() {
+        use fgdram_model::stats::Log2Histogram;
+        let mut h = Log2Histogram::new();
+        h.record(5);
+        let mut prev = SampleBuf::new();
+        prev.log2_hist("lat", h.buckets());
+        h.record(5);
+        h.record(1000);
+        let mut cur = SampleBuf::new();
+        cur.log2_hist("lat", h.buckets());
+        let d = SampleBuf::delta(&prev, &cur);
+        let RawValue::Log2Hist(b) = d.get("lat").unwrap() else { panic!("kind") };
+        assert_eq!(b.iter().sum::<u64>(), 2);
+        assert_eq!(log2_bucket_quantile(b, 0.5), 8); // 5 lands in (4,8]
+        assert_eq!(log2_bucket_quantile(b, 1.0), 1024);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(log2_bucket_quantile(&[0; 64], 0.5), 0);
+    }
+
+    #[test]
+    fn quantile_of_zero_bucket_is_one() {
+        let mut b = [0u64; 64];
+        b[0] = 10; // ten zero-valued samples
+        assert_eq!(log2_bucket_quantile(&b, 0.5), 1);
+    }
+}

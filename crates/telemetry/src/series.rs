@@ -1,0 +1,93 @@
+//! Fixed-capacity ring buffer backing each time series.
+
+/// A bounded FIFO that evicts its oldest element on overflow and counts
+/// how many were dropped. Keeps long simulations at a fixed memory
+/// footprint while preserving the most recent history.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// New buffer holding at most `capacity` elements (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an element, evicting the oldest if full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.capacity {
+            self.items.pop_front();
+            self.dropped += 1;
+        }
+        self.items.push_back(item);
+    }
+
+    /// Number of retained elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of elements evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained elements oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Consumes the buffer into an oldest-first `Vec`.
+    pub fn into_vec(self) -> Vec<T> {
+        self.items.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_on_overflow() {
+        let mut rb = RingBuffer::new(3);
+        for i in 0..5 {
+            rb.push(i);
+        }
+        assert_eq!(rb.len(), 3);
+        assert_eq!(rb.dropped(), 2);
+        assert_eq!(rb.into_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut rb = RingBuffer::new(0);
+        rb.push('a');
+        rb.push('b');
+        assert_eq!(rb.len(), 1);
+        assert_eq!(rb.dropped(), 1);
+        assert_eq!(rb.into_vec(), vec!['b']);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut rb = RingBuffer::new(8);
+        rb.push(1);
+        rb.push(2);
+        assert_eq!(rb.dropped(), 0);
+        assert!(!rb.is_empty());
+        assert_eq!(rb.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

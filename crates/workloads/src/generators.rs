@@ -205,8 +205,7 @@ impl AccessStream for Generator {
                 let center = self.base + self.cursor % self.span;
                 out.sectors.push(PhysAddr(center));
                 out.sectors.push(PhysAddr(self.base + (self.cursor + plane_bytes) % self.span));
-                out.sectors
-                    .push(PhysAddr(self.base + (self.cursor + 2 * plane_bytes) % self.span));
+                out.sectors.push(PhysAddr(self.base + (self.cursor + 2 * plane_bytes) % self.span));
                 self.cursor = (self.cursor + self.advance) % self.span;
                 self.maybe_store(out);
             }
@@ -276,7 +275,14 @@ mod tests {
         let a = collect(Pattern::Random { sectors_per_instr: 2, rmw: false }, 10);
         let b = collect(Pattern::Random { sectors_per_instr: 2, rmw: false }, 10);
         assert_eq!(a, b);
-        let mut g = Generator::new(Pattern::Random { sectors_per_instr: 2, rmw: false }, 0, 1 << 20, 5, 0.0, 43);
+        let mut g = Generator::new(
+            Pattern::Random { sectors_per_instr: 2, rmw: false },
+            0,
+            1 << 20,
+            5,
+            0.0,
+            43,
+        );
         let mut w = WarpInstruction::default();
         g.fill_next(&mut w);
         assert_ne!(w.sectors, a[0].sectors, "different seed, different stream");
@@ -339,7 +345,8 @@ mod tests {
 
     #[test]
     fn write_fraction_produces_stores() {
-        let mut g = Generator::new(Pattern::Sequential { sectors_per_instr: 1 }, 0, 1 << 20, 0, 0.5, 7);
+        let mut g =
+            Generator::new(Pattern::Sequential { sectors_per_instr: 1 }, 0, 1 << 20, 0, 0.5, 7);
         let mut stores = 0;
         for _ in 0..200 {
             let mut w = WarpInstruction::default();
@@ -351,7 +358,14 @@ mod tests {
 
     #[test]
     fn footprint_span_is_respected() {
-        let mut g = Generator::new(Pattern::Random { sectors_per_instr: 4, rmw: false }, 1 << 30, 1 << 20, 0, 0.0, 3);
+        let mut g = Generator::new(
+            Pattern::Random { sectors_per_instr: 4, rmw: false },
+            1 << 30,
+            1 << 20,
+            0,
+            0.0,
+            3,
+        );
         for _ in 0..100 {
             let mut w = WarpInstruction::default();
             g.fill_next(&mut w);

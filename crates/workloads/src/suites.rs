@@ -42,7 +42,8 @@ fn wl(
         toggle_rate,
         ones_density: toggle_rate, // synthetic data: ones track toggle
         memory_intensive,
-        seed: SUITE_SEED ^ name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)),
+        seed: SUITE_SEED
+            ^ name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)),
     }
 }
 
@@ -68,7 +69,16 @@ pub fn compute_suite() -> Vec<Workload> {
         wl("srad_v2", Stencil { plane_bytes: 1 << 13 }, 128, 1700, 0.20, 4, 0.22, false),
         wl("backprop", Sequential { sectors_per_instr: 4 }, 128, 1400, 0.30, 4, 0.33, false),
         wl("hotspot", Stencil { plane_bytes: 1 << 13 }, 128, 1900, 0.15, 4, 0.28, false),
-        wl("gaussian", Strided { stride_bytes: 1 << 13, sectors_per_instr: 2 }, 128, 2200, 0.10, 4, 0.27, false),
+        wl(
+            "gaussian",
+            Strided { stride_bytes: 1 << 13, sectors_per_instr: 2 },
+            128,
+            2200,
+            0.10,
+            4,
+            0.27,
+            false,
+        ),
         wl("lavaMD", Random { sectors_per_instr: 4, rmw: false }, 64, 4500, 0.10, 4, 0.31, false),
         wl("cfd", Stencil { plane_bytes: 1 << 15 }, 256, 950, 0.20, 4, 0.34, false),
         wl("b+tree", PointerChase, 256, 1800, 0.0, 2, 0.29, false),
@@ -76,10 +86,28 @@ pub fn compute_suite() -> Vec<Workload> {
         // think_ns calibrated once against Figure 10's reported speedups
         // (see DESIGN.md); the same stream drives every architecture.
         wl("GUPS", Random { sectors_per_instr: 1, rmw: true }, 1024, 0, 0.0, 8, 0.12, true),
-        wl("nw", Strided { stride_bytes: 1 << 15, sectors_per_instr: 2 }, 512, 450, 0.25, 4, 0.32, true),
+        wl(
+            "nw",
+            Strided { stride_bytes: 1 << 15, sectors_per_instr: 2 },
+            512,
+            450,
+            0.25,
+            4,
+            0.32,
+            true,
+        ),
         wl("bfs", PointerChase, 512, 340, 0.0, 6, 0.30, true),
         wl("sp", Random { sectors_per_instr: 2, rmw: false }, 512, 980, 0.10, 4, 0.36, true),
-        wl("kmeans", Strided { stride_bytes: 1 << 16, sectors_per_instr: 4 }, 512, 860, 0.05, 4, 0.34, true),
+        wl(
+            "kmeans",
+            Strided { stride_bytes: 1 << 16, sectors_per_instr: 4 },
+            512,
+            860,
+            0.05,
+            4,
+            0.34,
+            true,
+        ),
         wl("MiniAMR", Random { sectors_per_instr: 4, rmw: false }, 512, 2100, 0.20, 4, 0.38, true),
         wl("streamcluster", Sequential { sectors_per_instr: 8 }, 64, 1600, 0.05, 4, 0.42, true),
         wl("mst", Sequential { sectors_per_instr: 4 }, 256, 900, 0.10, 4, 0.37, true),
@@ -105,8 +133,7 @@ pub fn graphics_suite() -> Vec<Workload> {
             // (graphics "are unable to fully utilize the baseline",
             // Section 5.2); think follows from the per-instruction bytes.
             let target_gbps = 470.0 + 130.0 * rng.random_f64();
-            let bytes_per_instr = (compression + (1.0 - compression) * tile_sectors as f64)
-                * 32.0
+            let bytes_per_instr = (compression + (1.0 - compression) * tile_sectors as f64) * 32.0
                 + texture_fraction * 64.0;
             let think = (3840.0 * bytes_per_instr / target_gbps) as u64;
             let mut w = wl(
@@ -153,11 +180,8 @@ mod tests {
     #[test]
     fn memory_intensive_grouping() {
         let suite = compute_suite();
-        let intensive: Vec<&str> = suite
-            .iter()
-            .filter(|w| w.memory_intensive)
-            .map(|w| w.name.as_str())
-            .collect();
+        let intensive: Vec<&str> =
+            suite.iter().filter(|w| w.memory_intensive).map(|w| w.name.as_str()).collect();
         assert_eq!(intensive.len(), 11);
         for name in ["GUPS", "STREAM", "bfs", "nw", "kmeans", "MiniAMR", "sp"] {
             assert!(intensive.contains(&name), "{name} should be memory intensive");

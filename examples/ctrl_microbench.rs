@@ -9,8 +9,8 @@ use fgdram::ctrl::Controller;
 use fgdram::dram::DramDevice;
 use fgdram::model::addr::{MemRequest, PhysAddr, ReqId};
 use fgdram::model::config::{CtrlConfig, DramConfig, DramKind};
-use fgdram::model::units::GbPerSec;
 use fgdram::model::rng::SmallRng;
+use fgdram::model::units::GbPerSec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pattern = std::env::args().nth(1).unwrap_or_else(|| "rand".into());
@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "seq" => {
                 let a = *seq_addr;
                 *seq_addr += 32;
-                MemRequest { id: ReqId(*next_id), addr: PhysAddr(a), is_write: rng.random_bool(0.25) }
+                MemRequest {
+                    id: ReqId(*next_id),
+                    addr: PhysAddr(a),
+                    is_write: rng.random_bool(0.25),
+                }
             }
             "rand-rw" => MemRequest {
                 id: ReqId(*next_id),
@@ -54,7 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while now < window {
         // Unlimited demand: keep every queue as full as it will accept.
         loop {
-            let req = pending_req.take().unwrap_or_else(|| gen(&mut rng, &mut seq_addr, &mut next_id));
+            let req =
+                pending_req.take().unwrap_or_else(|| gen(&mut rng, &mut seq_addr, &mut next_id));
             if !ctrl.try_enqueue(req, now) {
                 pending_req = Some(req);
                 break;

@@ -31,8 +31,7 @@ fn partitioned(channels: usize) -> DramConfig {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let window: u64 =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(60_000);
+    let window: u64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(60_000);
     println!(
         "{:<10} {:>9} {:>12} {:>12} {:>10} {:>12}",
         "grains", "GB/s/ch", "GUPS GB/s", "GUPS pJ/b", "bfs GB/s", "bfs pJ/b"
@@ -40,11 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for channels in [64usize, 128, 256, 512] {
         let cfg = partitioned(channels);
         cfg.validate()?;
-        let mut row = format!(
-            "{:<10} {:>9.1}",
-            channels,
-            cfg.channel_bandwidth().value()
-        );
+        let mut row = format!("{:<10} {:>9.1}", channels, cfg.channel_bandwidth().value());
         for name in ["GUPS", "bfs"] {
             let report = SystemBuilder::new(DramKind::Fgdram)
                 .dram_config(cfg.clone())

@@ -14,8 +14,7 @@ use fgdram::model::config::{DramConfig, DramKind, GpuConfig};
 use fgdram::workloads::suites;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let window: u64 =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(40_000);
+    let window: u64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(40_000);
     // A bigger GPU to feed 4 TB/s: 2x the SMs of the P100-class part.
     let gpu = GpuConfig { sms: 120, ..GpuConfig::default() };
     // An exascale working mix: one streaming and one irregular kernel.

@@ -13,8 +13,7 @@ use fgdram::model::config::DramKind;
 use fgdram::workloads::suites;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let window: u64 =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(50_000);
+    let window: u64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(50_000);
     // Offered load is controlled through arithmetic intensity: demand is
     // roughly warps x 32 B / think.
     let thinks = [4000u64, 2000, 1200, 800, 500, 300, 150, 0];
@@ -27,9 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.think_ns = think;
         let mut line = format!("{think:>9} |");
         for kind in [DramKind::QbHbm, DramKind::Fgdram] {
-            let r = SystemBuilder::new(kind)
-                .workload(base.clone())
-                .run(window / 4, window)?;
+            let r = SystemBuilder::new(kind).workload(base.clone()).run(window / 4, window)?;
             line.push_str(&format!(
                 " {:>12.1} {:>10.0}{}",
                 r.bandwidth.value(),

@@ -67,13 +67,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ctrl: accepted r={} w={} rejected={} acts={} hits={} conflictpre={} autopre={} timeoutpre={} refpre={} refreshes={} drains={} qdepth={:.1}",
         cs.reads_accepted, cs.writes_accepted, cs.rejected, cs.activates, cs.row_hits,
         cs.conflict_precharges, cs.auto_precharges, cs.timeout_precharges, cs.refresh_precharges,
-        cs.refreshes, cs.drain_entries, cs.queue_depth.mean());
+        cs.refreshes, cs.drain_entries, cs.queue_depth.stat().mean());
     let l2 = sys.l2().stats();
-    println!("l2: hits={} misses={} merges={} stores={} wb={} evic={} blocked={} inflight={}",
-        l2.hits.get(), l2.misses.get(), l2.merges.get(), l2.stores.get(),
-        l2.writeback_sectors.get(), l2.evictions.get(), l2.blocked.get(), sys.l2().inflight_fills());
+    println!(
+        "l2: hits={} misses={} merges={} stores={} wb={} evic={} blocked={} inflight={}",
+        l2.hits.get(),
+        l2.misses.get(),
+        l2.merges.get(),
+        l2.stores.get(),
+        l2.writeback_sectors.get(),
+        l2.evictions.get(),
+        l2.blocked.get(),
+        sys.l2().inflight_fills()
+    );
     let g = sys.gpu().stats();
-    println!("gpu: retired={} loads={} stores={} sectors={}", g.retired, g.loads_issued, g.stores_issued, g.sectors);
-    println!("lat: mean={:.0} p95={} max={}", cs.read_latency.stat().mean(), cs.read_latency.quantile(0.95), cs.read_latency.stat().max());
+    println!(
+        "gpu: retired={} loads={} stores={} sectors={}",
+        g.retired, g.loads_issued, g.stores_issued, g.sectors
+    );
+    println!(
+        "lat: mean={:.0} p95={} max={}",
+        cs.read_latency.stat().mean(),
+        cs.read_latency.quantile(0.95),
+        cs.read_latency.stat().max()
+    );
     Ok(())
 }

@@ -16,9 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("workload: {name}  (warmup 20 us, window 100 us)\n");
     let mut reports = Vec::new();
     for kind in [DramKind::QbHbm, DramKind::Fgdram] {
-        let report = SystemBuilder::new(kind)
-            .workload(workload.clone())
-            .run(20_000, 100_000)?;
+        let report = SystemBuilder::new(kind).workload(workload.clone()).run(20_000, 100_000)?;
         println!("{report}");
         reports.push(report);
     }

@@ -27,8 +27,7 @@ fn with_row_bytes(row_bytes: u64) -> DramConfig {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let window: u64 =
-        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(60_000);
+    let window: u64 = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(60_000);
     println!(
         "{:>10} {:>12} {:>12} {:>12} {:>12}",
         "row (B)", "GUPS pJ/b", "GUPS GB/s", "STREAM pJ/b", "STREAM GB/s"

@@ -11,6 +11,9 @@
 //!        --grs  --closed-page  --trace-check  --wave <n>  --mlp <n>
 //!        --jobs <n>   worker threads for `suite` (default: all cores;
 //!                     results are identical at any job count)
+//!        --telemetry <path>   epoch-sampled time series (JSONL, or CSV
+//!                             when the path ends in `.csv`)
+//!        --epoch <ns>         telemetry epoch length (default 1000)
 //! ```
 
 use fgdram::core::experiments::{self, Scale};
@@ -18,6 +21,7 @@ use fgdram::core::{SimReport, SystemBuilder};
 use fgdram::dram::ProtocolChecker;
 use fgdram::energy::floorplan::IoTechnology;
 use fgdram::model::config::{CtrlConfig, DramConfig, DramKind, GpuConfig, PagePolicy};
+use fgdram::telemetry::{export, Telemetry, TelemetryConfig};
 use fgdram::workloads::{suites, Workload};
 
 #[derive(Debug, Clone)]
@@ -32,6 +36,12 @@ struct Flags {
     mlp: Option<usize>,
     /// Worker threads for matrix-shaped commands; 0 = available cores.
     jobs: usize,
+    /// Telemetry output path; format by extension (`.csv` = CSV, else JSONL).
+    telemetry: Option<String>,
+    /// Telemetry epoch length in simulated ns.
+    epoch: u64,
+    /// Flag names the user explicitly passed, for ignored-flag warnings.
+    present: Vec<&'static str>,
 }
 
 impl Default for Flags {
@@ -46,6 +56,9 @@ impl Default for Flags {
             wave: None,
             mlp: None,
             jobs: 0,
+            telemetry: None,
+            epoch: 1_000,
+            present: Vec::new(),
         }
     }
 }
@@ -64,25 +77,61 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut f = Flags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut next = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut next =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--arch" => f.arch = parse_arch(&next("--arch")?)?,
             "--warmup" => f.warmup = next("--warmup")?.parse().map_err(|e| format!("{e}"))?,
             "--window" => f.window = next("--window")?.parse().map_err(|e| format!("{e}"))?,
             "--wave" => f.wave = Some(next("--wave")?.parse().map_err(|e| format!("{e}"))?),
             "--mlp" => f.mlp = Some(next("--mlp")?.parse().map_err(|e| format!("{e}"))?),
-            "--jobs" => {
-                f.jobs = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+            "--jobs" => f.jobs = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--telemetry" => f.telemetry = Some(next("--telemetry")?),
+            "--epoch" => {
+                f.epoch = next("--epoch")?.parse().map_err(|e| format!("--epoch: {e}"))?;
+                if f.epoch == 0 {
+                    return Err("--epoch must be >= 1 ns".to_string());
+                }
             }
             "--grs" => f.grs = true,
             "--closed-page" => f.closed_page = true,
             "--trace-check" => f.trace_check = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
+        if let Some(name) = FLAG_NAMES.iter().find(|n| **n == a.as_str()) {
+            f.present.push(name);
+        }
     }
     Ok(f)
+}
+
+/// Canonical spellings, for the ignored-flag warnings.
+const FLAG_NAMES: &[&str] = &[
+    "--arch",
+    "--warmup",
+    "--window",
+    "--wave",
+    "--mlp",
+    "--jobs",
+    "--telemetry",
+    "--epoch",
+    "--grs",
+    "--closed-page",
+    "--trace-check",
+];
+
+/// Warns (stderr) about every flag that was passed but has no effect on
+/// `cmd`, so a typo like `suite --arch fg` does not silently simulate
+/// something else than asked.
+fn warn_ignored(f: &Flags, cmd: &str, ignored: &[&str]) {
+    for name in ignored {
+        if f.present.iter().any(|p| p == name) {
+            eprintln!("warning: {name} is accepted but ignored by '{cmd}'");
+        }
+    }
+    if f.telemetry.is_none() && f.present.contains(&"--epoch") {
+        eprintln!("warning: --epoch has no effect without --telemetry");
+    }
 }
 
 /// The flag-customised system for one (workload, architecture) cell;
@@ -106,7 +155,65 @@ fn builder_for(mut workload: Workload, kind: DramKind, f: &Flags) -> SystemBuild
         .io_technology(if f.grs { IoTechnology::Grs } else { IoTechnology::Podl })
 }
 
-fn simulate(workload: Workload, kind: DramKind, f: &Flags) -> Result<SimReport, String> {
+/// One telemetry output file; routes each series to the JSONL or CSV
+/// exporter by the path's extension and keeps a single CSV header when
+/// several same-schema series (per-architecture, per-workload) land in
+/// the same file.
+struct TelemetrySink {
+    out: std::io::BufWriter<std::fs::File>,
+    path: String,
+    csv: bool,
+    header_done: bool,
+    epochs: usize,
+}
+
+impl TelemetrySink {
+    fn create(path: &str) -> Result<Self, String> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("--telemetry: cannot create {path}: {e}"))?;
+        Ok(TelemetrySink {
+            out: std::io::BufWriter::new(file),
+            path: path.to_string(),
+            csv: path.ends_with(".csv"),
+            header_done: false,
+            epochs: 0,
+        })
+    }
+
+    fn emit(&mut self, meta: &[(&str, &str)], t: &Telemetry) -> Result<(), String> {
+        let res = if self.csv {
+            export::write_csv_with_header(&mut self.out, meta, t, !self.header_done)
+        } else {
+            export::write_jsonl(&mut self.out, meta, t)
+        };
+        res.map_err(|e| format!("--telemetry: write to {} failed: {e}", self.path))?;
+        self.header_done = true;
+        self.epochs += t.records.len();
+        if t.dropped_epochs > 0 {
+            eprintln!("warning: {} telemetry epochs dropped (ring capacity)", t.dropped_epochs);
+        }
+        Ok(())
+    }
+
+    fn close(mut self) -> Result<(), String> {
+        use std::io::Write;
+        self.out.flush().map_err(|e| format!("--telemetry: flush {}: {e}", self.path))?;
+        eprintln!("telemetry: {} epochs -> {}", self.epochs, self.path);
+        Ok(())
+    }
+}
+
+/// The telemetry configuration for one measurement window, sized so the
+/// ring keeps every epoch.
+fn telemetry_cfg(f: &Flags) -> TelemetryConfig {
+    TelemetryConfig::for_window(f.epoch, f.window)
+}
+
+fn simulate(
+    workload: Workload,
+    kind: DramKind,
+    f: &Flags,
+) -> Result<(SimReport, Option<Telemetry>), String> {
     let mut builder = builder_for(workload, kind, f);
     if f.trace_check {
         builder = builder.with_trace();
@@ -114,7 +221,11 @@ fn simulate(workload: Workload, kind: DramKind, f: &Flags) -> Result<SimReport, 
     let mut sys = builder.build().map_err(|e| e.to_string())?;
     sys.run_for(f.warmup).map_err(|e| e.to_string())?;
     sys.reset_stats();
+    if f.telemetry.is_some() {
+        sys.enable_telemetry(telemetry_cfg(f));
+    }
     sys.run_for(f.window).map_err(|e| e.to_string())?;
+    let series = sys.finish_telemetry();
     if f.trace_check {
         let trace = sys.take_trace();
         ProtocolChecker::new(DramConfig::new(kind))
@@ -122,7 +233,7 @@ fn simulate(workload: Workload, kind: DramKind, f: &Flags) -> Result<SimReport, 
             .map_err(|e| format!("protocol violation: {e}"))?;
         eprintln!("trace-check: {} commands, protocol clean", trace.len());
     }
-    Ok(sys.report(f.window))
+    Ok((sys.report(f.window), series))
 }
 
 fn cmd_list() {
@@ -138,7 +249,10 @@ fn cmd_list() {
 }
 
 fn cmd_info() {
-    println!("{:<28} {:>10} {:>10} {:>16} {:>10}", "parameter", "HBM2", "QB-HBM", "QB+SALP+SC", "FGDRAM");
+    println!(
+        "{:<28} {:>10} {:>10} {:>16} {:>10}",
+        "parameter", "HBM2", "QB-HBM", "QB+SALP+SC", "FGDRAM"
+    );
     let cfgs: Vec<DramConfig> = DramKind::ALL.iter().map(|&k| DramConfig::new(k)).collect();
     let row = |name: &str, f: &dyn Fn(&DramConfig) -> String| {
         println!(
@@ -167,15 +281,24 @@ fn main() -> Result<(), String> {
             let name = args.get(1).ok_or("run needs a workload name")?;
             let w = suites::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
             let f = parse_flags(&args[2..])?;
-            println!("{}", simulate(w, f.arch, &f)?);
+            warn_ignored(&f, "run", &["--jobs"]);
+            let (report, series) = simulate(w, f.arch, &f)?;
+            println!("{report}");
+            if let (Some(path), Some(t)) = (&f.telemetry, &series) {
+                let mut sink = TelemetrySink::create(path)?;
+                sink.emit(&[("workload", name), ("arch", f.arch.label())], t)?;
+                sink.close()?;
+            }
         }
         Some("compare") => {
             let name = args.get(1).ok_or("compare needs a workload name")?;
             let w = suites::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
             let f = parse_flags(&args[2..])?;
+            warn_ignored(&f, "compare", &["--arch", "--jobs"]);
+            let mut sink = f.telemetry.as_deref().map(TelemetrySink::create).transpose()?;
             let mut base: Option<SimReport> = None;
             for kind in DramKind::ALL {
-                let r = simulate(w.clone(), kind, &f)?;
+                let (r, series) = simulate(w.clone(), kind, &f)?;
                 let speedup = base
                     .as_ref()
                     .map(|b| format!("  {:.2}x vs QB-HBM", r.speedup_over(b)))
@@ -184,6 +307,12 @@ fn main() -> Result<(), String> {
                     base = Some(r.clone());
                 }
                 println!("{r}{speedup}");
+                if let (Some(sink), Some(t)) = (sink.as_mut(), &series) {
+                    sink.emit(&[("workload", name), ("arch", kind.label())], t)?;
+                }
+            }
+            if let Some(sink) = sink {
+                sink.close()?;
             }
         }
         Some("suite") => {
@@ -194,12 +323,12 @@ fn main() -> Result<(), String> {
                 "graphics" => suites::graphics_suite(),
                 other => return Err(format!("unknown suite {other} (compute|graphics)")),
             };
-            if f.trace_check {
-                eprintln!("note: --trace-check applies to run/compare only; ignored for suite");
-            }
+            warn_ignored(&f, "suite", &["--arch", "--trace-check"]);
             // Every (workload, architecture) cell is independent; run the
-            // whole suite through the sharded matrix executor. Results are
-            // identical at any --jobs value.
+            // whole suite through the sharded cell executor. Results —
+            // including the telemetry stream, which is serialised from the
+            // input-order result table after the run — are identical at
+            // any --jobs value.
             let scale = Scale {
                 warmup: f.warmup,
                 window: f.window,
@@ -207,21 +336,23 @@ fn main() -> Result<(), String> {
                 parallelism: experiments::Parallelism::jobs(f.jobs),
             };
             let kinds = [DramKind::QbHbm, DramKind::Fgdram];
-            let matrix = experiments::run_matrix_with(&workloads, &kinds, scale, |w, k| {
-                builder_for(w.clone(), k, &f)
+            let cells = experiments::run_cells(&workloads, &kinds, scale, |w, k| {
+                let mut b = builder_for(w.clone(), k, &f);
+                if f.telemetry.is_some() {
+                    b = b.telemetry(telemetry_cfg(&f));
+                }
+                b.run_instrumented(scale.warmup, scale.window)
             })
             .map_err(|e| e.to_string())?;
+            let mut sink = f.telemetry.as_deref().map(TelemetrySink::create).transpose()?;
             let mut logsum = 0.0;
             let (mut eq, mut ef) = (0.0, 0.0);
-            for row in &matrix {
-                let (Some(qb), Some(fg)) =
-                    (row.try_report(DramKind::QbHbm), row.try_report(DramKind::Fgdram))
-                else {
-                    continue;
-                };
+            for (wi, w) in workloads.iter().enumerate() {
+                let (qb, qb_t) = &cells[wi * kinds.len()];
+                let (fg, fg_t) = &cells[wi * kinds.len() + 1];
                 println!(
                     "{:<14} speedup {:>5.2}x   {:>5.2} -> {:>5.2} pJ/b",
-                    row.workload.name,
+                    w.name,
                     fg.speedup_over(qb),
                     qb.energy_per_bit.total().value(),
                     fg.energy_per_bit.total().value()
@@ -229,6 +360,16 @@ fn main() -> Result<(), String> {
                 logsum += fg.speedup_over(qb).max(1e-9).ln();
                 eq += qb.energy_per_bit.total().value();
                 ef += fg.energy_per_bit.total().value();
+                if let Some(sink) = sink.as_mut() {
+                    for (kind, t) in kinds.iter().zip([qb_t, fg_t]) {
+                        if let Some(t) = t {
+                            sink.emit(&[("workload", &w.name), ("arch", kind.label())], t)?;
+                        }
+                    }
+                }
+            }
+            if let Some(sink) = sink {
+                sink.close()?;
             }
             let n = workloads.len() as f64;
             println!(
@@ -244,8 +385,9 @@ fn main() -> Result<(), String> {
             eprintln!(
                 "usage: fgdram-sim <list|info|run|compare|suite> [args]\n\
                  e.g.   fgdram-sim run GUPS --arch fg --trace-check\n\
+                        fgdram-sim run STREAM --telemetry out.jsonl --epoch 1000\n\
                         fgdram-sim compare STREAM --window 50000\n\
-                        fgdram-sim suite compute --jobs 8"
+                        fgdram-sim suite compute --jobs 8 --telemetry suite.csv"
             );
         }
     }

@@ -1,21 +1,20 @@
 //! Regenerates every table and figure of the paper's evaluation and
 //! rewrites `EXPERIMENTS.md` with paper-vs-measured values.
 //!
-//! Usage:
-//!   cargo run --release --bin regen-experiments [--quick] [--jobs N] [OUT.md]
-//!   (from `crates/bench`; the crate lives outside the root workspace so
-//!   the tier-1 build stays registry-free)
+//! Usage (from the repository root):
+//!   cargo run --release --bin regen-experiments -- [--quick] [--jobs N] [OUT.md]
 //!
-//! `--quick` uses reduced windows and workload subsets (for smoke runs);
-//! the checked-in `EXPERIMENTS.md` is produced by a full run. `--jobs N`
-//! caps the matrix worker threads (default: all cores); the output is
-//! bit-identical at any job count.
+//! `--quick` uses reduced windows and workload subsets; the checked-in
+//! `EXPERIMENTS.md` records which scale produced it in its header.
+//! `--jobs N` caps the matrix worker threads (default: all cores); the
+//! output is bit-identical at any job count.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use fgdram_core::experiments::{self, MatrixRow, Parallelism, Scale};
-use fgdram_model::config::DramKind;
+use fgdram::core::experiments::{self, MatrixRow, Parallelism, Scale};
+use fgdram::energy as fgdram_energy;
+use fgdram::model::config::DramKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut quick = false;
@@ -53,9 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(
         w,
         "Reproduction of every table and figure in *Fine-Grained DRAM* (MICRO 2017).\n\
-         Regenerate with `cd crates/bench && cargo run --release --bin regen-experiments`{}.\n\
-         Absolute numbers come from synthetic workloads on a from-scratch simulator\n\
-         (see DESIGN.md); the paper-shape columns state what must hold and does.\n",
+         Regenerate with `cargo run --release --bin regen-experiments{}` from the\n\
+         repository root{}. Absolute numbers come from synthetic workloads on a\n\
+         from-scratch simulator (see DESIGN.md); the paper-shape columns state\n\
+         what must hold and does.\n",
+        if quick { " -- --quick" } else { "" },
         if quick { " (this file: `--quick` scale)" } else { "" }
     )?;
 
@@ -104,14 +105,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(w, "| parameter | HBM2 | QB-HBM | FGDRAM |")?;
     writeln!(w, "|---|---|---|---|")?;
     for row in experiments::table2() {
-        writeln!(w, "| {} | {} | {} | {} |", row.name, row.values[0], row.values[1], row.values[2])?;
+        writeln!(
+            w,
+            "| {} | {} | {} | {} |",
+            row.name, row.values[0], row.values[1], row.values[2]
+        )?;
     }
     writeln!(w, "\nIdentical to the paper's Table 2 by construction (configs are code; see `fgdram-model::config`).\n")?;
 
     writeln!(w, "## Table 3 — per-operation DRAM energy\n")?;
     writeln!(w, "| component | HBM2 | QB-HBM | FGDRAM | paper (HBM2/QB/FG) |")?;
     writeln!(w, "|---|---|---|---|---|")?;
-    let paper3 = ["909 / 909 / 227", "1.51 / 1.51 / 0.98", "1.17 / 1.02 / 0.40", "0.80 / 0.77 / 0.77"];
+    let paper3 =
+        ["909 / 909 / 227", "1.51 / 1.51 / 0.98", "1.17 / 1.02 / 0.40", "0.80 / 0.77 / 0.77"];
     for (row, pp) in experiments::table3().iter().zip(paper3) {
         writeln!(
             w,
@@ -211,7 +217,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writeln!(w, "## Figure 11 / Section 5.4 — prior-work baseline (QB-HBM+SALP+SC)\n")?;
     writeln!(w, "| architecture | act | move | io | total (pJ/b) | paper total |")?;
     writeln!(w, "|---|---|---|---|---|---|")?;
-    let paper11 = [("QB-HBM", "3.83"), ("QB-HBM+SALP+SC", "~2.95 (-23%)"), ("FGDRAM", "1.95 (-49%)")];
+    let paper11 =
+        [("QB-HBM", "3.83"), ("QB-HBM+SALP+SC", "~2.95 (-23%)"), ("FGDRAM", "1.95 (-49%)")];
     for (kind, (_, ptotal)) in kinds.iter().zip(paper11) {
         let (mut a, mut m, mut i) = (0.0, 0.0, 0.0);
         for row in &matrix {
@@ -321,7 +328,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Per-workload raw table ------------------------------------------
     writeln!(w, "## Raw per-run measurements (compute suite)\n")?;
-    writeln!(w, "| workload | arch | BW (GB/s) | util | pJ/b | hit rate | avg lat (ns) | p95 (ns) |")?;
+    writeln!(
+        w,
+        "| workload | arch | BW (GB/s) | util | pJ/b | hit rate | avg lat (ns) | p95 (ns) |"
+    )?;
     writeln!(w, "|---|---|---|---|---|---|---|---|")?;
     let dump = |w: &mut String, rows: &[MatrixRow]| -> std::fmt::Result {
         for row in rows {

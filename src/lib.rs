@@ -13,6 +13,8 @@
 //!   power budget;
 //! * [`workloads`] — the 26-application compute suite and 80-workload
 //!   graphics suite as deterministic synthetic streams;
+//! * [`telemetry`] — epoch-sampled time-series recording with
+//!   dependency-free JSONL/CSV exporters;
 //! * [`core`] — system composition ([`core::SystemBuilder`]) and reports.
 //!
 //! ## Quickstart
@@ -38,4 +40,5 @@ pub use fgdram_dram as dram;
 pub use fgdram_energy as energy;
 pub use fgdram_gpu as gpu;
 pub use fgdram_model as model;
+pub use fgdram_telemetry as telemetry;
 pub use fgdram_workloads as workloads;

@@ -18,10 +18,7 @@ struct Req {
 fn arb_reqs(r: &mut SmallRng, max: u64) -> Vec<Req> {
     let n = r.random_range(1..max);
     (0..n)
-        .map(|_| Req {
-            addr: r.random_range(0..1 << 26) & !31,
-            is_write: r.random_bool(0.5),
-        })
+        .map(|_| Req { addr: r.random_range(0..1 << 26) & !31, is_write: r.random_bool(0.5) })
         .collect()
 }
 

@@ -21,10 +21,7 @@ enum OpChoice {
 /// Weighted op mix (3:4:2:1), matching the original proptest strategy.
 fn arb_op(r: &mut SmallRng) -> (u8, u8, OpChoice, u8) {
     let op = match r.random_range(0..10) {
-        0..=2 => OpChoice::Activate {
-            row_sel: r.next_u64() as u8,
-            slice_sel: r.next_u64() as u8,
-        },
+        0..=2 => OpChoice::Activate { row_sel: r.next_u64() as u8, slice_sel: r.next_u64() as u8 },
         3..=6 => OpChoice::Column { write: r.random_bool(0.5), col_sel: r.next_u64() as u8 },
         7..=8 => OpChoice::Precharge,
         _ => OpChoice::Refresh,
@@ -58,9 +55,21 @@ fn run_random_schedule(kind: DramKind, ops: &[(u8, u8, OpChoice, u8)]) {
                 let col = slice * cfg.atoms_per_activation() as u32
                     + col_sel as u32 % cfg.atoms_per_activation() as u32;
                 if write {
-                    DramCommand::Write { bank: bankref, row, col, auto_precharge: col_sel % 3 == 0, req: ReqId(0) }
+                    DramCommand::Write {
+                        bank: bankref,
+                        row,
+                        col,
+                        auto_precharge: col_sel % 3 == 0,
+                        req: ReqId(0),
+                    }
                 } else {
-                    DramCommand::Read { bank: bankref, row, col, auto_precharge: col_sel % 3 == 0, req: ReqId(0) }
+                    DramCommand::Read {
+                        bank: bankref,
+                        row,
+                        col,
+                        auto_precharge: col_sel % 3 == 0,
+                        req: ReqId(0),
+                    }
                 }
             }
             OpChoice::Precharge => {

@@ -68,10 +68,7 @@ fn streams_are_aligned_bounded_nonempty() {
             );
             for a in &instr.sectors {
                 assert_eq!(a.0 % 32, 0, "case {case}: unaligned sector {a} for {w:?}");
-                assert!(
-                    a.0 < span,
-                    "case {case}: sector {a} outside footprint {span} for {w:?}"
-                );
+                assert!(a.0 < span, "case {case}: sector {a} outside footprint {span} for {w:?}");
             }
             assert!(instr.think_ns <= w.think_ns, "case {case}: think for {w:?}");
         }

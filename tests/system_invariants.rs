@@ -11,12 +11,8 @@ const WINDOW: u64 = 20_000;
 #[test]
 fn identical_seeds_identical_reports() {
     let w = suites::by_name("kmeans").unwrap();
-    let run = || {
-        SystemBuilder::new(DramKind::Fgdram)
-            .workload(w.clone())
-            .run(WARMUP, WINDOW)
-            .unwrap()
-    };
+    let run =
+        || SystemBuilder::new(DramKind::Fgdram).workload(w.clone()).run(WARMUP, WINDOW).unwrap();
     let a = run();
     let b = run();
     assert_eq!(a.retired, b.retired);
@@ -54,7 +50,8 @@ fn energy_identity_total_is_component_sum() {
 fn fgdram_beats_qb_on_energy_for_every_pattern_family() {
     for name in ["GUPS", "STREAM", "kmeans", "gfx00"] {
         let w = suites::by_name(name).unwrap();
-        let qb = SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(WARMUP, WINDOW).unwrap();
+        let qb =
+            SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(WARMUP, WINDOW).unwrap();
         let fg = SystemBuilder::new(DramKind::Fgdram).workload(w).run(WARMUP, WINDOW).unwrap();
         assert!(
             fg.energy_per_bit.total() < qb.energy_per_bit.total(),
@@ -126,8 +123,7 @@ fn latency_reduction_on_irregular_workloads() {
     let w = suites::by_name("bfs").unwrap();
     let qb =
         SystemBuilder::new(DramKind::QbHbm).workload(w.clone()).run(WARMUP, 3 * WINDOW).unwrap();
-    let fg =
-        SystemBuilder::new(DramKind::Fgdram).workload(w).run(WARMUP, 3 * WINDOW).unwrap();
+    let fg = SystemBuilder::new(DramKind::Fgdram).workload(w).run(WARMUP, 3 * WINDOW).unwrap();
     assert!(
         fg.avg_read_latency_ns < qb.avg_read_latency_ns,
         "fg {} !< qb {}",
@@ -152,10 +148,7 @@ fn grs_io_is_constant_per_bit() {
     assert!((grs.energy_per_bit.io.value() - 0.54).abs() < 1e-6);
     assert!(grs.energy_per_bit.io > podl.energy_per_bit.io);
     // Activation and movement are unaffected by the I/O choice.
-    assert_eq!(
-        grs.energy_per_bit.activation.value(),
-        podl.energy_per_bit.activation.value()
-    );
+    assert_eq!(grs.energy_per_bit.activation.value(), podl.energy_per_bit.activation.value());
 }
 
 #[test]
