@@ -17,7 +17,29 @@ cargo test -q
 echo "== tier-1: telemetry golden schema =="
 cargo test -q --test telemetry
 
-echo "== lint: clippy =="
+echo "== tier-1: fault injection + resilience =="
+cargo test -q --test faults
+
+echo "== smoke: fault storm terminates typed, no panic, no hang =="
+# Survivable storm window: must complete cleanly with fault counters.
+timeout 120 target/release/fgdram_sim run STREAM --faults storm \
+    --fault-seed 7 --warmup 1000 --window 20000 | grep -q "faults:"
+# Exclusion cap exceeded: must abort with the fault-storm exit code (7).
+set +e
+timeout 120 target/release/fgdram_sim run STREAM --faults storm --fault-seed 7 \
+    >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 7 ] || { echo "expected fault-storm exit 7, got $code"; exit 1; }
+# Wedged controller: the watchdog must turn the hang into exit code 5.
+set +e
+timeout 120 target/release/fgdram_sim run STREAM \
+    --faults wedge=2000,watchdog=5000 >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 5 ] || { echo "expected watchdog-stall exit 5, got $code"; exit 1; }
+
+echo "== lint: clippy (workspace, including fgdram-faults) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci.sh: all green"

@@ -1,0 +1,143 @@
+//! Typed simulation errors and their process exit codes.
+//!
+//! Every way a simulation can fail has its own [`SimError`] variant and a
+//! distinct exit code, so scripts driving `fgdram-sim` can tell a
+//! configuration mistake from a protocol bug from a fault storm without
+//! parsing stderr. Exit code 2 is reserved for CLI usage errors (bad
+//! flags, unknown subcommands) and never produced by this type; codes 3-7
+//! map one-to-one onto the variants below via [`SimError::exit_code`].
+
+use fgdram_dram::ProtocolError;
+use fgdram_model::config::ConfigError;
+use fgdram_model::units::Ns;
+
+/// Simulation failure.
+#[derive(Debug)]
+pub enum SimError {
+    /// Invalid configuration (geometry, fault-spec targets). Exit code 3.
+    Config(ConfigError),
+    /// The scheduler issued an illegal DRAM command (internal bug) or an
+    /// injected timing fault was caught by the checker. Exit code 4.
+    Protocol(ProtocolError),
+    /// The forward-progress watchdog fired: outstanding work exists but no
+    /// monotone work counter moved for a full bound. Exit code 5.
+    Stall {
+        /// Time at which the watchdog gave up.
+        at: Ns,
+        /// Outstanding items (controller queues, retry queues, events).
+        pending: usize,
+        /// How long the system had been silent.
+        idle_ns: Ns,
+        /// The configured watchdog bound.
+        bound: Ns,
+    },
+    /// An output file could not be written. Exit code 6.
+    Io {
+        /// What was being written (path or flag context).
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// Grain exclusion would exceed the configured cap: the stack is in an
+    /// unrecoverable fault storm. Exit code 7.
+    FaultStorm {
+        /// Time of the fatal uncorrectable error.
+        at: Ns,
+        /// Uncorrectable errors observed so far.
+        dues: u64,
+        /// Grains already excluded.
+        excluded: usize,
+        /// The exclusion cap that would have been exceeded.
+        max_excluded: usize,
+    },
+}
+
+impl SimError {
+    /// The process exit code for this failure (3-7; the CLI reserves 2
+    /// for usage errors).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            SimError::Config(_) => 3,
+            SimError::Protocol(_) => 4,
+            SimError::Stall { .. } => 5,
+            SimError::Io { .. } => 6,
+            SimError::FaultStorm { .. } => 7,
+        }
+    }
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "configuration error: {e}"),
+            SimError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            SimError::Stall { at, pending, idle_ns, bound } => write!(
+                f,
+                "no forward progress for {idle_ns} ns at t={at} ns \
+                 ({pending} items outstanding; watchdog bound {bound} ns)"
+            ),
+            SimError::Io { context, source } => write!(f, "I/O error ({context}): {source}"),
+            SimError::FaultStorm { at, dues, excluded, max_excluded } => write!(
+                f,
+                "unrecoverable fault storm at t={at} ns: {dues} uncorrectable errors, \
+                 and excluding another grain would exceed the cap \
+                 ({excluded}/{max_excluded} already excluded)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Protocol(e) => Some(e),
+            SimError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<ProtocolError> for SimError {
+    fn from(e: ProtocolError) -> Self {
+        SimError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_skip_usage_code_2() {
+        let errs = [
+            SimError::Config(ConfigError::NotPowerOfTwo { name: "channels", value: 3 }),
+            SimError::Stall { at: 1, pending: 2, idle_ns: 3, bound: 4 },
+            SimError::Io {
+                context: "out.jsonl".into(),
+                source: std::io::Error::other("disk full"),
+            },
+            SimError::FaultStorm { at: 1, dues: 9, excluded: 2, max_excluded: 2 },
+        ];
+        let mut codes: Vec<u8> = errs.iter().map(SimError::exit_code).collect();
+        codes.push(4); // Protocol, constructed in dram-crate tests.
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = SimError::Stall { at: 500, pending: 7, idle_ns: 100, bound: 100 };
+        let s = e.to_string();
+        assert!(s.contains("no forward progress") && s.contains("watchdog"), "{s}");
+        let e = SimError::FaultStorm { at: 1, dues: 9, excluded: 2, max_excluded: 2 };
+        assert!(e.to_string().contains("fault storm"));
+    }
+}

@@ -291,11 +291,15 @@ where
                 if res.is_err() {
                     stop.store(true, Ordering::Relaxed);
                 }
+                // Infallible: the only code run under this lock is the
+                // slot assignment below, which cannot panic.
                 slots.lock().expect("matrix slot table poisoned")[i] = Some(res);
             });
         }
     });
 
+    // Infallible: all workers joined above and none panics while holding
+    // the lock (see the slot-assignment critical section).
     let slots = slots.into_inner().expect("matrix slot table poisoned");
     let mut out = Vec::with_capacity(cells);
     for (i, slot) in slots.into_iter().enumerate() {

@@ -29,10 +29,12 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod error;
 pub mod experiments;
 pub mod report;
 pub mod system;
 mod telemetry;
 
-pub use report::SimReport;
-pub use system::{SimError, System, SystemBuilder};
+pub use error::SimError;
+pub use report::{FaultSummary, SimReport};
+pub use system::{System, SystemBuilder};

@@ -43,6 +43,24 @@ pub struct SimReport {
     pub energy: EnergyBreakdown,
     /// Energy per useful DRAM bit (the paper's pJ/b axes).
     pub energy_per_bit: EnergyPerBit,
+    /// Fault and resilience counters; `None` when the run had no
+    /// effective fault spec (keeps fault-free output byte-identical).
+    pub faults: Option<FaultSummary>,
+}
+
+/// What the fault layer observed and did over the measurement window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Corrected (single-bit) ECC errors.
+    pub ce: u64,
+    /// Detected-uncorrectable ECC errors.
+    pub due: u64,
+    /// Read retries issued by the corrected-error policy.
+    pub retries: u64,
+    /// Grains excluded from the address map (including dead-at-build).
+    pub excluded: u64,
+    /// Sectors delivered to warps with poisoned data.
+    pub poisoned: u64,
 }
 
 impl SimReport {
@@ -93,7 +111,15 @@ impl core::fmt::Display for SimReport {
             self.energy_per_bit.io.value(),
             self.avg_read_latency_ns,
             self.row_hit_rate * 100.0,
-        )
+        )?;
+        if let Some(fs) = &self.faults {
+            write!(
+                f,
+                "  faults: {} CE {} DUE {} retries {} excluded {} poisoned",
+                fs.ce, fs.due, fs.retries, fs.excluded, fs.poisoned
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -120,6 +146,7 @@ mod tests {
             channel_imbalance_cv: 0.0,
             energy: EnergyBreakdown::default(),
             energy_per_bit: EnergyPerBit::default(),
+            faults: None,
         }
     }
 
@@ -143,5 +170,16 @@ mod tests {
         let s = report(1, 1000).to_string();
         assert!(s.contains("QB-HBM"));
         assert!(s.contains("pJ/b"));
+        // Fault-free reports never mention faults (byte-identity with
+        // builds predating the fault layer).
+        assert!(!s.contains("faults"));
+    }
+
+    #[test]
+    fn display_appends_fault_summary_when_present() {
+        let mut r = report(1, 1000);
+        r.faults = Some(FaultSummary { ce: 3, due: 2, retries: 1, excluded: 1, poisoned: 2 });
+        let s = r.to_string();
+        assert!(s.contains("faults: 3 CE 2 DUE 1 retries 1 excluded 2 poisoned"), "{s}");
     }
 }

@@ -5,9 +5,10 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use fgdram_ctrl::Controller;
-use fgdram_dram::{DramDevice, ProtocolError};
+use fgdram_dram::DramDevice;
 use fgdram_energy::floorplan::{EnergyProfile, IoTechnology};
 use fgdram_energy::meter::{DataActivity, EnergyMeter, OpCounts};
+use fgdram_faults::{DueOutcome, EccOutcome, FaultEngine, FaultSpec, DEFAULT_WATCHDOG_NS};
 use fgdram_gpu::{Gpu, L2Access, L2Cache, SectorAccess};
 use fgdram_model::addr::{MemRequest, PhysAddr, ReqId};
 use fgdram_model::cmd::TimedCommand;
@@ -16,46 +17,10 @@ use fgdram_model::units::{GbPerSec, Ns};
 use fgdram_telemetry::{Recorder, Sampled, Telemetry, TelemetryConfig};
 use fgdram_workloads::Workload;
 
-use crate::report::SimReport;
+use crate::report::{FaultSummary, SimReport};
 use crate::telemetry::EnergySampler;
 
-/// Simulation failure.
-#[derive(Debug)]
-pub enum SimError {
-    /// Invalid configuration.
-    Config(ConfigError),
-    /// The scheduler issued an illegal DRAM command (internal bug).
-    Protocol(ProtocolError),
-    /// The system stopped making progress (internal bug).
-    Stalled {
-        /// Time of the stall.
-        at: Ns,
-    },
-}
-
-impl core::fmt::Display for SimError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            SimError::Config(e) => write!(f, "configuration error: {e}"),
-            SimError::Protocol(e) => write!(f, "protocol violation: {e}"),
-            SimError::Stalled { at } => write!(f, "simulation stalled at {at} ns"),
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
-
-impl From<ConfigError> for SimError {
-    fn from(e: ConfigError) -> Self {
-        SimError::Config(e)
-    }
-}
-
-impl From<ProtocolError> for SimError {
-    fn from(e: ProtocolError) -> Self {
-        SimError::Protocol(e)
-    }
-}
+pub use crate::error::SimError;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
@@ -63,6 +28,11 @@ enum Event {
     Fill(ReqId),
     /// A load sector reaches its warp.
     Wake(u64),
+    /// A corrected-error retry re-reads this request from DRAM. (Kept the
+    /// last variant: `Ord` drives tie-breaking of same-time events, and a
+    /// run without faults must order exactly as before this variant
+    /// existed.)
+    Retry(u64),
 }
 
 /// Builder for a [`System`].
@@ -89,6 +59,8 @@ pub struct SystemBuilder {
     io_tech: IoTechnology,
     trace: bool,
     telemetry: Option<TelemetryConfig>,
+    faults: Option<FaultSpec>,
+    fault_seed: u64,
 }
 
 impl SystemBuilder {
@@ -103,6 +75,8 @@ impl SystemBuilder {
             io_tech: IoTechnology::Podl,
             trace: false,
             telemetry: None,
+            faults: None,
+            fault_seed: 1,
         }
     }
 
@@ -148,6 +122,22 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches a fault specification. A spec for which
+    /// [`FaultSpec::is_noop`] is true leaves the fault engine disengaged —
+    /// the run stays byte-identical to one without this call — but its
+    /// `watchdog=` bound is still honoured.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Seeds the fault engine's PRNG (default 1). Same spec + same seed
+    /// produce the identical fault stream at any parallelism.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
     /// Selects the I/O signaling technology for energy accounting
     /// (Section 3.5): PODL is the paper's conservative baseline, GRS the
     /// constant-current alternative with organic-package reach.
@@ -176,7 +166,50 @@ impl SystemBuilder {
         if self.trace {
             dev.enable_trace();
         }
-        let ctrl = Controller::new(&self.dram, self.ctrl)?;
+        let mut ctrl = Controller::new(&self.dram, self.ctrl)?;
+        let mut faults = None;
+        let mut watchdog_ns = DEFAULT_WATCHDOG_NS;
+        if let Some(spec) = &self.faults {
+            watchdog_ns = spec.watchdog_ns;
+            if !spec.is_noop() {
+                let channels = self.dram.channels;
+                let banks = self.dram.banks_per_channel;
+                for &g in &spec.dead_grains {
+                    if g as usize >= channels {
+                        return Err(ConfigError::FaultTarget {
+                            what: "grain",
+                            index: g as u64,
+                            limit: channels as u64,
+                        }
+                        .into());
+                    }
+                }
+                for &(ch, b) in &spec.dead_banks {
+                    if ch as usize >= channels || b as usize >= banks {
+                        return Err(ConfigError::FaultTarget {
+                            what: "bank",
+                            index: (ch as u64) * banks as u64 + b as u64,
+                            limit: (channels * banks) as u64,
+                        }
+                        .into());
+                    }
+                }
+                let mut engine = FaultEngine::new(spec, self.fault_seed, channels);
+                for &g in &spec.dead_grains {
+                    engine.exclude_now(g);
+                    ctrl.exclude_channel(g);
+                }
+                if engine.excluded_total() > engine.max_excluded() {
+                    return Err(SimError::FaultStorm {
+                        at: 0,
+                        dues: 0,
+                        excluded: engine.excluded_total(),
+                        max_excluded: engine.max_excluded(),
+                    });
+                }
+                faults = Some(engine);
+            }
+        }
         let n_warps = gpu_cfg.sms * gpu_cfg.warps_per_sm;
         let gpu = Gpu::new(gpu_cfg.clone(), workload.streams(n_warps));
         let l2 = L2Cache::new(gpu_cfg.l2, 16_384);
@@ -208,6 +241,11 @@ impl SystemBuilder {
             ctrl_next: 0,
             last_issue: 0,
             telemetry: None,
+            faults,
+            retry_attempts: HashMap::new(),
+            watchdog_ns,
+            progress_sig: 0,
+            progress_at: 0,
         })
     }
 
@@ -270,6 +308,16 @@ pub struct System {
     ctrl_next: Ns,
     last_issue: Ns,
     telemetry: Option<Recorder>,
+    /// Fault engine; `None` when no (effective) fault spec was given, so a
+    /// fault-free run does not even consult the fault path.
+    faults: Option<FaultEngine>,
+    /// Outstanding corrected-error retry counts per request id.
+    retry_attempts: HashMap<u64, u32>,
+    /// Forward-progress watchdog bound.
+    watchdog_ns: Ns,
+    /// Last observed work signature and when it last changed.
+    progress_sig: u64,
+    progress_at: Ns,
 }
 
 /// Backpressure thresholds: stop issuing new GPU work above these.
@@ -313,12 +361,25 @@ impl System {
         self.dev.take_trace()
     }
 
-    /// Zeroes all statistics (end of warm-up).
+    /// Zeroes all statistics (end of warm-up). Fault exclusion state
+    /// deliberately persists — a grain dead during warmup stays dead.
     pub fn reset_stats(&mut self) {
         self.dev.reset_counters();
         self.ctrl.reset_stats();
         self.l2.reset_stats();
         self.gpu.reset_stats();
+        if let Some(f) = &mut self.faults {
+            f.reset_counters();
+        }
+    }
+
+    /// Refreshes the fault engine's watchdog-slack gauge before sampling.
+    fn update_watchdog_slack(&mut self) {
+        let idle = self.now.saturating_sub(self.progress_at);
+        let slack = self.watchdog_ns.saturating_sub(idle);
+        if let Some(f) = &mut self.faults {
+            f.set_watchdog_slack(slack);
+        }
     }
 
     /// Starts epoch-sampled telemetry at the current simulated time,
@@ -326,9 +387,15 @@ impl System {
     /// Call after [`Self::reset_stats`] so epoch 0 starts from zeroed
     /// counters; collect the series with [`Self::finish_telemetry`].
     pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.update_watchdog_slack();
         let mut rec = Recorder::new(cfg);
         let es = EnergySampler { meter: &self.meter, dev: &self.dev, activity: self.activity };
-        let sources: [&dyn Sampled; 5] = [&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        let mut sources: Vec<&dyn Sampled> = vec![&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        // The faults component is appended only when the engine is engaged,
+        // so fault-free telemetry schemas are unchanged.
+        if let Some(f) = &self.faults {
+            sources.push(f);
+        }
         rec.start(self.now, &sources);
         self.telemetry = Some(rec);
     }
@@ -337,9 +404,13 @@ impl System {
     /// (`None` when telemetry was never enabled). Telemetry is disabled
     /// afterwards.
     pub fn finish_telemetry(&mut self) -> Option<Telemetry> {
+        self.update_watchdog_slack();
         let rec = self.telemetry.take()?;
         let es = EnergySampler { meter: &self.meter, dev: &self.dev, activity: self.activity };
-        let sources: [&dyn Sampled; 5] = [&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        let mut sources: Vec<&dyn Sampled> = vec![&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        if let Some(f) = &self.faults {
+            sources.push(f);
+        }
         Some(rec.finish(self.now, &sources))
     }
 
@@ -350,9 +421,16 @@ impl System {
     /// events occur between steps, and events at exactly B belong to the
     /// epoch starting at B.
     fn poll_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        self.update_watchdog_slack();
         let Some(mut rec) = self.telemetry.take() else { return };
         let es = EnergySampler { meter: &self.meter, dev: &self.dev, activity: self.activity };
-        let sources: [&dyn Sampled; 5] = [&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        let mut sources: Vec<&dyn Sampled> = vec![&self.ctrl, &self.dev, &self.gpu, &self.l2, &es];
+        if let Some(f) = &self.faults {
+            sources.push(f);
+        }
         rec.poll(self.now, &sources);
         self.telemetry = Some(rec);
     }
@@ -404,6 +482,16 @@ impl System {
                 Event::Wake(token) => {
                     self.gpu.sector_done(fgdram_gpu::AccessToken::from_u64(token), now);
                 }
+                Event::Retry(req_id) => {
+                    // Re-read after a corrected error: back through the
+                    // controller (and the fault oracle) like any miss fill.
+                    if let Some(&addr) = self.fill_dest.get(&req_id) {
+                        let req = MemRequest { id: ReqId(req_id), addr, is_write: false };
+                        if !self.ctrl.try_enqueue(req, now) {
+                            self.retry_reqs.push_back(req);
+                        }
+                    }
+                }
             }
         }
 
@@ -450,18 +538,47 @@ impl System {
             }
         }
 
-        // 6. Run the memory controller.
+        // 6. Apply the fault timeline, then run the memory controller.
+        if self.faults.is_some() {
+            self.apply_fault_timeline(now);
+        }
         if now >= self.ctrl_next {
             self.completion_buf.clear();
             let mut comps = std::mem::take(&mut self.completion_buf);
             self.ctrl_next = self.ctrl.tick(&mut self.dev, now, &mut comps)?;
             let xbar = self.gpu_cfg.xbar_latency;
             for c in comps.drain(..) {
-                if !c.is_write {
+                if c.is_write {
+                    continue;
+                }
+                if self.faults.is_some() {
+                    self.complete_read_with_faults(c.req, c.at + xbar, now)?;
+                } else {
                     self.schedule(c.at + xbar, Event::Fill(c.req));
                 }
             }
             self.completion_buf = comps;
+        }
+
+        // 6b. Forward-progress watchdog: if outstanding work exists but no
+        // monotone work counter has moved for a full bound, fail typed
+        // rather than spinning silently to the end of the window.
+        let sig = self.progress_signature();
+        if sig != self.progress_sig {
+            self.progress_sig = sig;
+            self.progress_at = now;
+        } else if now.saturating_sub(self.progress_at) >= self.watchdog_ns
+            && self.has_pending_work()
+        {
+            return Err(SimError::Stall {
+                at: now,
+                pending: self.ctrl.pending()
+                    + self.retry_reqs.len()
+                    + self.l2_blocked.len()
+                    + self.events.len(),
+                idle_ns: now - self.progress_at,
+                bound: self.watchdog_ns,
+            });
         }
 
         // 7. Advance to the next interesting time.
@@ -476,11 +593,120 @@ impl System {
         if !self.retry_reqs.is_empty() || !self.l2_blocked.is_empty() {
             next = next.min(now + 1);
         }
-        if next == Ns::MAX {
-            return Err(SimError::Stalled { at: now });
+        // Never jump past the watchdog deadline while work is outstanding:
+        // a wedged controller reports no next event, and a single leap to
+        // `end` would end the window before the silence could be observed.
+        if self.has_pending_work() {
+            next = next.min(self.progress_at.saturating_add(self.watchdog_ns));
         }
         self.now = next.max(now + 1).min(end.max(now + 1));
         Ok(())
+    }
+
+    /// Applies due transient stalls and the one-shot wedge from the fault
+    /// engine's timeline to the controller.
+    fn apply_fault_timeline(&mut self, now: Ns) {
+        let engine = self.faults.as_mut().expect("caller checked engine presence");
+        for (ch, until) in engine.stalls_due(now) {
+            self.ctrl.stall_channel(ch, until);
+        }
+        if engine.take_wedge(now) {
+            self.ctrl.stall_all(Ns::MAX);
+        }
+    }
+
+    /// Routes one read completion through the ECC model and the
+    /// graceful-degradation policy. `fill_at` is when clean data would
+    /// reach the L2.
+    fn complete_read_with_faults(
+        &mut self,
+        req: ReqId,
+        fill_at: Ns,
+        now: Ns,
+    ) -> Result<(), SimError> {
+        // A completion without a fill destination is a writeback that
+        // never consults the L2; only misses register one.
+        let Some(&addr) = self.fill_dest.get(&req.0) else {
+            self.schedule(fill_at, Event::Fill(req));
+            return Ok(());
+        };
+        let loc = self.ctrl.route(addr);
+        let engine = self.faults.as_mut().expect("caller checked engine presence");
+        match engine.classify_read(loc.channel, loc.bank) {
+            EccOutcome::Clean => {
+                self.retry_attempts.remove(&req.0);
+                self.schedule(fill_at, Event::Fill(req));
+            }
+            EccOutcome::Corrected => {
+                // Bounded retry with exponential backoff; once exhausted
+                // the corrected data is delivered as-is.
+                let attempts = self.retry_attempts.entry(req.0).or_insert(0);
+                if *attempts < engine.retry_limit() {
+                    *attempts += 1;
+                    let delay = engine.backoff(*attempts);
+                    engine.note_retry();
+                    self.schedule(fill_at + delay, Event::Retry(req.0));
+                } else {
+                    self.retry_attempts.remove(&req.0);
+                    self.schedule(fill_at, Event::Fill(req));
+                }
+            }
+            EccOutcome::Uncorrectable => match engine.record_due(loc.channel) {
+                DueOutcome::Storm => {
+                    let c = engine.counters();
+                    let (excluded, max) = (engine.excluded_total(), engine.max_excluded());
+                    return Err(SimError::FaultStorm {
+                        at: now,
+                        dues: c.due,
+                        excluded,
+                        max_excluded: max,
+                    });
+                }
+                outcome => {
+                    if outcome == DueOutcome::Exclude {
+                        self.ctrl.exclude_channel(loc.channel);
+                    }
+                    // Poisoned data still unblocks the warp; the poison
+                    // count records the damage.
+                    self.gpu.note_poisoned();
+                    self.retry_attempts.remove(&req.0);
+                    self.schedule(fill_at, Event::Fill(req));
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// A sum of monotone work counters; any change is forward progress.
+    /// Deliberately excludes `rejected` (a wedged controller still rejects)
+    /// and queue depths (not monotone).
+    fn progress_signature(&self) -> u64 {
+        let g = self.gpu.stats();
+        let c = self.ctrl.stats();
+        let k = self.dev.total_counters();
+        g.retired
+            .wrapping_add(g.sectors)
+            .wrapping_add(g.loads_issued)
+            .wrapping_add(g.stores_issued)
+            .wrapping_add(c.reads_accepted.get())
+            .wrapping_add(c.writes_accepted.get())
+            .wrapping_add(c.refreshes.get())
+            .wrapping_add(k.activates)
+            .wrapping_add(k.read_atoms)
+            .wrapping_add(k.write_atoms)
+    }
+
+    /// True when anything is still outstanding anywhere in the pipeline —
+    /// the precondition for the watchdog to call silence a stall. All the
+    /// checks are O(1): every outstanding load has either a `fill_dest`
+    /// entry (miss in flight) or a scheduled event, so the GPU needs no
+    /// per-warp scan.
+    fn has_pending_work(&self) -> bool {
+        self.ctrl.pending() > 0
+            || !self.retry_reqs.is_empty()
+            || !self.l2_blocked.is_empty()
+            || !self.events.is_empty()
+            || !self.fill_dest.is_empty()
     }
 
     /// Routes one sector access through the L2; `false` means blocked
@@ -550,7 +776,23 @@ impl System {
             channel_imbalance_cv,
             energy,
             energy_per_bit: energy.per_bit(bits),
+            faults: self.faults.as_ref().map(|f| {
+                let c = f.counters();
+                FaultSummary {
+                    ce: c.ce,
+                    due: c.due,
+                    retries: c.retries,
+                    excluded: c.excluded,
+                    poisoned: self.gpu.stats().poisoned,
+                }
+            }),
         }
+    }
+
+    /// The fault engine's cumulative counters (`None` when no effective
+    /// fault spec is attached).
+    pub fn fault_counters(&self) -> Option<fgdram_faults::FaultCounters> {
+        self.faults.as_ref().map(FaultEngine::counters)
     }
 }
 

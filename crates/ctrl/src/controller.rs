@@ -2,7 +2,7 @@
 //! schedulers, and the tick loop.
 
 use fgdram_dram::{DramDevice, ProtocolError};
-use fgdram_model::addr::{AddressMapper, MemRequest};
+use fgdram_model::addr::{AddressMapper, Location, MemRequest};
 use fgdram_model::cmd::Completion;
 use fgdram_model::config::{ConfigError, CtrlConfig, DramConfig};
 use fgdram_model::units::Ns;
@@ -43,6 +43,12 @@ pub struct Controller {
     scheds: Vec<ChannelSched>,
     seq: u64,
     stats: CtrlStats,
+    /// Graceful degradation: grains excluded from the address map. With
+    /// nothing excluded, `route` is exactly `mapper.decode` and the faults
+    /// machinery is invisible to scheduling.
+    excluded: Vec<bool>,
+    /// Channels still in the map, ascending; the remap target table.
+    live: Vec<u32>,
 }
 
 /// Upper bound on commands one channel may issue within a single tick
@@ -73,7 +79,14 @@ impl Controller {
                 )
             })
             .collect();
-        Ok(Controller { mapper, scheds, seq: 0, stats: CtrlStats::new() })
+        Ok(Controller {
+            mapper,
+            scheds,
+            seq: 0,
+            stats: CtrlStats::new(),
+            excluded: vec![false; channels],
+            live: (0..channels as u32).collect(),
+        })
     }
 
     /// The controller's address mapping.
@@ -96,16 +109,61 @@ impl Controller {
         self.scheds.iter().map(ChannelSched::pending).sum()
     }
 
+    /// Decodes `addr` and remaps it off any excluded grain: requests whose
+    /// home grain has been excluded are served round-robin by the
+    /// remaining live grains (the simulator models timing, not contents,
+    /// so the aliased capacity costs nothing extra).
+    pub fn route(&self, addr: fgdram_model::addr::PhysAddr) -> Location {
+        let mut loc = self.mapper.decode(addr);
+        if self.excluded[loc.channel as usize] {
+            loc.channel = self.live[loc.channel as usize % self.live.len()];
+        }
+        loc
+    }
+
+    /// Removes `channel` from the address map. Returns `false` (a no-op)
+    /// when it is already excluded or is the last live grain; queued and
+    /// in-flight requests on the grain drain normally either way.
+    pub fn exclude_channel(&mut self, channel: u32) -> bool {
+        let ch = channel as usize;
+        if ch >= self.excluded.len() || self.excluded[ch] || self.live.len() == 1 {
+            return false;
+        }
+        self.excluded[ch] = true;
+        self.live.retain(|&c| c != channel);
+        true
+    }
+
+    /// Grains currently excluded from the address map.
+    pub fn excluded_count(&self) -> usize {
+        self.excluded.iter().filter(|&&e| e).count()
+    }
+
+    /// Fault injection: `channel` issues nothing before `until`.
+    pub fn stall_channel(&mut self, channel: u32, until: Ns) {
+        if let Some(sched) = self.scheds.get_mut(channel as usize) {
+            sched.stalled_until = sched.stalled_until.max(until);
+        }
+    }
+
+    /// Fault injection: wedges every channel until `until` (pass
+    /// `Ns::MAX` for a permanent wedge the watchdog must catch).
+    pub fn stall_all(&mut self, until: Ns) {
+        for sched in &mut self.scheds {
+            sched.stalled_until = sched.stalled_until.max(until);
+        }
+    }
+
     /// Whether the target channel queue can accept `req` right now.
     pub fn can_accept(&self, req: &MemRequest) -> bool {
-        let loc = self.mapper.decode(req.addr);
+        let loc = self.route(req.addr);
         self.scheds[loc.channel as usize].can_accept(req.is_write)
     }
 
     /// Enqueues `req`, returning `false` (and counting a rejection) when
     /// the target queue is full — the caller should retry later.
     pub fn try_enqueue(&mut self, req: MemRequest, now: Ns) -> bool {
-        let loc = self.mapper.decode(req.addr);
+        let loc = self.route(req.addr);
         let sched = &mut self.scheds[loc.channel as usize];
         if !sched.can_accept(req.is_write) {
             self.stats.rejected.incr();
@@ -138,7 +196,9 @@ impl Controller {
     ) -> Result<Ns, ProtocolError> {
         let mut next = Ns::MAX;
         for sched in &mut self.scheds {
-            if now >= sched.next_try {
+            // An injected stall gates the channel without touching
+            // `next_try` (enqueue pulls `next_try` forward on arrivals).
+            if now >= sched.next_try.max(sched.stalled_until) {
                 for _ in 0..MAX_STEPS_PER_TICK {
                     match sched.step(dev, now, &mut self.stats)? {
                         Step::Issued(Some(c)) => out.push(c),
@@ -150,7 +210,7 @@ impl Controller {
                     }
                 }
             }
-            next = next.min(sched.next_try);
+            next = next.min(sched.next_try.max(sched.stalled_until));
         }
         Ok(next)
     }
@@ -302,6 +362,52 @@ mod tests {
             "refreshes {} < {expected}",
             ctrl.stats().refreshes.get()
         );
+    }
+
+    #[test]
+    fn excluded_channel_remaps_to_live_grains() {
+        let (mut dev, mut ctrl) = setup(DramKind::QbHbm);
+        let m = ctrl.mapper().clone();
+        use fgdram_model::addr::Location;
+        let addr = m.encode(Location { channel: 3, bank: 0, row: 10, col: 0 });
+        assert_eq!(ctrl.route(addr).channel, 3);
+        assert!(ctrl.exclude_channel(3));
+        assert!(!ctrl.exclude_channel(3), "double exclusion is a no-op");
+        assert_eq!(ctrl.excluded_count(), 1);
+        let re = ctrl.route(addr);
+        assert_ne!(re.channel, 3, "excluded grain must not be routed to");
+        // Requests to the dead grain still complete, on the remap target.
+        assert!(ctrl.try_enqueue(MemRequest { id: ReqId(1), addr, is_write: false }, 0));
+        let done = run_until_drained(&mut dev, &mut ctrl, 10_000);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn cannot_exclude_the_last_live_grain() {
+        let (_, mut ctrl) = setup(DramKind::QbHbm);
+        let channels = DramConfig::new(DramKind::QbHbm).channels as u32;
+        for ch in 0..channels - 1 {
+            assert!(ctrl.exclude_channel(ch));
+        }
+        assert!(!ctrl.exclude_channel(channels - 1), "last grain must stay in the map");
+        assert_eq!(ctrl.excluded_count(), channels as usize - 1);
+    }
+
+    #[test]
+    fn stalled_channel_issues_nothing_until_the_fence() {
+        let (mut dev, mut ctrl) = setup(DramKind::QbHbm);
+        let req = MemRequest { id: ReqId(1), addr: PhysAddr(0), is_write: false };
+        ctrl.stall_channel(0, 500);
+        assert!(ctrl.try_enqueue(req, 0));
+        let mut out = Vec::new();
+        let mut now = 0;
+        while out.is_empty() && now < 10_000 {
+            let next = ctrl.tick(&mut dev, now, &mut out).unwrap();
+            now = next.max(now + 1);
+        }
+        // Unstalled latency is 34 ns; the stall defers issue to t=500.
+        assert_eq!(out.len(), 1);
+        assert!(out[0].at >= 500 + 34, "completion at {} leaked through the stall", out[0].at);
     }
 
     #[test]

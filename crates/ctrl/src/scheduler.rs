@@ -56,6 +56,10 @@ pub(crate) struct ChannelSched {
     refresh_interval: Ns,
     last_activity: Ns,
     pub next_try: Ns,
+    /// Fault-injected stall fence: the channel issues nothing before this
+    /// time. Kept separate from `next_try` because `enqueue` pulls
+    /// `next_try` forward on every arrival, which must not cancel a stall.
+    pub stalled_until: Ns,
 }
 
 impl ChannelSched {
@@ -84,6 +88,7 @@ impl ChannelSched {
             refresh_interval,
             last_activity: 0,
             next_try: 0,
+            stalled_until: 0,
         }
     }
 
@@ -136,6 +141,8 @@ impl ChannelSched {
             if !room {
                 break;
             }
+            // Infallible: the loop condition just observed a front element
+            // and nothing between the peek and the pop can drain the queue.
             let p = self.overflow.pop_front().expect("checked front");
             self.enqueue_direct(p);
         }
@@ -318,6 +325,8 @@ impl ChannelSched {
             self.reads -= 1;
             self.read_q[bank].remove(idx)
         }
+        // Infallible: `idx` came from `best`, which indexed this very
+        // queue earlier in the call, and nothing has mutated it since.
         .expect("scheduled request present");
         stats.row_hits.incr();
         if auto_precharge {
@@ -372,6 +381,8 @@ impl ChannelSched {
             .collect();
         fronts.sort_unstable();
         for (_, b) in fronts {
+            // Infallible: `fronts` was built from banks whose `front()` was
+            // `Some`, and the queues are untouched between there and here.
             let p = *self.queue(use_writes)[b].front().expect("front exists");
             let slice = self.slice_of(&p.loc);
             let bankref = self.bank_ref(b as u32);

@@ -13,7 +13,7 @@ use fgdram_model::cmd::{DramCommand, TimedCommand};
 use fgdram_model::config::{DramConfig, TimingParams};
 use fgdram_model::units::Ns;
 
-use crate::error::{ProtocolError, Rule};
+use crate::error::{ProtocolError, Rule, ViolationReport, MAX_REPORTED_VIOLATIONS};
 
 #[derive(Debug, Clone, Copy)]
 struct SlotState {
@@ -81,6 +81,24 @@ impl ProtocolChecker {
         Ok(())
     }
 
+    /// Audits an entire trace, collecting every violation instead of
+    /// stopping at the first. Checking continues past a violation with the
+    /// offending command left unrecorded, so one bad command does not
+    /// cascade into spurious reports against the rest of the trace.
+    pub fn report_trace(&mut self, trace: &[TimedCommand]) -> ViolationReport {
+        let mut report = ViolationReport { commands_checked: trace.len(), ..Default::default() };
+        for tc in trace {
+            if let Err(e) = self.check(tc) {
+                if report.violations.len() < MAX_REPORTED_VIOLATIONS {
+                    report.violations.push(e);
+                } else {
+                    report.truncated = true;
+                }
+            }
+        }
+        report
+    }
+
     fn domain(&self, row: u32) -> u32 {
         if self.cfg.salp {
             row / self.cfg.rows_per_subarray() as u32
@@ -110,6 +128,7 @@ impl ProtocolChecker {
             return Err(Self::err(tc, Rule::CmdBusBusy));
         }
         self.last_at = at;
+        self.check_range(tc)?;
         self.check_cmd_bus(tc)?;
         match tc.cmd {
             DramCommand::Activate { bank, row, slice } => {
@@ -125,6 +144,34 @@ impl ProtocolChecker {
                 self.check_pre(tc, bank.channel, bank.bank, row, slice)
             }
             DramCommand::Refresh { channel } => self.check_refresh(tc, channel),
+        }
+    }
+
+    /// Geometry guard: every command must target a channel/bank/row/column
+    /// that exists in the configured part.
+    fn check_range(&self, tc: &TimedCommand) -> Result<(), ProtocolError> {
+        let cols = self.cfg.atoms_per_row() as u32;
+        let in_bank = |b: fgdram_model::cmd::BankRef| {
+            (b.channel as usize) < self.cfg.channels
+                && (b.bank as usize) < self.cfg.banks_per_channel
+        };
+        let ok = match tc.cmd {
+            DramCommand::Activate { bank, row, .. } => {
+                in_bank(bank) && (row as usize) < self.cfg.rows_per_bank
+            }
+            DramCommand::Read { bank, row, col, .. }
+            | DramCommand::Write { bank, row, col, .. } => {
+                in_bank(bank) && (row as usize) < self.cfg.rows_per_bank && col < cols
+            }
+            DramCommand::Precharge { bank, row, .. } => {
+                in_bank(bank) && row.is_none_or(|r| (r as usize) < self.cfg.rows_per_bank)
+            }
+            DramCommand::Refresh { channel } => (channel as usize) < self.cfg.channels,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Self::err(tc, Rule::OutOfRange))
         }
     }
 

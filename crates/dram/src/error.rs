@@ -40,6 +40,27 @@ pub enum Rule {
     OutOfRange,
 }
 
+impl Rule {
+    /// Every rule the checker can report, for exhaustive coverage tests.
+    pub const ALL: [Rule; 15] = [
+        Rule::ActTooEarly,
+        Rule::ActOnOpenRow,
+        Rule::ActRrd,
+        Rule::ActFaw,
+        Rule::SubarrayConflict,
+        Rule::AdjacentSubarray,
+        Rule::RowNotOpen,
+        Rule::ColBeforeRcd,
+        Rule::ColCcd,
+        Rule::DataBusConflict,
+        Rule::PreTooEarly,
+        Rule::PreNothingOpen,
+        Rule::RefreshConflict,
+        Rule::CmdBusBusy,
+        Rule::OutOfRange,
+    ];
+}
+
 impl core::fmt::Display for Rule {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let s = match self {
@@ -87,6 +108,45 @@ impl core::fmt::Display for ProtocolError {
 }
 
 impl std::error::Error for ProtocolError {}
+
+/// Maximum violations a [`ViolationReport`] retains before truncating.
+pub const MAX_REPORTED_VIOLATIONS: usize = 32;
+
+/// Structured outcome of a full-trace audit: every violation found (up to
+/// [`MAX_REPORTED_VIOLATIONS`]), not just the first, so an injected-fault
+/// run can show what the checker caught rather than aborting on contact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViolationReport {
+    /// Commands examined.
+    pub commands_checked: usize,
+    /// Violations found, in trace order.
+    pub violations: Vec<ProtocolError>,
+    /// True when more violations existed than the report retains.
+    pub truncated: bool,
+}
+
+impl ViolationReport {
+    /// True when the trace was fully clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl core::fmt::Display for ViolationReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "protocol audit: {} commands, {} violation(s){}",
+            self.commands_checked,
+            self.violations.len(),
+            if self.truncated { " (truncated)" } else { "" }
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
 
 #[cfg(test)]
 mod tests {

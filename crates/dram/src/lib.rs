@@ -44,4 +44,4 @@ mod telemetry;
 pub use channel::{Channel, ChannelCounters, ColOutcome, Reject};
 pub use checker::ProtocolChecker;
 pub use device::DramDevice;
-pub use error::{ProtocolError, Rule};
+pub use error::{ProtocolError, Rule, ViolationReport};

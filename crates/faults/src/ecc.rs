@@ -1,0 +1,166 @@
+//! SECDED ECC over the 32 B access atom.
+//!
+//! FGDRAM's narrow 32 B atoms rule out the wide-word ECC of coarse-grained
+//! stacks: each access must carry its own code. This module models a
+//! (266, 256) Hsiao-style SECDED code — 256 data bits plus 10 check bits
+//! per atom — at the *outcome* level. The simulator never materialises
+//! data, so instead of flipping bits we compute the exact probability that
+//! a codeword read lands in each decoder outcome (clean, corrected,
+//! detected-uncorrectable) under an independent per-bit error rate, and
+//! classify each read with a single uniform draw. One draw per read keeps
+//! the PRNG stream stable regardless of codeword length.
+
+/// Data bits protected per codeword: one 32 B atom.
+pub const DATA_BITS: u32 = 256;
+/// Check bits for SECDED at this data width (`2^9 - 9 - 1 < 256 ≤ 2^10 - 10 - 1`).
+pub const CHECK_BITS: u32 = 10;
+/// Total codeword length read from the array.
+pub const CODEWORD_BITS: u32 = DATA_BITS + CHECK_BITS;
+
+/// Decoder outcome for one atom read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// No raw bit error; data delivered as stored.
+    Clean,
+    /// Exactly one raw bit error; corrected in flight (CE).
+    Corrected,
+    /// Two or more raw bit errors; detected but uncorrectable (DUE).
+    Uncorrectable,
+}
+
+impl EccOutcome {
+    /// The outcome for a codeword with `flips` raw bit errors.
+    pub fn from_flips(flips: u32) -> EccOutcome {
+        match flips {
+            0 => EccOutcome::Clean,
+            1 => EccOutcome::Corrected,
+            _ => EccOutcome::Uncorrectable,
+        }
+    }
+}
+
+/// Analytic SECDED outcome distribution for one atom read.
+///
+/// With independent per-bit error probability `ber` over `n = 266` bits:
+/// `P(clean) = (1-ber)^n`, `P(CE) = n·ber·(1-ber)^(n-1)`, and everything
+/// else is a DUE. Extra direct CE/DUE rates (from the fault spec's `ce=` /
+/// `due=` keys) are folded in on top so stuck-at-style models can reuse
+/// the same single-draw classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecdedModel {
+    /// Probability a read is a corrected error.
+    p_ce: f64,
+    /// Probability a read is a detected-uncorrectable error.
+    p_due: f64,
+}
+
+impl SecdedModel {
+    /// Builds the distribution for `ber` plus direct extra CE/DUE rates.
+    pub fn new(ber: f64, extra_ce: f64, extra_due: f64) -> SecdedModel {
+        let n = CODEWORD_BITS as f64;
+        let p0 = (1.0 - ber).powi(CODEWORD_BITS as i32);
+        let p1 = n * ber * (1.0 - ber).powi(CODEWORD_BITS as i32 - 1);
+        let p_multi = (1.0 - p0 - p1).max(0.0);
+        // Direct rates compose with the BER-driven ones; clamp so the two
+        // fault classes always partition the unit interval.
+        let p_due = (p_multi + extra_due).min(1.0);
+        let p_ce = (p1 + extra_ce).min(1.0 - p_due);
+        SecdedModel { p_ce, p_due }
+    }
+
+    /// True when every read is certainly clean.
+    pub fn is_clean(&self) -> bool {
+        self.p_ce == 0.0 && self.p_due == 0.0
+    }
+
+    /// Classifies one read from a single uniform draw `u` in `[0, 1)`.
+    ///
+    /// The interval is partitioned `[0, p_due) → DUE`, `[p_due, p_due+p_ce)
+    /// → CE`, remainder clean, so the rarest outcome is checked first.
+    pub fn classify(&self, u: f64) -> EccOutcome {
+        if u < self.p_due {
+            EccOutcome::Uncorrectable
+        } else if u < self.p_due + self.p_ce {
+            EccOutcome::Corrected
+        } else {
+            EccOutcome::Clean
+        }
+    }
+
+    /// Probability of a corrected error per read.
+    pub fn p_ce(&self) -> f64 {
+        self.p_ce
+    }
+
+    /// Probability of a detected-uncorrectable error per read.
+    pub fn p_due(&self) -> f64 {
+        self.p_due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::rng::SmallRng;
+
+    #[test]
+    fn code_parameters_are_secded_for_256_data_bits() {
+        // SECDED needs 2^(c-1) >= data + c: c = 10 is the minimum for 256.
+        const { assert!(1u32 << (CHECK_BITS - 1) >= DATA_BITS + CHECK_BITS) };
+        const { assert!(1u32 << (CHECK_BITS - 2) < DATA_BITS + (CHECK_BITS - 1)) };
+        assert_eq!(CODEWORD_BITS, 266);
+    }
+
+    #[test]
+    fn flip_counts_map_to_outcomes() {
+        assert_eq!(EccOutcome::from_flips(0), EccOutcome::Clean);
+        assert_eq!(EccOutcome::from_flips(1), EccOutcome::Corrected);
+        assert_eq!(EccOutcome::from_flips(2), EccOutcome::Uncorrectable);
+        assert_eq!(EccOutcome::from_flips(100), EccOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn zero_ber_is_always_clean() {
+        let m = SecdedModel::new(0.0, 0.0, 0.0);
+        assert!(m.is_clean());
+        assert_eq!(m.classify(0.0), EccOutcome::Clean);
+        assert_eq!(m.classify(0.999), EccOutcome::Clean);
+    }
+
+    #[test]
+    fn small_ber_is_mostly_ce_over_due() {
+        // At ber = 1e-4, a single flip (CE) dominates double flips (DUE)
+        // by roughly n/2 · ber, i.e. two orders of magnitude.
+        let m = SecdedModel::new(1e-4, 0.0, 0.0);
+        assert!(m.p_ce() > 0.02 && m.p_ce() < 0.03, "p_ce = {}", m.p_ce());
+        assert!(m.p_due() > 0.0 && m.p_due() < m.p_ce() / 50.0, "p_due = {}", m.p_due());
+    }
+
+    #[test]
+    fn direct_rates_compose_and_clamp() {
+        let m = SecdedModel::new(0.0, 0.01, 0.002);
+        assert!((m.p_ce() - 0.01).abs() < 1e-12);
+        assert!((m.p_due() - 0.002).abs() < 1e-12);
+        // Oversubscribed rates clamp to a valid partition, DUE first.
+        let m = SecdedModel::new(0.0, 0.9, 0.8);
+        assert!((m.p_due() - 0.8).abs() < 1e-12);
+        assert!((m.p_ce() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_rates() {
+        let m = SecdedModel::new(0.0, 0.05, 0.01);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (mut ce, mut due) = (0u32, 0u32);
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            match m.classify(rng.random_f64()) {
+                EccOutcome::Corrected => ce += 1,
+                EccOutcome::Uncorrectable => due += 1,
+                EccOutcome::Clean => {}
+            }
+        }
+        assert!((ce as f64 / N as f64 - 0.05).abs() < 0.005, "ce = {ce}");
+        assert!((due as f64 / N as f64 - 0.01).abs() < 0.003, "due = {due}");
+    }
+}

@@ -108,6 +108,9 @@ pub struct GpuStats {
     pub stores_issued: u64,
     /// Sector accesses emitted.
     pub sectors: u64,
+    /// Sectors delivered carrying poisoned (uncorrectable-but-tolerated)
+    /// data by the fault layer.
+    pub poisoned: u64,
 }
 
 /// The throughput-processor front end.
@@ -241,6 +244,12 @@ impl Gpu {
     /// Zeroes the statistics, keeping warp state (end-of-warmup).
     pub fn reset_stats(&mut self) {
         self.stats = GpuStats::default();
+    }
+
+    /// Counts one sector delivered with poisoned data (the fault layer
+    /// tolerated an uncorrectable error rather than abort).
+    pub fn note_poisoned(&mut self) {
+        self.stats.poisoned += 1;
     }
 
     /// The configuration in use.

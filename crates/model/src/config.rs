@@ -484,6 +484,16 @@ pub enum ConfigError {
         /// Channels per command channel.
         per_cmd: usize,
     },
+    /// A fault-spec target (dead grain or dead bank) is outside the
+    /// stack's geometry.
+    FaultTarget {
+        /// What kind of target ("grain" or "bank").
+        what: &'static str,
+        /// The offending index.
+        index: u64,
+        /// One past the largest valid index.
+        limit: u64,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -503,6 +513,9 @@ impl core::fmt::Display for ConfigError {
                     f,
                     "channels ({channels}) not divisible by channels per command channel ({per_cmd})"
                 )
+            }
+            ConfigError::FaultTarget { what, index, limit } => {
+                write!(f, "fault-spec dead {what} {index} outside geometry (< {limit})")
             }
         }
     }

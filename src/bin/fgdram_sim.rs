@@ -14,15 +14,43 @@
 //!        --telemetry <path>   epoch-sampled time series (JSONL, or CSV
 //!                             when the path ends in `.csv`)
 //!        --epoch <ns>         telemetry epoch length (default 1000)
+//!        --faults <spec>      fault injection (`ce=0.01,due=0.001,...`,
+//!                             or the `storm` preset; see DESIGN.md)
+//!        --fault-seed <n>     fault PRNG seed (default 1)
+//!
+//! exit codes: 0 ok, 2 usage, 3 config, 4 protocol violation,
+//!             5 stall/watchdog, 6 I/O, 7 fault storm
 //! ```
 
+use std::process::ExitCode;
+
 use fgdram::core::experiments::{self, Scale};
-use fgdram::core::{SimReport, SystemBuilder};
+use fgdram::core::{SimError, SimReport, SystemBuilder};
 use fgdram::dram::ProtocolChecker;
 use fgdram::energy::floorplan::IoTechnology;
+use fgdram::faults::{timing, FaultSpec};
 use fgdram::model::config::{CtrlConfig, DramConfig, DramKind, GpuConfig, PagePolicy};
 use fgdram::telemetry::{export, Telemetry, TelemetryConfig};
 use fgdram::workloads::{suites, Workload};
+
+/// A CLI failure: either a usage error (exit 2, with the usage text) or a
+/// typed simulation failure (exit 3-7 via [`SimError::exit_code`]).
+enum CliError {
+    Usage(String),
+    Sim(SimError),
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Flags {
@@ -40,6 +68,10 @@ struct Flags {
     telemetry: Option<String>,
     /// Telemetry epoch length in simulated ns.
     epoch: u64,
+    /// Parsed fault specification (`--faults`).
+    faults: Option<FaultSpec>,
+    /// Fault PRNG seed (`--fault-seed`).
+    fault_seed: u64,
     /// Flag names the user explicitly passed, for ignored-flag warnings.
     present: Vec<&'static str>,
 }
@@ -58,6 +90,8 @@ impl Default for Flags {
             jobs: 0,
             telemetry: None,
             epoch: 1_000,
+            faults: None,
+            fault_seed: 1,
             present: Vec::new(),
         }
     }
@@ -93,6 +127,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     return Err("--epoch must be >= 1 ns".to_string());
                 }
             }
+            "--faults" => {
+                f.faults = Some(FaultSpec::parse(&next("--faults")?).map_err(|e| e.to_string())?)
+            }
+            "--fault-seed" => {
+                f.fault_seed =
+                    next("--fault-seed")?.parse().map_err(|e| format!("--fault-seed: {e}"))?
+            }
             "--grs" => f.grs = true,
             "--closed-page" => f.closed_page = true,
             "--trace-check" => f.trace_check = true,
@@ -115,6 +156,8 @@ const FLAG_NAMES: &[&str] = &[
     "--jobs",
     "--telemetry",
     "--epoch",
+    "--faults",
+    "--fault-seed",
     "--grs",
     "--closed-page",
     "--trace-check",
@@ -132,6 +175,9 @@ fn warn_ignored(f: &Flags, cmd: &str, ignored: &[&str]) {
     if f.telemetry.is_none() && f.present.contains(&"--epoch") {
         eprintln!("warning: --epoch has no effect without --telemetry");
     }
+    if f.faults.is_none() && f.present.contains(&"--fault-seed") {
+        eprintln!("warning: --fault-seed has no effect without --faults");
+    }
 }
 
 /// The flag-customised system for one (workload, architecture) cell;
@@ -148,11 +194,15 @@ fn builder_for(mut workload: Workload, kind: DramKind, f: &Flags) -> SystemBuild
     if f.closed_page {
         ctrl.page_policy = PagePolicy::Closed;
     }
-    SystemBuilder::new(kind)
+    let mut b = SystemBuilder::new(kind)
         .workload(workload)
         .gpu_config(gpu)
         .ctrl_config(ctrl)
-        .io_technology(if f.grs { IoTechnology::Grs } else { IoTechnology::Podl })
+        .io_technology(if f.grs { IoTechnology::Grs } else { IoTechnology::Podl });
+    if let Some(spec) = &f.faults {
+        b = b.faults(spec.clone()).fault_seed(f.fault_seed);
+    }
+    b
 }
 
 /// One telemetry output file; routes each series to the JSONL or CSV
@@ -168,9 +218,9 @@ struct TelemetrySink {
 }
 
 impl TelemetrySink {
-    fn create(path: &str) -> Result<Self, String> {
+    fn create(path: &str) -> Result<Self, SimError> {
         let file = std::fs::File::create(path)
-            .map_err(|e| format!("--telemetry: cannot create {path}: {e}"))?;
+            .map_err(|e| SimError::Io { context: format!("--telemetry {path}"), source: e })?;
         Ok(TelemetrySink {
             out: std::io::BufWriter::new(file),
             path: path.to_string(),
@@ -180,13 +230,17 @@ impl TelemetrySink {
         })
     }
 
-    fn emit(&mut self, meta: &[(&str, &str)], t: &Telemetry) -> Result<(), String> {
+    fn io_err(&self, e: std::io::Error) -> SimError {
+        SimError::Io { context: format!("--telemetry {}", self.path), source: e }
+    }
+
+    fn emit(&mut self, meta: &[(&str, &str)], t: &Telemetry) -> Result<(), SimError> {
         let res = if self.csv {
             export::write_csv_with_header(&mut self.out, meta, t, !self.header_done)
         } else {
             export::write_jsonl(&mut self.out, meta, t)
         };
-        res.map_err(|e| format!("--telemetry: write to {} failed: {e}", self.path))?;
+        res.map_err(|e| self.io_err(e))?;
         self.header_done = true;
         self.epochs += t.records.len();
         if t.dropped_epochs > 0 {
@@ -195,9 +249,12 @@ impl TelemetrySink {
         Ok(())
     }
 
-    fn close(mut self) -> Result<(), String> {
+    fn close(mut self) -> Result<(), SimError> {
         use std::io::Write;
-        self.out.flush().map_err(|e| format!("--telemetry: flush {}: {e}", self.path))?;
+        self.out.flush().map_err(|e| {
+            let e = std::io::Error::new(e.kind(), e.to_string());
+            self.io_err(e)
+        })?;
         eprintln!("telemetry: {} epochs -> {}", self.epochs, self.path);
         Ok(())
     }
@@ -213,25 +270,43 @@ fn simulate(
     workload: Workload,
     kind: DramKind,
     f: &Flags,
-) -> Result<(SimReport, Option<Telemetry>), String> {
+) -> Result<(SimReport, Option<Telemetry>), SimError> {
     let mut builder = builder_for(workload, kind, f);
     if f.trace_check {
         builder = builder.with_trace();
     }
-    let mut sys = builder.build().map_err(|e| e.to_string())?;
-    sys.run_for(f.warmup).map_err(|e| e.to_string())?;
+    let mut sys = builder.build()?;
+    sys.run_for(f.warmup)?;
     sys.reset_stats();
     if f.telemetry.is_some() {
         sys.enable_telemetry(telemetry_cfg(f));
     }
-    sys.run_for(f.window).map_err(|e| e.to_string())?;
+    sys.run_for(f.window)?;
     let series = sys.finish_telemetry();
     if f.trace_check {
-        let trace = sys.take_trace();
-        ProtocolChecker::new(DramConfig::new(kind))
-            .check_trace(&trace)
-            .map_err(|e| format!("protocol violation: {e}"))?;
-        eprintln!("trace-check: {} commands, protocol clean", trace.len());
+        let mut trace = sys.take_trace();
+        let injected = f.faults.as_ref().map_or(0, |s| s.timing_faults);
+        if injected > 0 {
+            // Timing-fault injection mode: perturb the recorded trace and
+            // show what the independent checker catches. The structured
+            // report is the deliverable; a caught violation is success.
+            let shifted = timing::perturb(&mut trace, f.fault_seed, injected);
+            let report = ProtocolChecker::new(DramConfig::new(kind)).report_trace(&trace);
+            eprintln!(
+                "trace-check: injected {injected} timing fault(s), {shifted} command(s) shifted"
+            );
+            eprintln!("{report}");
+            if report.is_clean() && shifted > 0 {
+                eprintln!("warning: perturbation produced no violation (shifts can cancel)");
+            }
+        } else {
+            let report = ProtocolChecker::new(DramConfig::new(kind)).report_trace(&trace);
+            if !report.is_clean() {
+                eprintln!("{report}");
+                return Err(SimError::Protocol(report.violations[0]));
+            }
+            eprintln!("trace-check: {} commands, protocol clean", trace.len());
+        }
     }
     Ok((sys.report(f.window), series))
 }
@@ -272,13 +347,40 @@ fn cmd_info() {
     row("tCCDL (ns)", &|c| c.timing.t_ccd_l.to_string());
 }
 
-fn main() -> Result<(), String> {
+fn print_usage() {
+    eprintln!(
+        "usage: fgdram-sim <list|info|run|compare|suite> [args]\n\
+         e.g.   fgdram-sim run GUPS --arch fg --trace-check\n\
+                fgdram-sim run STREAM --telemetry out.jsonl --epoch 1000\n\
+                fgdram-sim run STREAM --faults storm --fault-seed 7\n\
+                fgdram-sim compare STREAM --window 50000\n\
+                fgdram-sim suite compute --jobs 8 --telemetry suite.csv\n\
+         exit codes: 0 ok, 2 usage, 3 config, 4 protocol, 5 stall, 6 I/O, 7 fault storm"
+    );
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match real_main(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            print_usage();
+            ExitCode::from(2)
+        }
+        Err(CliError::Sim(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn real_main(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("info") => cmd_info(),
         Some("run") => {
-            let name = args.get(1).ok_or("run needs a workload name")?;
+            let name = args.get(1).ok_or_else(|| "run needs a workload name".to_string())?;
             let w = suites::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
             let f = parse_flags(&args[2..])?;
             warn_ignored(&f, "run", &["--jobs"]);
@@ -291,7 +393,7 @@ fn main() -> Result<(), String> {
             }
         }
         Some("compare") => {
-            let name = args.get(1).ok_or("compare needs a workload name")?;
+            let name = args.get(1).ok_or_else(|| "compare needs a workload name".to_string())?;
             let w = suites::by_name(name).ok_or_else(|| format!("unknown workload {name}"))?;
             let f = parse_flags(&args[2..])?;
             warn_ignored(&f, "compare", &["--arch", "--jobs"]);
@@ -321,7 +423,7 @@ fn main() -> Result<(), String> {
             let workloads = match which {
                 "compute" => suites::compute_suite(),
                 "graphics" => suites::graphics_suite(),
-                other => return Err(format!("unknown suite {other} (compute|graphics)")),
+                other => return Err(format!("unknown suite {other} (compute|graphics)").into()),
             };
             warn_ignored(&f, "suite", &["--arch", "--trace-check"]);
             // Every (workload, architecture) cell is independent; run the
@@ -342,8 +444,7 @@ fn main() -> Result<(), String> {
                     b = b.telemetry(telemetry_cfg(&f));
                 }
                 b.run_instrumented(scale.warmup, scale.window)
-            })
-            .map_err(|e| e.to_string())?;
+            })?;
             let mut sink = f.telemetry.as_deref().map(TelemetrySink::create).transpose()?;
             let mut logsum = 0.0;
             let (mut eq, mut ef) = (0.0, 0.0);
@@ -381,15 +482,8 @@ fn main() -> Result<(), String> {
                 100.0 * (1.0 - (ef / eq))
             );
         }
-        _ => {
-            eprintln!(
-                "usage: fgdram-sim <list|info|run|compare|suite> [args]\n\
-                 e.g.   fgdram-sim run GUPS --arch fg --trace-check\n\
-                        fgdram-sim run STREAM --telemetry out.jsonl --epoch 1000\n\
-                        fgdram-sim compare STREAM --window 50000\n\
-                        fgdram-sim suite compute --jobs 8 --telemetry suite.csv"
-            );
-        }
+        Some(other) => return Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+        None => return Err(CliError::Usage("missing subcommand".to_string())),
     }
     Ok(())
 }

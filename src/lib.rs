@@ -15,6 +15,9 @@
 //!   graphics suite as deterministic synthetic streams;
 //! * [`telemetry`] — epoch-sampled time-series recording with
 //!   dependency-free JSONL/CSV exporters;
+//! * [`faults`] — deterministic fault injection (SECDED ECC outcomes, dead
+//!   grains/banks, transient stalls, timing-violation perturbation) and
+//!   the graceful-degradation policy knobs;
 //! * [`core`] — system composition ([`core::SystemBuilder`]) and reports.
 //!
 //! ## Quickstart
@@ -38,6 +41,7 @@ pub use fgdram_core as core;
 pub use fgdram_ctrl as ctrl;
 pub use fgdram_dram as dram;
 pub use fgdram_energy as energy;
+pub use fgdram_faults as faults;
 pub use fgdram_gpu as gpu;
 pub use fgdram_model as model;
 pub use fgdram_telemetry as telemetry;
