@@ -20,6 +20,22 @@ cargo test -q --test telemetry
 echo "== tier-1: fault injection + resilience =="
 cargo test -q --test faults
 
+echo "== tier-1: engine determinism golden (quick scale) =="
+# Byte-identical SimReport lines against tests/golden/quick_suite.txt at
+# --jobs 1 and --jobs 8; any engine change that shifts wake times fails
+# here before it can silently move EXPERIMENTS.md numbers.
+cargo test -q --test golden_identity
+
+echo "== smoke: perf snapshot writes valid v1-schema JSON =="
+# The integration test spawns `perf-snapshot --smoke` and validates the
+# output with the tests/common JSON validator; run the binary once more
+# by hand so ci logs carry the smoke numbers.
+cargo test -q --test perf_snapshot
+snap="$(mktemp /tmp/fgdram_ci_snapshot.XXXXXX.json)"
+trap 'rm -f "$snap"' EXIT
+timeout 300 target/release/perf-snapshot --smoke --out "$snap"
+grep -q '"schema": "fgdram-perf-snapshot-v1"' "$snap"
+
 echo "== smoke: fault storm terminates typed, no panic, no hang =="
 # Survivable storm window: must complete cleanly with fault counters.
 timeout 120 target/release/fgdram_sim run STREAM --faults storm \

@@ -10,32 +10,32 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let atom = experiments::ablation_atom128(Scale::quick()).expect("ablation runs");
     println!("\nSection 2.2 (quick) — 128 B atom graphics slowdown: {:.1}%", atom * 100.0);
-    let deep =
-        experiments::ablation_deep_bank_groups(Scale::quick()).expect("ablation runs");
+    let deep = experiments::ablation_deep_bank_groups(Scale::quick()).expect("ablation runs");
     println!("Section 2.3 (quick) — deep bank-group slowdown: {:.1}%", deep * 100.0);
 
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("atom128_gfx_tiny", |b| {
-        let w = fgdram_bench::workload("gfx00");
+        let w = fgdram_bench::workload("gfx00").expect("workload in suite");
         b.iter(|| {
-            black_box(fgdram_bench::sim_with_config(
-                DramConfig::qb_hbm_atom128(),
-                &w,
-                2_000,
-                6_000,
-            ))
+            black_box(
+                fgdram_bench::sim_with_config(DramConfig::qb_hbm_atom128(), &w, 2_000, 6_000)
+                    .expect("sim runs"),
+            )
         });
     });
     g.bench_function("deep_bankgroups_stream_tiny", |b| {
-        let w = fgdram_bench::workload("STREAM");
+        let w = fgdram_bench::workload("STREAM").expect("workload in suite");
         b.iter(|| {
-            black_box(fgdram_bench::sim_with_config(
-                DramConfig::qb_hbm_deep_bank_groups(),
-                &w,
-                2_000,
-                6_000,
-            ))
+            black_box(
+                fgdram_bench::sim_with_config(
+                    DramConfig::qb_hbm_deep_bank_groups(),
+                    &w,
+                    2_000,
+                    6_000,
+                )
+                .expect("sim runs"),
+            )
         });
     });
     g.finish();

@@ -26,14 +26,12 @@ fn print_fig1b() {
 fn bench(c: &mut Criterion) {
     print_fig1a();
     print_fig1b();
-    c.bench_function("fig01a_budget_curve", |b| {
-        b.iter(|| black_box(experiments::fig1a()))
-    });
+    c.bench_function("fig01a_budget_curve", |b| b.iter(|| black_box(experiments::fig1a())));
     let mut g = c.benchmark_group("fig01b_hbm2_sim");
     g.sample_size(10);
     g.bench_function("hbm2_gups_tiny", |b| {
-        let w = fgdram_bench::workload("GUPS");
-        b.iter(|| black_box(fgdram_bench::tiny_sim(DramKind::Hbm2, &w)))
+        let w = fgdram_bench::workload("GUPS").expect("workload in suite");
+        b.iter(|| black_box(fgdram_bench::tiny_sim(DramKind::Hbm2, &w).expect("sim runs")))
     });
     g.finish();
 }

@@ -42,12 +42,12 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for kind in [DramKind::QbHbm, DramKind::Fgdram] {
         g.bench_function(format!("gups_tiny_{}", kind.label()), |b| {
-            let w = fgdram_bench::workload("GUPS");
-            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w)));
+            let w = fgdram_bench::workload("GUPS").expect("workload in suite");
+            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w).expect("sim runs")));
         });
         g.bench_function(format!("stream_tiny_{}", kind.label()), |b| {
-            let w = fgdram_bench::workload("STREAM");
-            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w)));
+            let w = fgdram_bench::workload("STREAM").expect("workload in suite");
+            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w).expect("sim runs")));
         });
     }
     g.finish();

@@ -31,8 +31,8 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for kind in [DramKind::QbHbm, DramKind::Fgdram] {
         g.bench_function(format!("gfx00_tiny_{}", kind.label()), |b| {
-            let w = fgdram_bench::workload("gfx00");
-            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w)));
+            let w = fgdram_bench::workload("gfx00").expect("workload in suite");
+            b.iter(|| black_box(fgdram_bench::tiny_sim(kind, &w).expect("sim runs")));
         });
     }
     g.finish();

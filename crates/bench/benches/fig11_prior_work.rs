@@ -39,8 +39,8 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_salp_sc");
     g.sample_size(10);
     g.bench_function("salp_sc_gups_tiny", |b| {
-        let w = fgdram_bench::workload("GUPS");
-        b.iter(|| black_box(fgdram_bench::tiny_sim(DramKind::QbHbmSalpSc, &w)));
+        let w = fgdram_bench::workload("GUPS").expect("workload in suite");
+        b.iter(|| black_box(fgdram_bench::tiny_sim(DramKind::QbHbmSalpSc, &w).expect("sim runs")));
     });
     g.finish();
 }

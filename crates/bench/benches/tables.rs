@@ -8,7 +8,10 @@ use std::hint::black_box;
 fn print_tables() {
     println!("\nTable 2 — DRAM configurations (HBM2 / QB-HBM / FGDRAM):");
     for row in experiments::table2() {
-        println!("  {:<28} {:>10} {:>10} {:>14}", row.name, row.values[0], row.values[1], row.values[2]);
+        println!(
+            "  {:<28} {:>10} {:>10} {:>14}",
+            row.name, row.values[0], row.values[1], row.values[2]
+        );
     }
     println!("\nTable 3 — DRAM energy (HBM2 / QB-HBM / FGDRAM):");
     for row in experiments::table3() {

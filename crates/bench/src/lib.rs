@@ -12,34 +12,60 @@
 
 use fgdram_core::report::SimReport;
 use fgdram_core::system::SystemBuilder;
+use fgdram_core::SimError;
 use fgdram_model::config::{DramConfig, DramKind};
 use fgdram_model::units::Ns;
 use fgdram_workloads::{suites, Workload};
 
 /// Tiny simulation used inside Criterion measurement loops: long enough to
 /// exercise every code path, short enough to iterate.
-pub fn tiny_sim(kind: DramKind, workload: &Workload) -> SimReport {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] instead of panicking, so a bench harness
+/// can report a typed failure (and a misconfigured ablation doesn't take
+/// the whole Criterion session down with an opaque `expect`).
+pub fn tiny_sim(kind: DramKind, workload: &Workload) -> Result<SimReport, SimError> {
     sim_with(kind, workload, 2_000, 6_000)
 }
 
 /// Simulation at explicit warm-up/window.
-pub fn sim_with(kind: DramKind, workload: &Workload, warmup: Ns, window: Ns) -> SimReport {
-    SystemBuilder::new(kind)
-        .workload(workload.clone())
-        .run(warmup, window)
-        .expect("simulation runs")
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn sim_with(
+    kind: DramKind,
+    workload: &Workload,
+    warmup: Ns,
+    window: Ns,
+) -> Result<SimReport, SimError> {
+    SystemBuilder::new(kind).workload(workload.clone()).run(warmup, window)
 }
 
 /// Simulation with a custom DRAM config (ablations).
-pub fn sim_with_config(cfg: DramConfig, workload: &Workload, warmup: Ns, window: Ns) -> SimReport {
-    SystemBuilder::new(cfg.kind)
-        .dram_config(cfg)
-        .workload(workload.clone())
-        .run(warmup, window)
-        .expect("simulation runs")
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run (invalid ablation geometry
+/// surfaces as [`SimError::Config`]).
+pub fn sim_with_config(
+    cfg: DramConfig,
+    workload: &Workload,
+    warmup: Ns,
+    window: Ns,
+) -> Result<SimReport, SimError> {
+    SystemBuilder::new(cfg.kind).dram_config(cfg).workload(workload.clone()).run(warmup, window)
 }
 
-/// Looks up a workload that must exist.
-pub fn workload(name: &str) -> Workload {
-    suites::by_name(name).expect("workload in suite")
+/// Looks up a workload by suite name.
+///
+/// # Errors
+///
+/// [`SimError::Io`] when `name` is not in any suite.
+pub fn workload(name: &str) -> Result<Workload, SimError> {
+    suites::by_name(name).ok_or_else(|| SimError::Io {
+        context: format!("workload {name} not in any suite"),
+        source: std::io::Error::other("unknown workload"),
+    })
 }

@@ -33,6 +33,11 @@ pub mod error;
 pub mod experiments;
 pub mod report;
 pub mod system;
+
+/// Re-export: the event wheel moved into `fgdram-model` so the
+/// controller (which `fgdram-core` depends on) can use it for its due
+/// queue; the old `fgdram_core::wheel` path keeps working.
+pub use fgdram_model::wheel;
 mod telemetry;
 
 pub use error::SimError;

@@ -1,8 +1,7 @@
 //! Full-system composition: GPU front end, sectored L2, memory controller,
 //! and DRAM stack, advanced by one event-stepped loop.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use fgdram_ctrl::Controller;
 use fgdram_dram::DramDevice;
@@ -13,12 +12,14 @@ use fgdram_gpu::{Gpu, L2Access, L2Cache, SectorAccess};
 use fgdram_model::addr::{MemRequest, PhysAddr, ReqId};
 use fgdram_model::cmd::TimedCommand;
 use fgdram_model::config::{ConfigError, CtrlConfig, DramConfig, DramKind, GpuConfig};
+use fgdram_model::fxhash::FxHashMap;
 use fgdram_model::units::{GbPerSec, Ns};
 use fgdram_telemetry::{Recorder, Sampled, Telemetry, TelemetryConfig};
 use fgdram_workloads::Workload;
 
 use crate::report::{FaultSummary, SimReport};
 use crate::telemetry::EnergySampler;
+use fgdram_model::wheel::EventWheel;
 
 pub use crate::error::SimError;
 
@@ -230,19 +231,20 @@ impl SystemBuilder {
             ctrl,
             gpu,
             l2,
-            events: BinaryHeap::new(),
-            fill_dest: HashMap::new(),
+            events: EventWheel::new(),
+            fill_dest: FxHashMap::default(),
             retry_reqs: VecDeque::new(),
             l2_blocked: VecDeque::new(),
             access_buf: Vec::new(),
             completion_buf: Vec::new(),
+            wb_buf: Vec::new(),
             now: 0,
             next_req: 0,
             ctrl_next: 0,
             last_issue: 0,
             telemetry: None,
             faults,
-            retry_attempts: HashMap::new(),
+            retry_attempts: FxHashMap::default(),
             watchdog_ns,
             progress_sig: 0,
             progress_at: 0,
@@ -297,12 +299,14 @@ pub struct System {
     ctrl: Controller,
     gpu: Gpu,
     l2: L2Cache,
-    events: BinaryHeap<Reverse<(Ns, Event)>>,
-    fill_dest: HashMap<u64, PhysAddr>,
+    events: EventWheel<Event>,
+    fill_dest: FxHashMap<u64, PhysAddr>,
     retry_reqs: VecDeque<MemRequest>,
     l2_blocked: VecDeque<SectorAccess>,
     access_buf: Vec<SectorAccess>,
     completion_buf: Vec<fgdram_model::cmd::Completion>,
+    /// Reusable drain buffer for L2 writebacks (no per-step allocation).
+    wb_buf: Vec<PhysAddr>,
     now: Ns,
     next_req: u64,
     ctrl_next: Ns,
@@ -312,7 +316,7 @@ pub struct System {
     /// fault-free run does not even consult the fault path.
     faults: Option<FaultEngine>,
     /// Outstanding corrected-error retry counts per request id.
-    retry_attempts: HashMap<u64, u32>,
+    retry_attempts: FxHashMap<u64, u32>,
     /// Forward-progress watchdog bound.
     watchdog_ns: Ns,
     /// Last observed work signature and when it last changed.
@@ -457,18 +461,15 @@ impl System {
     }
 
     fn schedule(&mut self, at: Ns, ev: Event) {
-        self.events.push(Reverse((at, ev)));
+        self.events.push(at, ev);
     }
 
     fn step(&mut self, end: Ns) -> Result<(), SimError> {
         let now = self.now;
 
-        // 1. Deliver due events.
-        while let Some(&Reverse((t, ev))) = self.events.peek() {
-            if t > now {
-                break;
-            }
-            self.events.pop();
+        // 1. Deliver due events (including ones scheduled at `now` while
+        // draining), in exact (time, event) order.
+        while let Some((_, ev)) = self.events.pop_due(now) {
             match ev {
                 Event::Fill(req) => {
                     if let Some(sector) = self.fill_dest.remove(&req.0) {
@@ -529,14 +530,17 @@ impl System {
             self.access_buf = buf;
         }
 
-        // 5. Turn L2 evictions into DRAM writes.
-        for wb in self.l2.take_writebacks() {
+        // 5. Turn L2 evictions into DRAM writes (reusing one drain buffer).
+        let mut wbs = std::mem::take(&mut self.wb_buf);
+        self.l2.take_writebacks_into(&mut wbs);
+        for wb in wbs.drain(..) {
             self.next_req += 1;
             let req = MemRequest { id: ReqId(self.next_req), addr: wb, is_write: true };
             if !self.ctrl.try_enqueue(req, now) {
                 self.retry_reqs.push_back(req);
             }
         }
+        self.wb_buf = wbs;
 
         // 6. Apply the fault timeline, then run the memory controller.
         if self.faults.is_some() {
@@ -583,7 +587,7 @@ impl System {
 
         // 7. Advance to the next interesting time.
         let mut next = end;
-        if let Some(&Reverse((t, _))) = self.events.peek() {
+        if let Some(t) = self.events.next_time() {
             next = next.min(t);
         }
         next = next.min(self.ctrl_next);

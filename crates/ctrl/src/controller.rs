@@ -6,8 +6,9 @@ use fgdram_model::addr::{AddressMapper, Location, MemRequest};
 use fgdram_model::cmd::Completion;
 use fgdram_model::config::{ConfigError, CtrlConfig, DramConfig};
 use fgdram_model::units::Ns;
+use fgdram_model::wheel::EventWheel;
 
-use crate::scheduler::{ChannelSched, Pending, Step};
+use crate::scheduler::{ChannelSched, Pending};
 use crate::stats::CtrlStats;
 
 /// GPU memory controller for one DRAM stack.
@@ -49,11 +50,26 @@ pub struct Controller {
     excluded: Vec<bool>,
     /// Channels still in the map, ascending; the remap target table.
     live: Vec<u32>,
+    /// Lazy wake-time queue over the schedulers: an entry `(t, ch)` is
+    /// *valid* iff `t` equals channel `ch`'s current effective wake time
+    /// (`next_try.max(stalled_until)`). A fresh entry is pushed whenever
+    /// that time changes, so every channel always has exactly one valid
+    /// entry; stale ones are discarded as they surface. This turns the
+    /// per-tick work from O(channels) — ruinous with FGDRAM's 512 grains,
+    /// of which a handful are due — into O(due + stale). An [`EventWheel`]
+    /// rather than a `BinaryHeap`: pops come out in the same ascending
+    /// `(t, ch)` order, but push/pop are O(1) instead of a heap sift
+    /// (ticks at GUPS rates pop thousands of entries per simulated us).
+    /// Wheel invariant `t >= base` holds because every pushed time is
+    /// `>= now` (`enqueue` clamps `next_try` no lower than `now`, passes
+    /// set `next_try > now`) and `base` never passes the minimum entry.
+    due: EventWheel<u32>,
+    /// Reusable scratch for the due-channel list (no per-tick allocation).
+    due_scratch: Vec<u32>,
+    /// Total queued requests, maintained incrementally: +1 per accepted
+    /// enqueue, -1 per completion (every dequeue emits exactly one).
+    total_pending: usize,
 }
-
-/// Upper bound on commands one channel may issue within a single tick
-/// (defensive cap; normal operation issues a handful).
-const MAX_STEPS_PER_TICK: usize = 64;
 
 impl Controller {
     /// Builds a controller for `dram` with policy `ctrl`.
@@ -86,7 +102,24 @@ impl Controller {
             stats: CtrlStats::new(),
             excluded: vec![false; channels],
             live: (0..channels as u32).collect(),
+            // Every scheduler starts with an effective wake time of 0.
+            due: {
+                let mut w = EventWheel::new();
+                (0..channels as u32).for_each(|ch| w.push(0, ch));
+                w
+            },
+            due_scratch: Vec::new(),
+            total_pending: 0,
         })
+    }
+
+    /// Channel `ch`'s effective wake time: an injected stall gates the
+    /// channel without touching `next_try` (enqueue pulls `next_try`
+    /// forward on arrivals, which must not cancel a stall).
+    #[inline]
+    fn effective_next(&self, ch: u32) -> Ns {
+        let s = &self.scheds[ch as usize];
+        s.next_try.max(s.stalled_until)
     }
 
     /// The controller's address mapping.
@@ -104,9 +137,15 @@ impl Controller {
         self.stats = CtrlStats::new();
     }
 
-    /// Total queued requests.
+    /// Total queued requests. O(1): maintained incrementally, because the
+    /// system consults this every simulation step.
     pub fn pending(&self) -> usize {
-        self.scheds.iter().map(ChannelSched::pending).sum()
+        debug_assert_eq!(
+            self.total_pending,
+            self.scheds.iter().map(ChannelSched::pending).sum::<usize>(),
+            "pending counter diverged from the queues"
+        );
+        self.total_pending
     }
 
     /// Decodes `addr` and remaps it off any excluded grain: requests whose
@@ -142,15 +181,20 @@ impl Controller {
     /// Fault injection: `channel` issues nothing before `until`.
     pub fn stall_channel(&mut self, channel: u32, until: Ns) {
         if let Some(sched) = self.scheds.get_mut(channel as usize) {
+            let before = sched.next_try.max(sched.stalled_until);
             sched.stalled_until = sched.stalled_until.max(until);
+            let after = sched.next_try.max(sched.stalled_until);
+            if after != before {
+                self.due.push(after, channel);
+            }
         }
     }
 
     /// Fault injection: wedges every channel until `until` (pass
     /// `Ns::MAX` for a permanent wedge the watchdog must catch).
     pub fn stall_all(&mut self, until: Ns) {
-        for sched in &mut self.scheds {
-            sched.stalled_until = sched.stalled_until.max(until);
+        for ch in 0..self.scheds.len() as u32 {
+            self.stall_channel(ch, until);
         }
     }
 
@@ -175,8 +219,15 @@ impl Controller {
         } else {
             self.stats.reads_accepted.incr();
         }
-        sched.enqueue(Pending { req, loc, arrived: now, seq: self.seq }, now);
-        self.stats.queue_depth.record(sched.pending() as u64);
+        let before = sched.next_try.max(sched.stalled_until);
+        sched.enqueue(Pending::new(req, loc, now, self.seq), now);
+        let depth = sched.pending() as u64;
+        let after = sched.next_try.max(sched.stalled_until);
+        if after != before {
+            self.due.push(after, loc.channel);
+        }
+        self.total_pending += 1;
+        self.stats.queue_depth.record(depth);
         true
     }
 
@@ -194,25 +245,40 @@ impl Controller {
         now: Ns,
         out: &mut Vec<Completion>,
     ) -> Result<Ns, ProtocolError> {
-        let mut next = Ns::MAX;
-        for sched in &mut self.scheds {
-            // An injected stall gates the channel without touching
-            // `next_try` (enqueue pulls `next_try` forward on arrivals).
-            if now >= sched.next_try.max(sched.stalled_until) {
-                for _ in 0..MAX_STEPS_PER_TICK {
-                    match sched.step(dev, now, &mut self.stats)? {
-                        Step::Issued(Some(c)) => out.push(c),
-                        Step::Issued(None) => {}
-                        Step::Sleep(t) => {
-                            sched.next_try = t.max(now + 1);
-                            break;
-                        }
-                    }
-                }
+        // Pop every wheel entry due at `now`; valid ones name the channels
+        // to run. A stale entry's channel has a valid entry elsewhere in
+        // the wheel (pushed when its wake time changed), so dropping the
+        // stale one loses nothing.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while let Some((t, ch)) = self.due.pop_due(now) {
+            if t == self.effective_next(ch) {
+                due.push(ch);
             }
-            next = next.min(sched.next_try.max(sched.stalled_until));
         }
-        Ok(next)
+        // Ascending channel order, deduped: identical issue order on the
+        // shared command buses to the full scan this replaces.
+        due.sort_unstable();
+        due.dedup();
+        let already_done = out.len();
+        for &ch in &due {
+            let sched = &mut self.scheds[ch as usize];
+            sched.pass(dev, now, &mut self.stats, out)?;
+            self.due.push(sched.next_try.max(sched.stalled_until), ch);
+        }
+        // Every completion is exactly one request leaving a queue.
+        self.total_pending -= out.len() - already_done;
+        self.due_scratch = due;
+        // The earliest valid entry is the next time any channel needs
+        // attention; clean stale tops away lazily (a valid top goes
+        // straight back — `pop_min` leaves `base` at its time).
+        loop {
+            let Some((t, ch)) = self.due.pop_min() else { return Ok(Ns::MAX) };
+            if t == self.effective_next(ch) {
+                self.due.push(t, ch);
+                return Ok(t);
+            }
+        }
     }
 }
 

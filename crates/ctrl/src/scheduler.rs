@@ -24,6 +24,26 @@ pub(crate) struct Pending {
     pub loc: Location,
     pub arrived: Ns,
     pub seq: u64,
+    /// Subchannel slice of `loc.col`, precomputed on admission
+    /// ([`ChannelSched::enqueue`]) so queue scans stop dividing per entry.
+    pub slice: u32,
+}
+
+impl Pending {
+    pub(crate) fn new(req: MemRequest, loc: Location, arrived: Ns, seq: u64) -> Self {
+        // `slice` is filled in by the owning scheduler on enqueue (it
+        // knows the channel's atoms-per-activation).
+        Pending { req, loc, arrived, seq, slice: 0 }
+    }
+}
+
+/// Cached first row-buffer hit for one (bank, direction) queue within the
+/// scan window. `Unknown` forces a rescan; `Known(None)` means no hit in
+/// the window; `Known(Some(i))` is the FIFO-oldest hit's queue index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HitCache {
+    Unknown,
+    Known(Option<u32>),
 }
 
 /// Result of one scheduling attempt.
@@ -36,6 +56,10 @@ pub(crate) enum Step {
 }
 
 const FAR_FUTURE: Ns = Ns::MAX / 4;
+
+/// Upper bound on commands one channel may issue within a single tick
+/// (defensive cap; normal operation issues a handful).
+const MAX_STEPS_PER_TICK: usize = 64;
 
 #[derive(Debug)]
 pub(crate) struct ChannelSched {
@@ -55,6 +79,14 @@ pub(crate) struct ChannelSched {
     refresh_due: Ns,
     refresh_interval: Ns,
     last_activity: Ns,
+    /// Per-bank cached first hit, indexed `[bank][is_write]`. Invalidated
+    /// on every queue or open-row mutation (see `note_*` helpers); the
+    /// debug build cross-checks each use against a fresh scan.
+    hit_cache: Vec<[HitCache; 2]>,
+    /// Scratch for `try_activate`'s per-bank front list (seq, bank).
+    fronts_scratch: Vec<(u64, usize)>,
+    /// Scratch for `step_refresh`'s open-row list (row, slice).
+    refresh_scratch: Vec<(u32, u32)>,
     pub next_try: Ns,
     /// Fault-injected stall fence: the channel issues nothing before this
     /// time. Kept separate from `next_try` because `enqueue` pulls
@@ -87,6 +119,9 @@ impl ChannelSched {
             refresh_due: refresh_phase.max(1),
             refresh_interval,
             last_activity: 0,
+            hit_cache: vec![[HitCache::Known(None); 2]; banks],
+            fronts_scratch: Vec::new(),
+            refresh_scratch: Vec::new(),
             next_try: 0,
             stalled_until: 0,
         }
@@ -105,7 +140,8 @@ impl ChannelSched {
         direct || self.overflow.len() < self.cfg.xbar_queue_depth
     }
 
-    pub fn enqueue(&mut self, p: Pending, now: Ns) {
+    pub fn enqueue(&mut self, mut p: Pending, now: Ns) {
+        p.slice = self.slice_of(&p.loc);
         let room = if p.req.is_write {
             self.writes < self.cfg.write_buffer_depth
         } else {
@@ -121,12 +157,22 @@ impl ChannelSched {
 
     fn enqueue_direct(&mut self, p: Pending) {
         let bank = p.loc.bank as usize;
-        if p.req.is_write {
+        let dir = p.req.is_write as usize;
+        let len_before = if p.req.is_write {
             self.write_q[bank].push_back(p);
             self.writes += 1;
+            self.write_q[bank].len() - 1
         } else {
             self.read_q[bank].push_back(p);
             self.reads += 1;
+            self.read_q[bank].len() - 1
+        };
+        // The new tail entered the scan window: a known-miss window may
+        // now contain a hit. A known hit index stays the oldest hit.
+        if len_before < self.cfg.reorder_window.max(1)
+            && self.hit_cache[bank][dir] == HitCache::Known(None)
+        {
+            self.hit_cache[bank][dir] = HitCache::Unknown;
         }
     }
 
@@ -155,6 +201,92 @@ impl ChannelSched {
 
     fn bank_ref(&self, bank: u32) -> BankRef {
         BankRef { channel: self.channel, bank }
+    }
+
+    /// Fresh scan for the FIFO-oldest row-buffer hit in `bank`'s queue
+    /// (the cache's ground truth).
+    fn scan_first_hit(
+        &self,
+        ch: &fgdram_dram::Channel,
+        bank: usize,
+        use_writes: bool,
+    ) -> Option<u32> {
+        let scan = self.cfg.reorder_window.max(1);
+        self.queue(use_writes)[bank]
+            .iter()
+            .take(scan)
+            .position(|p| {
+                ch.bank(bank as u32).open_at(p.loc.row, p.slice).is_some_and(|o| o.row == p.loc.row)
+            })
+            .map(|i| i as u32)
+    }
+
+    /// Cache maintenance after removing queue index `idx` of
+    /// (`bank`, direction).
+    fn note_removal(&mut self, bank: usize, is_write: bool, idx: usize) {
+        let dir = is_write as usize;
+        let scan = self.cfg.reorder_window.max(1);
+        let len_after = self.queue(is_write)[bank].len();
+        self.hit_cache[bank][dir] = match self.hit_cache[bank][dir] {
+            HitCache::Unknown => HitCache::Unknown,
+            // An entry beyond the window slid in; its hit status is
+            // unknown. If the queue fit inside the window, nothing new
+            // became visible.
+            HitCache::Known(None) => {
+                if len_after >= scan {
+                    HitCache::Unknown
+                } else {
+                    HitCache::Known(None)
+                }
+            }
+            HitCache::Known(Some(i)) => match (idx as u32).cmp(&i) {
+                std::cmp::Ordering::Equal => HitCache::Unknown,
+                std::cmp::Ordering::Less => HitCache::Known(Some(i - 1)),
+                std::cmp::Ordering::Greater => HitCache::Known(Some(i)),
+            },
+        };
+    }
+
+    /// Cache maintenance after an activate on `bank`: any queued entry may
+    /// have become a hit.
+    fn note_activate(&mut self, bank: usize) {
+        self.hit_cache[bank] = [HitCache::Unknown; 2];
+    }
+
+    /// Cache maintenance after a precharge (explicit or auto) on `bank`:
+    /// cached hits may have lost their row; a known-miss window stays a
+    /// miss (closing rows never creates hits).
+    fn note_precharge(&mut self, bank: usize) {
+        for dir in 0..2 {
+            if let HitCache::Known(Some(_)) = self.hit_cache[bank][dir] {
+                self.hit_cache[bank][dir] = HitCache::Unknown;
+            }
+        }
+    }
+
+    /// Runs scheduling attempts at `now` until the channel has issued
+    /// every command legal at this instant and goes to sleep (or the
+    /// defensive cap trips), pushing data completions into `out` and
+    /// leaving `next_try` at the channel's next wake time.
+    pub fn pass(
+        &mut self,
+        dev: &mut DramDevice,
+        now: Ns,
+        stats: &mut CtrlStats,
+        out: &mut Vec<Completion>,
+    ) -> Result<(), ProtocolError> {
+        for _ in 0..MAX_STEPS_PER_TICK {
+            match self.step(dev, now, stats)? {
+                Step::Issued(Some(c)) => out.push(c),
+                Step::Issued(None) => {}
+                Step::Sleep(t) => {
+                    self.next_try = t.max(now + 1);
+                    return Ok(());
+                }
+            }
+        }
+        self.next_try = now + 1;
+        Ok(())
     }
 
     /// One scheduling attempt at `now`.
@@ -201,6 +333,11 @@ impl ChannelSched {
 
     /// Quiesce-and-refresh: close open rows as their fences pass, then
     /// issue the refresh.
+    ///
+    /// Drains every precharge issuable at `now` in one call (restarting
+    /// the scan after each issue so fence times reflect the new bus
+    /// state), reusing `refresh_scratch` instead of allocating a row
+    /// list per bank per call.
     fn step_refresh(
         &mut self,
         dev: &mut DramDevice,
@@ -208,32 +345,49 @@ impl ChannelSched {
         stats: &mut CtrlStats,
         mut wake: Ns,
     ) -> Result<Step, ProtocolError> {
-        let mut any_open = false;
-        for b in 0..self.banks as u32 {
-            let open: Vec<(u32, u32)> =
-                dev.channel(self.channel).bank(b).open_rows().map(|o| (o.row, o.slice)).collect();
-            for (row, slice) in open {
-                any_open = true;
-                let cmd = DramCommand::Precharge { bank: self.bank_ref(b), row: Some(row), slice };
+        let mut issued = false;
+        let mut scratch = std::mem::take(&mut self.refresh_scratch);
+        'rescan: loop {
+            let mut any_open = false;
+            for b in 0..self.banks as u32 {
+                scratch.clear();
+                scratch.extend(
+                    dev.channel(self.channel).bank(b).open_rows().map(|o| (o.row, o.slice)),
+                );
+                for &(row, slice) in scratch.iter() {
+                    any_open = true;
+                    let cmd =
+                        DramCommand::Precharge { bank: self.bank_ref(b), row: Some(row), slice };
+                    let e = dev.earliest(&cmd, now)?;
+                    if e <= now {
+                        dev.issue(cmd, now)?;
+                        stats.refresh_precharges.incr();
+                        self.note_precharge(b as usize);
+                        issued = true;
+                        continue 'rescan;
+                    }
+                    wake = wake.min(e);
+                }
+            }
+            if !any_open {
+                let cmd = DramCommand::Refresh { channel: self.channel };
                 let e = dev.earliest(&cmd, now)?;
                 if e <= now {
                     dev.issue(cmd, now)?;
-                    stats.refresh_precharges.incr();
+                    stats.refreshes.incr();
+                    self.refresh_due += self.refresh_interval;
+                    self.refresh_scratch = scratch;
+                    // The refresh advanced `refresh_due`, so the next
+                    // `step` takes the normal path — stop here.
                     return Ok(Step::Issued(None));
                 }
                 wake = wake.min(e);
             }
+            break;
         }
-        if !any_open {
-            let cmd = DramCommand::Refresh { channel: self.channel };
-            let e = dev.earliest(&cmd, now)?;
-            if e <= now {
-                dev.issue(cmd, now)?;
-                stats.refreshes.incr();
-                self.refresh_due += self.refresh_interval;
-                return Ok(Step::Issued(None));
-            }
-            wake = wake.min(e);
+        self.refresh_scratch = scratch;
+        if issued {
+            return Ok(Step::Issued(None));
         }
         Ok(Step::Sleep(wake.max(now + 1)))
     }
@@ -261,23 +415,32 @@ impl ChannelSched {
         stats: &mut CtrlStats,
         wake: &mut Ns,
     ) -> Result<Option<Step>, ProtocolError> {
-        let scan = self.cfg.reorder_window.max(1);
         let mut best: Option<(Ns, u64, usize, usize)> = None;
         for b in 0..self.banks {
             let ch = dev.channel(self.channel);
-            let mut candidate: Option<(usize, &Pending)> = None;
-            for (i, p) in self.queue(use_writes)[b].iter().take(scan).enumerate() {
-                let slice = self.slice_of(&p.loc);
-                let hit =
-                    ch.bank(b as u32).open_at(p.loc.row, slice).is_some_and(|o| o.row == p.loc.row);
-                if hit {
-                    candidate = Some((i, p));
-                    break; // first hit in FIFO order is this bank's oldest
+            // The cached oldest hit replaces the window scan; `Unknown`
+            // (set on any queue/row mutation) falls back to one scan.
+            let cand_idx = match self.hit_cache[b][use_writes as usize] {
+                HitCache::Known(c) => {
+                    debug_assert_eq!(
+                        c,
+                        self.scan_first_hit(ch, b, use_writes),
+                        "stale hit cache: channel {} bank {b} writes {use_writes}",
+                        self.channel
+                    );
+                    c
                 }
-            }
-            let Some((i, p)) = candidate else { continue };
+                HitCache::Unknown => {
+                    let c = self.scan_first_hit(ch, b, use_writes);
+                    self.hit_cache[b][use_writes as usize] = HitCache::Known(c);
+                    c
+                }
+            };
+            let Some(i) = cand_idx else { continue };
+            let i = i as usize;
+            let p = &self.queue(use_writes)[b][i];
             let e = ch
-                .earliest_col(b as u32, p.loc.row, self.slice_of(&p.loc), p.req.is_write, now)
+                .earliest_col(b as u32, p.loc.row, p.slice, p.req.is_write, now)
                 .map(|t| t.max(now))
                 .unwrap_or(Ns::MAX);
             if best.is_none_or(|(be, bs, _, _)| (e, p.seq) < (be, bs)) {
@@ -290,7 +453,7 @@ impl ChannelSched {
             return Ok(None);
         }
         let p = self.queue(use_writes)[bank][idx];
-        let slice = self.slice_of(&p.loc);
+        let slice = p.slice;
         let auto_precharge = self.cfg.page_policy == PagePolicy::Closed
             || !self.row_reusable(bank, idx, use_writes, p.loc.row, slice);
         let bankref = self.bank_ref(bank as u32);
@@ -328,9 +491,11 @@ impl ChannelSched {
         // Infallible: `idx` came from `best`, which indexed this very
         // queue earlier in the call, and nothing has mutated it since.
         .expect("scheduled request present");
+        self.note_removal(bank, use_writes, idx);
         stats.row_hits.incr();
         if auto_precharge {
             stats.auto_precharges.incr();
+            self.note_precharge(bank);
         }
         if let Some(c) = completion {
             if !removed.req.is_write {
@@ -352,7 +517,7 @@ impl ChannelSched {
         slice: u32,
     ) -> bool {
         let scan = self.cfg.reorder_window.max(1);
-        let matches = |p: &Pending| p.loc.row == row && self.slice_of(&p.loc) == slice;
+        let matches = |p: &Pending| p.loc.row == row && p.slice == slice;
         self.read_q[bank]
             .iter()
             .take(scan)
@@ -375,16 +540,20 @@ impl ChannelSched {
         stats: &mut CtrlStats,
         wake: &mut Ns,
     ) -> Result<Option<Step>, ProtocolError> {
-        // Front requests per bank, oldest first.
-        let mut fronts: Vec<(u64, usize)> = (0..self.banks)
-            .filter_map(|b| self.queue(use_writes)[b].front().map(|p| (p.seq, b)))
-            .collect();
+        // Front requests per bank, oldest first (reusable scratch —
+        // allocation-free after warm-up).
+        let mut fronts = std::mem::take(&mut self.fronts_scratch);
+        fronts.clear();
+        fronts.extend(
+            (0..self.banks).filter_map(|b| self.queue(use_writes)[b].front().map(|p| (p.seq, b))),
+        );
         fronts.sort_unstable();
-        for (_, b) in fronts {
+        let mut ret = None;
+        for &(_, b) in fronts.iter() {
             // Infallible: `fronts` was built from banks whose `front()` was
             // `Some`, and the queues are untouched between there and here.
             let p = *self.queue(use_writes)[b].front().expect("front exists");
-            let slice = self.slice_of(&p.loc);
+            let slice = p.slice;
             let bankref = self.bank_ref(b as u32);
             // Already open with the right row: handled by try_column (it
             // was not issuable now; its wake time is already folded in).
@@ -394,9 +563,12 @@ impl ChannelSched {
                     continue;
                 }
                 // Conflict: close the loser — unless the active queue still
-                // has hits for it, which FR-FCFS will serve first.
+                // has hits for it, which FR-FCFS will serve first. Wake at
+                // the blocking row's column fence (when its hit can drain),
+                // not a fixed-interval poll.
                 if self.row_has_pending(b, o.row, o.slice, use_writes) {
-                    *wake = (*wake).min(now + 4);
+                    let fence = self.conflict_fence(dev, b as u32, o.row, o.slice, use_writes, now);
+                    *wake = (*wake).min(fence);
                     continue;
                 }
                 if let Some(step) = self.try_precharge(
@@ -408,7 +580,8 @@ impl ChannelSched {
                     &mut stats.conflict_precharges,
                     wake,
                 )? {
-                    return Ok(Some(step));
+                    ret = Some(step);
+                    break;
                 }
                 continue;
             }
@@ -417,20 +590,42 @@ impl ChannelSched {
                 Ok(e) if e <= now => {
                     dev.issue(cmd, now)?;
                     stats.activates.incr();
+                    self.note_activate(b);
                     self.last_activity = now;
-                    return Ok(Some(Step::Issued(None)));
+                    ret = Some(Step::Issued(None));
+                    break;
                 }
                 Ok(e) => *wake = (*wake).min(e),
                 Err(err) => {
                     if let Some(step) = self.resolve_act_block(
                         dev, now, b as u32, &p, err.rule, use_writes, stats, wake,
                     )? {
-                        return Ok(Some(step));
+                        ret = Some(step);
+                        break;
                     }
                 }
             }
         }
-        Ok(None)
+        self.fronts_scratch = fronts;
+        Ok(ret)
+    }
+
+    /// Wake fence for a conflict whose open row still has queued hits: the
+    /// row's next column-issue time — when that hit can drain and the
+    /// conflict can make progress — clamped past `now`.
+    fn conflict_fence(
+        &self,
+        dev: &DramDevice,
+        bank: u32,
+        row: u32,
+        slice: u32,
+        use_writes: bool,
+        now: Ns,
+    ) -> Ns {
+        dev.channel(self.channel)
+            .earliest_col(bank, row, slice, use_writes, now)
+            .map(|t| t.max(now + 1))
+            .unwrap_or(now + 1)
     }
 
     /// Handles structural activate rejections by precharging whichever
@@ -465,7 +660,8 @@ impl ChannelSched {
                         .map(|o| (o.row, o.slice));
                     if let Some((row, slice)) = blocking {
                         if self.row_has_pending(sib as usize, row, slice, use_writes) {
-                            *wake = (*wake).min(now + 4);
+                            let fence = self.conflict_fence(dev, sib, row, slice, use_writes, now);
+                            *wake = (*wake).min(fence);
                             return Ok(None);
                         }
                         return self.try_precharge(
@@ -492,7 +688,8 @@ impl ChannelSched {
                     .map(|o| (o.row, o.slice));
                 if let Some((row, slice)) = blocking {
                     if self.row_has_pending(bank as usize, row, slice, use_writes) {
-                        *wake = (*wake).min(now + 4);
+                        let fence = self.conflict_fence(dev, bank, row, slice, use_writes, now);
+                        *wake = (*wake).min(fence);
                         return Ok(None);
                     }
                     return self.try_precharge(
@@ -518,10 +715,7 @@ impl ChannelSched {
     /// the open (`row`, `slice`) of `bank`.
     fn row_has_pending(&self, bank: usize, row: u32, slice: u32, use_writes: bool) -> bool {
         let scan = self.cfg.reorder_window.max(1);
-        self.queue(use_writes)[bank]
-            .iter()
-            .take(scan)
-            .any(|p| p.loc.row == row && self.slice_of(&p.loc) == slice)
+        self.queue(use_writes)[bank].iter().take(scan).any(|p| p.loc.row == row && p.slice == slice)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -540,6 +734,7 @@ impl ChannelSched {
         if e <= now {
             dev.issue(cmd, now)?;
             counter.incr();
+            self.note_precharge(bank.bank as usize);
             self.last_activity = now;
             return Ok(Some(Step::Issued(None)));
         }

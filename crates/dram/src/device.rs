@@ -47,6 +47,11 @@ pub struct DramDevice {
     channels: Vec<Channel>,
     cmd_buses: Vec<CmdBus>,
     trace: Option<Vec<TimedCommand>>,
+    /// Running aggregate of every channel's counters, maintained
+    /// incrementally on [`Self::issue`] so [`Self::total_counters`] is
+    /// O(1) — it sits on the per-step progress-watchdog path, where
+    /// re-summing 512 grains per step dominated wall time.
+    totals: ChannelCounters,
 }
 
 impl DramDevice {
@@ -62,6 +67,7 @@ impl DramDevice {
             channels: (0..cfg.channels).map(|_| Channel::new(&cfg)).collect(),
             cmd_buses: vec![CmdBus::default(); cfg.cmd_channels()],
             trace: None,
+            totals: ChannelCounters::default(),
             cfg,
         }
     }
@@ -89,18 +95,10 @@ impl DramDevice {
         }
     }
 
-    /// Aggregated operation counters across all channels.
+    /// Aggregated operation counters across all channels (O(1): a running
+    /// total maintained on every issue).
     pub fn total_counters(&self) -> ChannelCounters {
-        let mut total = ChannelCounters::default();
-        for c in &self.channels {
-            let k = c.counters();
-            total.activates += k.activates;
-            total.read_atoms += k.read_atoms;
-            total.write_atoms += k.write_atoms;
-            total.refreshes += k.refreshes;
-            total.precharges += k.precharges;
-        }
-        total
+        self.totals
     }
 
     /// Per-channel counters.
@@ -113,6 +111,7 @@ impl DramDevice {
         for c in &mut self.channels {
             c.reset_counters();
         }
+        self.totals = ChannelCounters::default();
     }
 
     #[inline]
@@ -234,6 +233,11 @@ impl DramDevice {
         if at < slot {
             return Err(ProtocolError { cmd, at, rule: Rule::CmdBusBusy, earliest: Some(slot) });
         }
+        // A command touches exactly one channel; capture its counters so
+        // the running totals can absorb the delta afterwards. (Failed
+        // issues leave channel state — and thus the delta — untouched.)
+        let chx = cmd.channel() as usize;
+        let before = *self.channels[chx].counters();
         let completion = match cmd {
             DramCommand::Activate { bank, row, slice } => {
                 self.channels[bank.channel as usize]
@@ -270,6 +274,12 @@ impl DramDevice {
                 None
             }
         };
+        let after = self.channels[chx].counters();
+        self.totals.activates += after.activates - before.activates;
+        self.totals.read_atoms += after.read_atoms - before.read_atoms;
+        self.totals.write_atoms += after.write_atoms - before.write_atoms;
+        self.totals.refreshes += after.refreshes - before.refreshes;
+        self.totals.precharges += after.precharges - before.precharges;
         self.occupy_cmd_slot(&cmd, at);
         if let Some(t) = &mut self.trace {
             t.push(TimedCommand { at, cmd });
@@ -465,5 +475,64 @@ mod tests {
         let k = d.total_counters();
         assert_eq!(k.activates, 4);
         assert_eq!(k.read_atoms, 4);
+    }
+
+    /// Recomputes the per-channel sum the slow way and checks the O(1)
+    /// running totals match after a mixed command sequence, rejected
+    /// commands (which must not count), and a reset.
+    #[test]
+    fn running_totals_match_recomputed_sum() {
+        let resum = |d: &DramDevice| {
+            let mut total = ChannelCounters::default();
+            for ch in 0..d.config().channels as u32 {
+                let k = d.channel_counters(ch);
+                total.activates += k.activates;
+                total.read_atoms += k.read_atoms;
+                total.write_atoms += k.write_atoms;
+                total.refreshes += k.refreshes;
+                total.precharges += k.precharges;
+            }
+            total
+        };
+        let check = |d: &DramDevice| {
+            let (a, b) = (d.total_counters(), resum(d));
+            assert_eq!(a.activates, b.activates);
+            assert_eq!(a.read_atoms, b.read_atoms);
+            assert_eq!(a.write_atoms, b.write_atoms);
+            assert_eq!(a.refreshes, b.refreshes);
+            assert_eq!(a.precharges, b.precharges);
+        };
+        let mut d = dev(DramKind::QbHbm);
+        let mut now = 0;
+        for ch in 0..4 {
+            let b = bank(ch, ch % 2);
+            let act = DramCommand::Activate { bank: b, row: ch, slice: 0 };
+            now = d.earliest(&act, now).unwrap();
+            d.issue(act, now).unwrap();
+            // Auto-precharged write: counts a write atom and a precharge.
+            let wr = DramCommand::Write {
+                bank: b,
+                row: ch,
+                col: 0,
+                auto_precharge: ch % 2 == 0,
+                req: ReqId(ch as u64),
+            };
+            now = d.earliest(&wr, now).unwrap();
+            d.issue(wr, now).unwrap();
+            check(&d);
+        }
+        // A rejected command leaves the totals untouched.
+        let bad = DramCommand::Activate { bank: bank(0, 0), row: 1 << 30, slice: 0 };
+        assert!(d.issue(bad, now).is_err());
+        check(&d);
+        // Channel 0's only row was auto-precharged above, so it can refresh.
+        let rf = DramCommand::Refresh { channel: 0 };
+        let t = d.earliest(&rf, now + 200).unwrap();
+        d.issue(rf, t).unwrap();
+        check(&d);
+        assert!(d.total_counters().refreshes >= 1);
+        d.reset_counters();
+        check(&d);
+        assert_eq!(d.total_counters().activates, 0);
     }
 }

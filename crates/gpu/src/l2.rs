@@ -7,10 +7,9 @@
 //! patterns. Stores write whole sectors, so store misses allocate without
 //! fetching (no read-for-ownership traffic).
 
-use std::collections::HashMap;
-
 use fgdram_model::addr::PhysAddr;
 use fgdram_model::config::L2Config;
+use fgdram_model::fxhash::FxHashMap;
 use fgdram_model::stats::Counter;
 
 /// Result of one sector access.
@@ -104,7 +103,10 @@ pub struct L2Cache {
     sets: usize,
     ways: usize,
     lines: Vec<Line>,
-    mshr: HashMap<u64, MshrEntry>,
+    /// Outstanding fills by sector address. Never iterated (lookup,
+    /// insert, and remove only), so the fast hasher cannot perturb any
+    /// observable order.
+    mshr: FxHashMap<u64, MshrEntry>,
     mshr_capacity: usize,
     lru_clock: u64,
     writebacks: Vec<PhysAddr>,
@@ -121,7 +123,7 @@ impl L2Cache {
             sets,
             ways,
             lines: vec![Line::default(); sets * ways],
-            mshr: HashMap::new(),
+            mshr: FxHashMap::default(),
             mshr_capacity,
             lru_clock: 0,
             writebacks: Vec::new(),
@@ -273,6 +275,14 @@ impl L2Cache {
     /// since the last call. The caller turns these into DRAM writes.
     pub fn take_writebacks(&mut self) -> Vec<PhysAddr> {
         std::mem::take(&mut self.writebacks)
+    }
+
+    /// Like [`Self::take_writebacks`], but swaps the pending writebacks
+    /// into `out` (cleared first) so a caller-owned buffer is reused
+    /// instead of allocating a fresh `Vec` per drain.
+    pub fn take_writebacks_into(&mut self, out: &mut Vec<PhysAddr>) {
+        out.clear();
+        std::mem::swap(&mut self.writebacks, out);
     }
 
     /// Completes an outstanding fill, returning the waiter tokens to wake.

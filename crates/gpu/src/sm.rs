@@ -130,6 +130,15 @@ pub struct Gpu {
     wave_counts: Vec<usize>,
     wave_head: usize,
     wave_parked: Vec<(usize, usize)>,
+    /// Per-SM ready-queue lengths, kept beside each other so the per-ns
+    /// `issue`/`next_event` scans read two contiguous arrays instead of
+    /// pulling 60 scattered `Sm` structs into cache.
+    ready_count: Vec<u32>,
+    /// Per-SM earliest sleeper wake time (`Ns::MAX` when none): exact —
+    /// lowered on every `sleeping.push`, recomputed from the heap after
+    /// pops — so skipping an SM with `ready_count == 0 && next_wake > now`
+    /// is behaviour-identical to visiting it.
+    next_wake: Vec<Ns>,
 }
 
 impl Gpu {
@@ -163,7 +172,6 @@ impl Gpu {
         let window = cfg.wave_window;
         let n_warps = cfg.sms * cfg.warps_per_sm;
         Gpu {
-            cfg,
             sms,
             max_outstanding,
             stats: GpuStats::default(),
@@ -178,6 +186,9 @@ impl Gpu {
             },
             wave_head: 0,
             wave_parked: Vec::new(),
+            ready_count: vec![cfg.warps_per_sm as u32; cfg.sms],
+            next_wake: vec![Ns::MAX; cfg.sms],
+            cfg,
         }
     }
 
@@ -228,9 +239,11 @@ impl Gpu {
                 if warp.ready_at <= now {
                     warp.queued = true;
                     sm.ready.push_back(w);
+                    self.ready_count[sm_idx] += 1;
                 } else {
                     let at = warp.ready_at;
                     sm.sleeping.push(Reverse((at, w)));
+                    self.next_wake[sm_idx] = self.next_wake[sm_idx].min(at);
                 }
             }
         }
@@ -280,23 +293,35 @@ impl Gpu {
         self.last_issue_tick = now;
         let mut wave_moved = false;
         for sm_idx in 0..self.sms.len() {
+            // Nothing ready, nothing due to wake: the visit would be a
+            // no-op, so skip without touching the `Sm` itself.
+            if self.ready_count[sm_idx] == 0 && self.next_wake[sm_idx] > now {
+                continue;
+            }
             // Wake sleepers whose think time elapsed.
-            loop {
-                let sm = &mut self.sms[sm_idx];
-                let Some(&Reverse((t, w))) = sm.sleeping.peek() else { break };
-                if t > now {
-                    break;
+            if self.next_wake[sm_idx] <= now {
+                loop {
+                    let sm = &mut self.sms[sm_idx];
+                    let Some(&Reverse((t, w))) = sm.sleeping.peek() else { break };
+                    if t > now {
+                        break;
+                    }
+                    sm.sleeping.pop();
+                    let warp = &mut sm.warps[w];
+                    if warp.outstanding < self.max_outstanding && !warp.queued && !warp.wave_parked
+                    {
+                        warp.queued = true;
+                        sm.ready.push_back(w);
+                        self.ready_count[sm_idx] += 1;
+                    }
                 }
-                sm.sleeping.pop();
-                let warp = &mut sm.warps[w];
-                if warp.outstanding < self.max_outstanding && !warp.queued && !warp.wave_parked {
-                    warp.queued = true;
-                    sm.ready.push_back(w);
-                }
+                self.next_wake[sm_idx] =
+                    self.sms[sm_idx].sleeping.peek().map_or(Ns::MAX, |&Reverse((t, _))| t);
             }
             for _ in 0..budget_per_sm {
                 let sm = &mut self.sms[sm_idx];
                 let Some(w) = sm.ready.pop_front() else { break };
+                self.ready_count[sm_idx] -= 1;
                 let warp = &mut sm.warps[w];
                 warp.queued = false;
                 debug_assert!(warp.ready_at <= now && warp.outstanding < self.max_outstanding);
@@ -349,8 +374,10 @@ impl Gpu {
                     if ready_at <= now {
                         sm.warps[w].queued = true;
                         sm.ready.push_back(w);
+                        self.ready_count[sm_idx] += 1;
                     } else {
                         sm.sleeping.push(Reverse((ready_at, w)));
+                        self.next_wake[sm_idx] = self.next_wake[sm_idx].min(ready_at);
                     }
                 }
                 // Otherwise the warp is blocked until a completion.
@@ -382,8 +409,11 @@ impl Gpu {
                 if warp.ready_at <= now {
                     warp.queued = true;
                     sm.ready.push_back(w);
+                    self.ready_count[sm_idx] += 1;
                 } else {
-                    sm.sleeping.push(Reverse((warp.ready_at, w)));
+                    let at = warp.ready_at;
+                    sm.sleeping.push(Reverse((at, w)));
+                    self.next_wake[sm_idx] = self.next_wake[sm_idx].min(at);
                 }
             }
         }
@@ -393,11 +423,12 @@ impl Gpu {
     /// `None` when every warp waits on memory completions.
     pub fn next_event(&self) -> Option<Ns> {
         let mut next: Option<Ns> = None;
-        for sm in &self.sms {
-            if !sm.ready.is_empty() {
+        for i in 0..self.sms.len() {
+            if self.ready_count[i] > 0 {
                 return Some(self.last_issue_tick);
             }
-            if let Some(&Reverse((t, _))) = sm.sleeping.peek() {
+            let t = self.next_wake[i];
+            if t != Ns::MAX {
                 next = Some(next.map_or(t, |n| n.min(t)));
             }
         }

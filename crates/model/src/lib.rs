@@ -33,10 +33,12 @@
 pub mod addr;
 pub mod cmd;
 pub mod config;
+pub mod fxhash;
 pub mod rng;
 pub mod stats;
 pub mod stream;
 pub mod units;
+pub mod wheel;
 
 pub use addr::{AddressMapper, Location, MemRequest, PhysAddr, ReqId};
 pub use cmd::{BankRef, CmdKind, Completion, DramCommand, TimedCommand};

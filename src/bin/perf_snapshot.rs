@@ -1,0 +1,241 @@
+//! `perf-snapshot`: the simulator's performance trajectory, one JSON file
+//! per run.
+//!
+//! Runs the STREAM- and GUPS-like suite microbenches on the QB-HBM and
+//! FGDRAM stacks and writes `BENCH_<date>.json` with, per bench and in
+//! total: simulated nanoseconds, wall-clock milliseconds, achieved
+//! simulated-cycles/sec (the DRAM clock is modelled at 1 GHz, so one
+//! simulated cycle is one simulated nanosecond), and peak RSS. The file is
+//! hand-rolled JSON (this binary is registry-free, like the rest of the
+//! root package; Criterion stays quarantined in `crates/bench`).
+//!
+//! Usage:
+//!   perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N]
+//!
+//! `--repeat N` runs the whole cell matrix N times (interleaved, so host
+//! noise hits every cell alike) and keeps the minimum wall time per cell —
+//! the standard noise-robust estimator for a shared host.
+//!
+//! `--smoke` shrinks the horizon to a CI-friendly second or two and marks
+//! the snapshot as non-comparable. Exit codes follow the simulator
+//! convention: 2 usage, 3-7 per `SimError::exit_code`, 6 for I/O.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use fgdram::core::SimError;
+use fgdram::core::SystemBuilder;
+use fgdram::model::config::DramKind;
+use fgdram::model::units::Ns;
+use fgdram::workloads::suites;
+
+struct Flags {
+    smoke: bool,
+    out: Option<String>,
+    warmup: Ns,
+    window: Ns,
+    repeat: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags() -> Flags {
+    let mut f = Flags { smoke: false, out: None, warmup: 2_000, window: 20_000, repeat: 1 };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => f.smoke = true,
+            "--out" => f.out = Some(args.next().unwrap_or_else(|| usage())),
+            "--warmup" => {
+                f.warmup = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--window" => {
+                f.window = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--repeat" => {
+                f.repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if f.smoke {
+        f.warmup = 500;
+        f.window = 1_500;
+    }
+    f
+}
+
+/// Days-from-civil inverse (Howard Hinnant's algorithm): UTC date from the
+/// system clock without a date dependency.
+fn today_utc() -> (i64, u32, u32) {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let z = secs.div_euclid(86_400) + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (0 when the
+/// platform does not expose it).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+struct BenchResult {
+    name: String,
+    workload: &'static str,
+    kind: DramKind,
+    simulated_ns: Ns,
+    wall_ms: f64,
+}
+
+impl BenchResult {
+    fn cycles_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.simulated_ns as f64 * 1_000.0 / self.wall_ms
+        }
+    }
+}
+
+fn run_bench(workload: &'static str, kind: DramKind, f: &Flags) -> Result<BenchResult, SimError> {
+    let w = suites::by_name(workload).ok_or_else(|| SimError::Io {
+        context: format!("workload {workload} not in suite"),
+        source: std::io::Error::other("unknown workload"),
+    })?;
+    let t0 = Instant::now();
+    let report = SystemBuilder::new(kind).workload(w).run(f.warmup, f.window)?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    // The report only proves the run happened; the metric is wall time
+    // over the whole horizon (warmup + window), which is what a sweep pays.
+    let _ = report;
+    Ok(BenchResult {
+        name: format!("{workload}/{}", kind.label()),
+        workload,
+        kind,
+        simulated_ns: f.warmup + f.window,
+        wall_ms,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn render(results: &[BenchResult], f: &Flags, date: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"fgdram-perf-snapshot-v1\",\n");
+    out.push_str(&format!("  \"date\": \"{date}\",\n"));
+    out.push_str(&format!("  \"smoke\": {},\n", f.smoke));
+    out.push_str(&format!("  \"warmup_ns\": {},\n", f.warmup));
+    out.push_str(&format!("  \"window_ns\": {},\n", f.window));
+    out.push_str(&format!("  \"repeat\": {},\n", f.repeat));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    out.push_str("  \"benches\": [\n");
+    let (mut total_ns, mut total_ms) = (0u64, 0f64);
+    for (i, r) in results.iter().enumerate() {
+        total_ns += r.simulated_ns;
+        total_ms += r.wall_ms;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workload\": \"{}\", \"kind\": \"{}\", \
+             \"simulated_ns\": {}, \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}}}{}\n",
+            json_escape(&r.name),
+            json_escape(r.workload),
+            json_escape(r.kind.label()),
+            r.simulated_ns,
+            r.wall_ms,
+            r.cycles_per_sec(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let total_cps = if total_ms > 0.0 { total_ns as f64 * 1_000.0 / total_ms } else { 0.0 };
+    out.push_str(&format!(
+        "  \"totals\": {{\"simulated_ns\": {}, \"wall_ms\": {:.3}, \
+         \"cycles_per_sec\": {:.1}, \"peak_rss_kb\": {}}}\n",
+        total_ns,
+        total_ms,
+        total_cps,
+        peak_rss_kb(),
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let f = parse_flags();
+    let cells: &[(&'static str, DramKind)] = &[
+        ("STREAM", DramKind::QbHbm),
+        ("STREAM", DramKind::Fgdram),
+        ("GUPS", DramKind::QbHbm),
+        ("GUPS", DramKind::Fgdram),
+    ];
+    let mut results: Vec<BenchResult> = Vec::with_capacity(cells.len());
+    for round in 0..f.repeat {
+        for (i, &(w, k)) in cells.iter().enumerate() {
+            match run_bench(w, k, &f) {
+                Ok(r) => {
+                    eprintln!(
+                        "[perf-snapshot] {:<16} {:>10} sim-ns in {:>9.1} ms -> {:>12.0} cycles/sec",
+                        r.name,
+                        r.simulated_ns,
+                        r.wall_ms,
+                        r.cycles_per_sec()
+                    );
+                    if round == 0 {
+                        results.push(r);
+                    } else if r.wall_ms < results[i].wall_ms {
+                        results[i] = r;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("perf-snapshot: {e}");
+                    std::process::exit(e.exit_code() as i32);
+                }
+            }
+        }
+    }
+    let (y, m, d) = today_utc();
+    let date = format!("{y:04}-{m:02}-{d:02}");
+    let path = f.out.clone().unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let body = render(&results, &f, &date);
+    let write = |p: &str, b: &str| -> std::io::Result<()> {
+        let mut file = std::fs::File::create(p)?;
+        file.write_all(b.as_bytes())
+    };
+    if let Err(e) = write(&path, &body) {
+        eprintln!("perf-snapshot: I/O error ({path}): {e}");
+        std::process::exit(6);
+    }
+    println!("{path}");
+}

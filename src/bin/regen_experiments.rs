@@ -59,6 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if quick { " -- --quick" } else { "" },
         if quick { " (this file: `--quick` scale)" } else { "" }
     )?;
+    writeln!(
+        w,
+        "Determinism gate: the numbers below are pinned byte-for-byte by\n\
+         `tests/golden_identity.rs` at every `--jobs` level (quick scale). The\n\
+         PR-6 engine rewrite reproduced the prior engine exactly; its busy-wait\n\
+         fence fix was the one intentional perturbation (sub-0.01% latency-mean\n\
+         shifts on two cells), after which this file and the golden were\n\
+         regenerated together.\n"
+    )?;
 
     // ---- Figure 1a -----------------------------------------------------
     eprintln!("[{:6.1?}] fig 1a", t0.elapsed());

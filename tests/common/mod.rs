@@ -1,7 +1,9 @@
 //! Shared integration-test helpers.
 //!
 //! A tiny recursive-descent JSON validator, so schema tests can prove the
-//! hand-rolled exporters emit *valid* JSON without pulling a dependency.
+//! hand-rolled exporters emit *valid* JSON without pulling a dependency
+//! (both the compact telemetry JSONL and the pretty-printed
+//! `perf-snapshot` output, so it skips insignificant whitespace).
 //! (Each integration-test binary compiles its own copy; helpers unused by
 //! a given binary are expected.)
 
@@ -17,6 +19,7 @@ impl<'a> Json<'a> {
     pub fn validate(s: &'a str) -> Result<(), String> {
         let mut p = Json { b: s.as_bytes(), i: 0 };
         p.value()?;
+        p.ws();
         if p.i != p.b.len() {
             return Err(format!("trailing bytes at {}", p.i));
         }
@@ -25,6 +28,14 @@ impl<'a> Json<'a> {
 
     fn peek(&self) -> Option<u8> {
         self.b.get(self.i).copied()
+    }
+
+    /// Skips insignificant whitespace (the four characters JSON allows
+    /// between tokens).
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
     }
 
     fn eat(&mut self, c: u8) -> Result<(), String> {
@@ -37,6 +48,7 @@ impl<'a> Json<'a> {
     }
 
     fn value(&mut self) -> Result<(), String> {
+        self.ws();
         match self.peek().ok_or("eof")? {
             b'{' => self.object(),
             b'[' => self.array(),
@@ -51,14 +63,18 @@ impl<'a> Json<'a> {
 
     fn object(&mut self) -> Result<(), String> {
         self.eat(b'{')?;
+        self.ws();
         if self.peek() == Some(b'}') {
             self.i += 1;
             return Ok(());
         }
         loop {
+            self.ws();
             self.string()?;
+            self.ws();
             self.eat(b':')?;
             self.value()?;
+            self.ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
@@ -72,12 +88,14 @@ impl<'a> Json<'a> {
 
     fn array(&mut self) -> Result<(), String> {
         self.eat(b'[')?;
+        self.ws();
         if self.peek() == Some(b']') {
             self.i += 1;
             return Ok(());
         }
         loop {
             self.value()?;
+            self.ws();
             match self.peek() {
                 Some(b',') => self.i += 1,
                 Some(b']') => {

@@ -1,0 +1,57 @@
+//! `perf-snapshot` smoke-mode integration: the binary must run the cell
+//! matrix, exit 0, and write well-formed JSON carrying the v1 schema
+//! fields. `ci.sh` runs the same smoke invocation; this test is the
+//! offline gate that the snapshot machinery itself stays healthy.
+
+mod common;
+
+use std::process::Command;
+
+#[test]
+fn smoke_snapshot_writes_valid_schema_json() {
+    let out_path =
+        std::env::temp_dir().join(format!("fgdram_bench_smoke_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_perf-snapshot"))
+        .args(["--smoke", "--out"])
+        .arg(&out_path)
+        .output()
+        .expect("perf-snapshot spawns");
+    assert!(
+        out.status.success(),
+        "perf-snapshot --smoke failed ({}): {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&out_path).expect("snapshot file written");
+    let _ = std::fs::remove_file(&out_path);
+
+    common::Json::validate(&body).expect("snapshot must be well-formed JSON");
+    for field in [
+        "\"schema\": \"fgdram-perf-snapshot-v1\"",
+        "\"smoke\": true",
+        "\"warmup_ns\"",
+        "\"window_ns\"",
+        "\"repeat\"",
+        "\"benches\"",
+        "\"simulated_ns\"",
+        "\"wall_ms\"",
+        "\"cycles_per_sec\"",
+        "\"totals\"",
+        "\"peak_rss_kb\"",
+    ] {
+        assert!(body.contains(field), "snapshot missing {field}:\n{body}");
+    }
+    // All four matrix cells, each with a positive simulated horizon.
+    for cell in ["STREAM/QB-HBM", "STREAM/FGDRAM", "GUPS/QB-HBM", "GUPS/FGDRAM"] {
+        assert!(body.contains(cell), "snapshot missing cell {cell}");
+    }
+}
+
+#[test]
+fn bad_flags_exit_with_usage_code() {
+    let out = Command::new(env!("CARGO_BIN_EXE_perf-snapshot"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("perf-snapshot spawns");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}
