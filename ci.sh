@@ -32,7 +32,8 @@ echo "== smoke: perf snapshot writes valid v1-schema JSON =="
 # by hand so ci logs carry the smoke numbers.
 cargo test -q --test perf_snapshot
 snap="$(mktemp /tmp/fgdram_ci_snapshot.XXXXXX.json)"
-trap 'rm -f "$snap"' EXIT
+sdir="$(mktemp -d /tmp/fgdram_ci_serve.XXXXXX)"
+trap 'rm -f "$snap"; rm -rf "$sdir"; [ -n "${serve_pid:-}" ] && kill -9 "$serve_pid" 2>/dev/null; true' EXIT
 timeout 300 target/release/perf-snapshot --smoke --out "$snap"
 grep -q '"schema": "fgdram-perf-snapshot-v1"' "$snap"
 
@@ -54,6 +55,59 @@ timeout 120 target/release/fgdram_sim run STREAM \
 code=$?
 set -e
 [ "$code" -eq 5 ] || { echo "expected watchdog-stall exit 5, got $code"; exit 1; }
+
+echo "== smoke: serve daemon (byte-identity, admission, kill/resume) =="
+cargo test -q --test serve
+spec=(--suite compute --warmup 2000 --window 6000 --max-workloads 3)
+target/release/fgdram_sim suite compute --warmup 2000 --window 6000 \
+    --max-workloads 3 --jobs 2 > "$sdir/golden.txt"
+
+start_daemon() {  # extra daemon flags as args; sets serve_pid + serve_addr
+    : > "$sdir/banner.txt"
+    target/release/fgdram-serve --port 0 --spool "$sdir/spool" "$@" \
+        > "$sdir/banner.txt" 2>> "$sdir/serve.log" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        serve_addr="$(sed -n 's/^fgdram-serve: listening on //p' "$sdir/banner.txt")"
+        [ -n "$serve_addr" ] && return 0
+        sleep 0.1
+    done
+    echo "fgdram-serve did not print its listen banner"; exit 1
+}
+
+# A served job must print the exact CLI suite bytes.
+start_daemon
+target/release/fgdram-client submit --addr "$serve_addr" "${spec[@]}" \
+    2>/dev/null > "$sdir/served.txt"
+diff "$sdir/golden.txt" "$sdir/served.txt"
+
+# kill -9 mid-job, restart on the same spool: the report must still be the
+# CLI bytes and the checkpointed cells must resume, not recompute.
+job="$(target/release/fgdram-client submit --addr "$serve_addr" "${spec[@]}" \
+    --no-wait 2>/dev/null)"
+for _ in $(seq 1 200); do
+    if grep -q '^end ' "$sdir/spool/$job.ckpt" 2>/dev/null; then break; fi
+    sleep 0.05
+done
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+start_daemon
+target/release/fgdram-client report "$job" --addr "$serve_addr" > "$sdir/resumed.txt"
+diff "$sdir/golden.txt" "$sdir/resumed.txt"
+target/release/fgdram-client stats --addr "$serve_addr" | grep -q '"resumed":[1-9]'
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+
+# Admission control: an over-budget job is the typed client exit 8.
+start_daemon --max-job-cost 10000
+set +e
+target/release/fgdram-client submit --addr "$serve_addr" "${spec[@]}" >/dev/null 2>&1
+code=$?
+set -e
+[ "$code" -eq 8 ] || { echo "expected budget-reject exit 8, got $code"; exit 1; }
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=
 
 echo "== lint: clippy (workspace, including fgdram-faults) =="
 cargo clippy --workspace --all-targets -- -D warnings

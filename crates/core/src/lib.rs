@@ -32,6 +32,7 @@
 pub mod error;
 pub mod experiments;
 pub mod report;
+pub mod suite;
 pub mod system;
 
 /// Re-export: the event wheel moved into `fgdram-model` so the

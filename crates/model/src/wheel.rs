@@ -336,6 +336,115 @@ mod tests {
     }
 
     #[test]
+    fn event_exactly_at_the_horizon_goes_to_overflow_and_pops_in_order() {
+        let w_ns = W as u64;
+        let mut w = EventWheel::new();
+        // t == base + W is the first non-representable slot time (it
+        // would alias slot 0, base's own slot): it must take the
+        // overflow path, not corrupt the wheel.
+        w.push(w_ns, 1u32);
+        w.push(w_ns - 1, 2); // last in-horizon slot
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.next_time(), Some(w_ns - 1));
+        assert_eq!(w.pop_due(w_ns), Some((w_ns - 1, 2)));
+        assert_eq!(w.pop_due(w_ns), Some((w_ns, 1)), "horizon event migrates and pops");
+        // The same boundary must hold against the advanced base (w_ns).
+        w.push(2 * w_ns, 3); // exactly new base + W: overflow again
+        w.push(2 * w_ns - 1, 4);
+        assert_eq!(w.next_time(), Some(2 * w_ns - 1));
+        assert_eq!(w.pop_due(2 * w_ns), Some((2 * w_ns - 1, 4)));
+        assert_eq!(w.pop_due(2 * w_ns), Some((2 * w_ns, 3)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn push_at_now_stays_legal_as_base_advances() {
+        let mut w = EventWheel::new();
+        w.push(50, 1u32);
+        // Nothing due at 49; base still advances as far as `now` allows,
+        // and a push at exactly t == base must then be accepted and sort
+        // ahead of the later event.
+        assert_eq!(w.pop_due(49), None);
+        w.push(49, 2);
+        assert_eq!(w.pop_due(49), Some((49, 2)));
+        assert_eq!(w.pop_due(50), Some((50, 1)));
+        // After a pop advanced base to the popped time, t == base again.
+        w.push(50, 3);
+        assert_eq!(w.pop_due(50), Some((50, 3)));
+        assert!(w.is_empty());
+    }
+
+    /// The controller due-queue discipline: cancellations are lazy (stale
+    /// entries stay queued; `pop_min` discards them on the way out, and a
+    /// live-but-not-due head is pushed straight back). Across seeded
+    /// bursts of pushes and cancels the wheel must pop the exact sequence
+    /// of the reference heap under the same discipline.
+    #[test]
+    fn lazy_clean_pop_min_survives_cancellation_bursts() {
+        use std::collections::HashSet;
+        for seed in [3u64, 11, 2026] {
+            let mut s = seed;
+            let mut wheel = EventWheel::new();
+            let mut reference = BinaryHeap::new();
+            let mut live: Vec<(Ns, u32)> = Vec::new();
+            let mut canceled: HashSet<u32> = HashSet::new();
+            let mut next_id = 0u32;
+            let mut now: Ns = 0;
+            for _round in 0..400 {
+                // Push burst at mixed horizons; unique ids keep the two
+                // pop sequences directly comparable.
+                for _ in 0..(mix(&mut s) % 6) {
+                    let r = mix(&mut s);
+                    let dt = match r % 3 {
+                        0 => r % 256,
+                        1 => r % W as u64,
+                        _ => W as u64 + r % 10_000,
+                    };
+                    let id = next_id;
+                    next_id += 1;
+                    wheel.push(now + dt, id);
+                    reference.push(Reverse((now + dt, id)));
+                    live.push((now + dt, id));
+                }
+                // Cancellation burst: mark a random subset stale without
+                // touching either queue.
+                for _ in 0..(mix(&mut s) % 4) {
+                    if live.is_empty() {
+                        break;
+                    }
+                    let i = (mix(&mut s) % live.len() as u64) as usize;
+                    canceled.insert(live.swap_remove(i).1);
+                }
+                now += 1 + mix(&mut s) % 512;
+                loop {
+                    match wheel.pop_min() {
+                        Some((t, id)) if canceled.contains(&id) => {
+                            assert_eq!(reference.pop(), Some(Reverse((t, id))), "seed {seed}");
+                        }
+                        Some((t, id)) if t <= now => {
+                            assert_eq!(reference.pop(), Some(Reverse((t, id))), "seed {seed}");
+                            live.retain(|&(_, l)| l != id);
+                        }
+                        Some((t, id)) => {
+                            // Not due: push straight back (pop_min does
+                            // not advance base, so this must stay legal).
+                            wheel.push(t, id);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                assert_eq!(wheel.len(), reference.len(), "seed {seed}");
+            }
+            // Final full drain: both queues agree to the last entry.
+            while let Some(e) = wheel.pop_min() {
+                assert_eq!(reference.pop(), Some(Reverse(e)), "seed {seed}");
+            }
+            assert!(reference.pop().is_none(), "seed {seed}");
+        }
+    }
+
+    #[test]
     fn overflow_events_migrate_into_the_wheel() {
         let mut w = EventWheel::new();
         let far = 3 * W as u64 + 17;

@@ -1,0 +1,220 @@
+//! The serving error taxonomy: every way a job can be refused or die,
+//! mapped onto the wire as an HTTP status + a typed JSON body, and onto
+//! `fgdram-client` exit codes.
+//!
+//! Simulation failures reuse the [`SimError`] taxonomy from the core
+//! crate unchanged — a client sees the same `exit_code` (3-7) it would
+//! have seen running `fgdram_sim` locally — and the serving layer adds
+//! the admission/lifecycle outcomes a shared daemon introduces (queue
+//! full, quota, budget, cancel). Every error carries a stable short
+//! `code` string so scripts can dispatch without parsing messages.
+
+use fgdram_core::SimError;
+
+/// A serving-layer failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Malformed request or job spec. HTTP 400.
+    BadRequest(String),
+    /// Unknown job id or route. HTTP 404.
+    NotFound(String),
+    /// The bounded global queue cannot take this job's cells. HTTP 429.
+    QueueFull {
+        /// Cells the job would add.
+        cells: usize,
+        /// Cells already queued.
+        queued: usize,
+        /// The global queue bound.
+        limit: usize,
+    },
+    /// The tenant is at its in-flight job cap. HTTP 429.
+    Quota {
+        /// The submitting tenant.
+        tenant: String,
+        /// Jobs the tenant already has in flight.
+        inflight: usize,
+        /// The per-tenant cap.
+        limit: usize,
+    },
+    /// The job's cells x simulated-ns cost exceeds the per-job budget.
+    /// HTTP 422.
+    Budget {
+        /// The job's cost in cells x simulated-ns.
+        cost: u64,
+        /// The per-job budget.
+        limit: u64,
+    },
+    /// The job was cancelled before completing. HTTP 409.
+    Canceled,
+    /// The daemon is shutting down. HTTP 503.
+    ShuttingDown,
+    /// A cell simulation failed; carries the typed core error. HTTP 500.
+    Sim(SimError),
+}
+
+impl ServeError {
+    /// The stable machine-readable code string for the JSON error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::NotFound(_) => "not-found",
+            ServeError::QueueFull { .. } => "queue-full",
+            ServeError::Quota { .. } => "quota",
+            ServeError::Budget { .. } => "budget",
+            ServeError::Canceled => "canceled",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::Sim(e) => match e {
+                SimError::Config(_) => "config",
+                SimError::Protocol(_) => "protocol",
+                SimError::Stall { .. } => "stall",
+                SimError::Io { .. } => "io",
+                SimError::FaultStorm { .. } => "fault-storm",
+            },
+        }
+    }
+
+    /// The HTTP status this error maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::QueueFull { .. } | ServeError::Quota { .. } => 429,
+            ServeError::Budget { .. } => 422,
+            ServeError::Canceled => 409,
+            ServeError::ShuttingDown => 503,
+            // A config error in a cell means the spec validated but the
+            // simulation rejected it — still the client's input.
+            ServeError::Sim(SimError::Config(_)) => 400,
+            ServeError::Sim(_) => 500,
+        }
+    }
+
+    /// The process exit code `fgdram-client` uses for this failure.
+    /// Simulation errors keep their `fgdram_sim` codes (3-7); serving
+    /// rejects use 8 (budget) and 9 (queue/quota backpressure), and 10
+    /// means the job was cancelled.
+    pub fn client_exit_code(&self) -> u8 {
+        match self {
+            ServeError::BadRequest(_) | ServeError::NotFound(_) => 2,
+            ServeError::Budget { .. } => 8,
+            ServeError::QueueFull { .. } | ServeError::Quota { .. } => 9,
+            ServeError::Canceled => 10,
+            ServeError::ShuttingDown => 9,
+            ServeError::Sim(e) => e.exit_code(),
+        }
+    }
+
+    /// The `exit_code` field of the JSON body (what a local `fgdram_sim`
+    /// run would have exited with, where that is meaningful).
+    fn wire_exit_code(&self) -> u8 {
+        self.client_exit_code()
+    }
+
+    /// Renders the typed JSON error body:
+    /// `{"error":{"code":...,"exit_code":N,"message":...}}`.
+    pub fn json_body(&self) -> String {
+        let mut msg = String::new();
+        json_escape_into(&mut msg, &self.to_string());
+        format!(
+            "{{\"error\":{{\"code\":\"{}\",\"exit_code\":{},\"message\":\"{}\"}}}}\n",
+            self.code(),
+            self.wire_exit_code(),
+            msg
+        )
+    }
+}
+
+/// Appends `s` JSON-escaped into `out` (quotes, backslash, control
+/// characters).
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::NotFound(m) => write!(f, "not found: {m}"),
+            ServeError::QueueFull { cells, queued, limit } => write!(
+                f,
+                "queue full: job needs {cells} cells but {queued}/{limit} are already queued"
+            ),
+            ServeError::Quota { tenant, inflight, limit } => write!(
+                f,
+                "tenant '{tenant}' at in-flight quota ({inflight}/{limit} jobs); retry later"
+            ),
+            ServeError::Budget { cost, limit } => {
+                write!(f, "job cost {cost} cells x simulated-ns exceeds the per-job budget {limit}")
+            }
+            ServeError::Canceled => write!(f, "job cancelled"),
+            ServeError::ShuttingDown => write!(f, "daemon shutting down"),
+            ServeError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_statuses_and_exit_codes_are_consistent() {
+        let cases: Vec<(ServeError, &str, u16, u8)> = vec![
+            (ServeError::BadRequest("x".into()), "bad-request", 400, 2),
+            (ServeError::NotFound("j9".into()), "not-found", 404, 2),
+            (ServeError::QueueFull { cells: 8, queued: 100, limit: 100 }, "queue-full", 429, 9),
+            (ServeError::Quota { tenant: "t".into(), inflight: 4, limit: 4 }, "quota", 429, 9),
+            (ServeError::Budget { cost: 10, limit: 5 }, "budget", 422, 8),
+            (ServeError::Canceled, "canceled", 409, 10),
+        ];
+        for (e, code, status, exit) in cases {
+            assert_eq!(e.code(), code);
+            assert_eq!(e.http_status(), status);
+            assert_eq!(e.client_exit_code(), exit);
+            let body = e.json_body();
+            assert!(body.contains(&format!("\"code\":\"{code}\"")), "{body}");
+        }
+    }
+
+    #[test]
+    fn sim_errors_keep_their_core_exit_codes() {
+        let e = ServeError::from(SimError::Stall { at: 1, pending: 2, idle_ns: 3, bound: 4 });
+        assert_eq!(e.code(), "stall");
+        assert_eq!(e.http_status(), 500);
+        assert_eq!(e.client_exit_code(), 5);
+        let body = e.json_body();
+        assert!(body.contains("\"exit_code\":5"), "{body}");
+    }
+
+    #[test]
+    fn json_body_escapes_messages() {
+        let e = ServeError::BadRequest("a\"b\nc".into());
+        let body = e.json_body();
+        assert!(body.contains("a\\\"b\\nc"), "{body}");
+    }
+}

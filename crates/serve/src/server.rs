@@ -1,0 +1,1010 @@
+//! The job server: bounded admission, deficit-round-robin fair-share
+//! scheduling across tenants, a cell-granular worker pool, and the HTTP
+//! front end.
+//!
+//! ## Scheduling
+//!
+//! Jobs decompose into independent cells (the same workload-major cell
+//! table [`fgdram_core::suite`] defines). Each tenant owns a FIFO of
+//! queued cells; workers pick the next cell by deficit round robin —
+//! every visit to a tenant adds a fixed quantum of simulated-ns to its
+//! deficit counter, and a cell is claimed once the deficit covers its
+//! cost (warmup + window). A tenant submitting many expensive cells
+//! therefore gets the same simulated-ns throughput as one submitting
+//! many cheap ones, rather than the same cell count.
+//!
+//! ## Admission
+//!
+//! `POST /jobs` is rejected *before* any work is queued when the job's
+//! cost exceeds the per-job budget (`budget`, HTTP 422), the tenant is
+//! at its in-flight job cap (`quota`, 429), or the bounded global cell
+//! queue cannot take the job's cells (`queue-full`, 429) — so the queue
+//! cannot grow without bound no matter how many tenants flood it.
+//!
+//! ## Determinism
+//!
+//! Workers complete cells in arbitrary order; results land in the job's
+//! input-order artifact table, and the final report is rendered by
+//! [`fgdram_core::suite::render_report`] — the same code path as the
+//! CLI, so the served report is byte-identical to `fgdram_sim suite`
+//! with the same parameters at any worker count.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use fgdram_core::report::SimReport;
+use fgdram_core::suite::{render_report, SuiteSpec, SUITE_KINDS};
+use fgdram_core::SimError;
+use fgdram_model::config::DramKind;
+use fgdram_workloads::Workload;
+
+use crate::error::{json_escape_into, ServeError};
+use crate::http::{read_request, write_error, write_response, ChunkedWriter, Request};
+use crate::spec;
+use crate::spool::{Artifact, CkptWriter, Spool, SpoolStatus};
+
+/// Daemon configuration (all limits have serviceable defaults).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Bound on cells queued across all tenants (backpressure limit).
+    pub max_queued_cells: usize,
+    /// Per-tenant cap on jobs in flight (queued or running).
+    pub tenant_max_inflight: usize,
+    /// Per-job budget in cells x simulated-ns.
+    pub max_job_cost: u64,
+    /// Deficit-round-robin quantum in simulated-ns per scheduler visit.
+    pub quantum: u64,
+    /// Directory for job checkpoint files.
+    pub spool_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            max_queued_cells: 4096,
+            tenant_max_inflight: 4,
+            max_job_cost: 2_000_000_000,
+            quantum: 200_000,
+            spool_dir: PathBuf::from("fgdram-spool"),
+        }
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Canceled,
+}
+
+impl Phase {
+    fn label(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done => "done",
+            Phase::Failed => "failed",
+            Phase::Canceled => "canceled",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(self, Phase::Done | Phase::Failed | Phase::Canceled)
+    }
+}
+
+/// A terminal job error in wire form (survives spool round trips, where
+/// the original [`SimError`] cannot be reconstructed).
+#[derive(Debug, Clone)]
+struct JobError {
+    code: String,
+    exit_code: u8,
+    message: String,
+}
+
+impl JobError {
+    fn from_serve(e: &ServeError) -> Self {
+        JobError {
+            code: e.code().to_string(),
+            exit_code: e.client_exit_code(),
+            message: e.to_string(),
+        }
+    }
+
+    fn http_status(&self) -> u16 {
+        match self.code.as_str() {
+            "config" | "bad-request" => 400,
+            "canceled" => 409,
+            _ => 500,
+        }
+    }
+
+    fn json_body(&self) -> String {
+        let mut msg = String::new();
+        json_escape_into(&mut msg, &self.message);
+        format!(
+            "{{\"error\":{{\"code\":\"{}\",\"exit_code\":{},\"message\":\"{}\"}}}}\n",
+            self.code, self.exit_code, msg
+        )
+    }
+}
+
+struct Job {
+    tenant: String,
+    spec: SuiteSpec,
+    workloads: Vec<Workload>,
+    artifacts: Vec<Option<Artifact>>,
+    completed: usize,
+    phase: Phase,
+    error: Option<JobError>,
+    report: Option<String>,
+    writer: Option<CkptWriter>,
+}
+
+impl Job {
+    fn total(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    fn render_final(&mut self) {
+        let reports: Vec<SimReport> = self
+            .artifacts
+            .iter()
+            .map(|a| a.as_ref().expect("all cells done").report.clone())
+            .collect();
+        self.report = Some(render_report(self.spec.which, &self.workloads, &reports));
+    }
+}
+
+#[derive(Default)]
+struct TenantQ {
+    queue: VecDeque<(String, usize)>,
+    deficit: u64,
+    inflight_jobs: usize,
+}
+
+/// Monotonic counters exposed on `GET /stats`.
+#[derive(Debug, Default, Clone)]
+struct Counters {
+    submitted: u64,
+    done: u64,
+    failed: u64,
+    canceled: u64,
+    executed_cells: u64,
+    resumed_cells: u64,
+    rejected_queue: u64,
+    rejected_quota: u64,
+    rejected_budget: u64,
+}
+
+struct Inner {
+    jobs: BTreeMap<String, Job>,
+    tenants: BTreeMap<String, TenantQ>,
+    /// Rotation order of tenants with non-empty queues.
+    rr: VecDeque<String>,
+    queued_cells: usize,
+    next_id: u64,
+    shutdown: bool,
+    stats: Counters,
+}
+
+impl Inner {
+    fn enqueue_cells(&mut self, tenant: &str, job_id: &str, cells: impl Iterator<Item = usize>) {
+        let t = self.tenants.entry(tenant.to_string()).or_default();
+        let before = t.queue.len();
+        t.queue.extend(cells.map(|i| (job_id.to_string(), i)));
+        self.queued_cells += t.queue.len() - before;
+        if before == 0 && !t.queue.is_empty() && !self.rr.iter().any(|n| n == tenant) {
+            self.rr.push_back(tenant.to_string());
+        }
+    }
+
+    /// Removes every queued cell of `job_id` (cancel / fail path).
+    fn drop_queued_cells(&mut self, tenant: &str, job_id: &str) {
+        if let Some(t) = self.tenants.get_mut(tenant) {
+            let before = t.queue.len();
+            t.queue.retain(|(j, _)| j != job_id);
+            self.queued_cells -= before - t.queue.len();
+            if t.queue.is_empty() {
+                t.deficit = 0;
+                self.rr.retain(|n| n != tenant);
+            }
+        }
+    }
+
+    /// Deficit-round-robin claim of the next cell, or `None` when no
+    /// cell is queued. Terminates because each full rotation adds a
+    /// quantum to every queued tenant's deficit.
+    fn claim(&mut self, quantum: u64) -> Option<(String, usize)> {
+        let quantum = quantum.max(1);
+        loop {
+            let name = self.rr.front()?.clone();
+            let t = self.tenants.get_mut(&name).expect("rr tenants exist");
+            let (job_id, _) = t.queue.front().expect("rr tenants have queued cells");
+            let cost = self.jobs[job_id].spec.cell_cost().max(1);
+            if t.deficit >= cost {
+                t.deficit -= cost;
+                let (job_id, index) = t.queue.pop_front().expect("checked front");
+                self.queued_cells -= 1;
+                if t.queue.is_empty() {
+                    t.deficit = 0;
+                    self.rr.pop_front();
+                }
+                return Some((job_id, index));
+            }
+            t.deficit += quantum;
+            self.rr.rotate_left(1);
+        }
+    }
+}
+
+struct Shared {
+    m: Mutex<Inner>,
+    cv: Condvar,
+    cfg: ServeConfig,
+    spool: Spool,
+}
+
+/// The job server. Bind it, then run [`Server::serve`] on a thread (or
+/// the main thread) and stop it with [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    stopping: AtomicBool,
+}
+
+const WAIT_TICK: Duration = Duration::from_millis(100);
+
+impl Server {
+    /// Binds the listener, loads the spool (resuming unfinished jobs),
+    /// and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and spool I/O failures.
+    pub fn bind(cfg: ServeConfig, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let spool = Spool::open(&cfg.spool_dir)?;
+        let mut inner = Inner {
+            jobs: BTreeMap::new(),
+            tenants: BTreeMap::new(),
+            rr: VecDeque::new(),
+            queued_cells: 0,
+            next_id: 1,
+            shutdown: false,
+            stats: Counters::default(),
+        };
+        for loaded in spool.load_all() {
+            if let Some(n) = loaded.id.strip_prefix('j').and_then(|s| s.parse::<u64>().ok()) {
+                inner.next_id = inner.next_id.max(n + 1);
+            }
+            let completed = loaded.cells.iter().filter(|c| c.is_some()).count();
+            let total = loaded.cells.len();
+            let mut job = Job {
+                tenant: loaded.tenant.clone(),
+                spec: loaded.spec,
+                workloads: Vec::new(),
+                artifacts: loaded.cells,
+                completed,
+                phase: Phase::Queued,
+                error: None,
+                report: None,
+                writer: None,
+            };
+            job.workloads = job.spec.workloads();
+            // Every checkpointed cell restored here is one not recomputed,
+            // whether or not the job had finished.
+            inner.stats.resumed_cells += completed as u64;
+            inner.stats.submitted += 1;
+            match loaded.status {
+                SpoolStatus::Done if completed == total => {
+                    job.phase = Phase::Done;
+                    job.render_final();
+                }
+                SpoolStatus::Failed { code, exit_code, message } => {
+                    job.phase = Phase::Failed;
+                    job.error = Some(JobError { code, exit_code, message });
+                }
+                SpoolStatus::Canceled => job.phase = Phase::Canceled,
+                // In progress (or a corrupt done marker): re-enqueue the
+                // missing cells; the completed ones are not recomputed.
+                SpoolStatus::Done | SpoolStatus::InProgress => {
+                    let missing: Vec<usize> = job
+                        .artifacts
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, a)| a.is_none().then_some(i))
+                        .collect();
+                    eprintln!(
+                        "fgdram-serve: resumed {} for tenant '{}': {completed}/{total} cells \
+                         checkpointed, re-queueing {}",
+                        loaded.id,
+                        job.tenant,
+                        missing.len()
+                    );
+                    job.writer = Some(spool.reopen(&loaded.id)?);
+                    let tenant = job.tenant.clone();
+                    inner.enqueue_cells(&tenant, &loaded.id, missing.into_iter());
+                    inner.tenants.entry(tenant).or_default().inflight_jobs += 1;
+                }
+            }
+            inner.jobs.insert(loaded.id, job);
+        }
+        let shared = Arc::new(Shared { m: Mutex::new(inner), cv: Condvar::new(), cfg, spool });
+        let n = if shared.cfg.workers == 0 {
+            thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            shared.cfg.workers
+        };
+        let workers = (0..n)
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                thread::spawn(move || worker_main(&s))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            listener,
+            workers: Mutex::new(workers),
+            stopping: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound socket address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until [`Server::shutdown`] is called. Each
+    /// connection is served on its own thread (one request per
+    /// connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn serve(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || handle_conn(&shared, stream));
+        }
+        Ok(())
+    }
+
+    /// Stops the worker pool and wakes the accept loop. Cells already
+    /// running finish and are checkpointed; everything else stays in the
+    /// spool for the next start.
+    pub fn shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        {
+            let mut g = self.shared.m.lock().expect("state lock");
+            g.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Ok(addr) = self.local_addr() {
+            // Wake the blocking accept so `serve` observes the flag.
+            let _ = TcpStream::connect(addr);
+        }
+        let handles: Vec<_> = self.workers.lock().expect("workers lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(shared: &Shared) {
+    loop {
+        let (job_id, index, spec, workload, kind) = {
+            let mut g = shared.m.lock().expect("state lock");
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if let Some((job_id, index)) = g.claim(shared.cfg.quantum) {
+                    let job = g.jobs.get_mut(&job_id).expect("queued cells have jobs");
+                    job.phase = Phase::Running;
+                    let (w, kind) = {
+                        let (w, kind) = job.spec.cell(&job.workloads, index);
+                        (w.clone(), kind)
+                    };
+                    break (job_id, index, job.spec.clone(), w, kind);
+                }
+                g = shared.cv.wait_timeout(g, WAIT_TICK).expect("state lock").0;
+            }
+        };
+        // The expensive part runs outside the lock.
+        let result = run_one(&spec, &workload, kind);
+        let mut g = shared.m.lock().expect("state lock");
+        deliver(&mut g, &job_id, index, result);
+        drop(g);
+        shared.cv.notify_all();
+    }
+}
+
+fn run_one(spec: &SuiteSpec, w: &Workload, kind: DramKind) -> Result<Artifact, SimError> {
+    let cell = spec.run_cell(w, kind)?;
+    let jsonl = cell.telemetry.as_ref().map(|t| SuiteSpec::telemetry_jsonl(w, kind, t));
+    Ok(Artifact { report: cell.report, jsonl })
+}
+
+fn deliver(g: &mut Inner, job_id: &str, index: usize, result: Result<Artifact, SimError>) {
+    g.stats.executed_cells += 1;
+    enum After {
+        Nothing,
+        Done(String),
+        Failed(String),
+    }
+    let after = {
+        let Some(job) = g.jobs.get_mut(job_id) else { return };
+        if job.phase.terminal() {
+            // Cancelled or failed while this cell ran: drop the result.
+            return;
+        }
+        match result {
+            Ok(artifact) => {
+                if let Some(w) = &mut job.writer {
+                    if let Err(e) = w.append_cell(index, &artifact) {
+                        eprintln!("fgdram-serve: checkpoint append failed for {job_id}: {e}");
+                    }
+                }
+                job.artifacts[index] = Some(artifact);
+                job.completed += 1;
+                if job.completed == job.total() {
+                    job.render_final();
+                    job.phase = Phase::Done;
+                    if let Some(w) = &mut job.writer {
+                        if let Err(e) = w.mark_done() {
+                            eprintln!(
+                                "fgdram-serve: checkpoint done marker failed for {job_id}: {e}"
+                            );
+                        }
+                    }
+                    After::Done(job.tenant.clone())
+                } else {
+                    After::Nothing
+                }
+            }
+            Err(e) => {
+                let err = JobError::from_serve(&ServeError::from(e));
+                if let Some(w) = &mut job.writer {
+                    let _ = w.mark_failed(&err.code, err.exit_code, &err.message);
+                }
+                job.phase = Phase::Failed;
+                job.error = Some(err);
+                After::Failed(job.tenant.clone())
+            }
+        }
+    };
+    match after {
+        After::Nothing => {}
+        After::Done(tenant) => {
+            g.stats.done += 1;
+            release_tenant_slot(g, &tenant);
+        }
+        After::Failed(tenant) => {
+            g.stats.failed += 1;
+            g.drop_queued_cells(&tenant, job_id);
+            release_tenant_slot(g, &tenant);
+        }
+    }
+}
+
+fn release_tenant_slot(g: &mut Inner, tenant: &str) {
+    if let Some(t) = g.tenants.get_mut(tenant) {
+        t.inflight_jobs = t.inflight_jobs.saturating_sub(1);
+    }
+}
+
+fn submit(shared: &Shared, tenant: &str, body: &[u8]) -> Result<(String, usize, u64), ServeError> {
+    let body = std::str::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("job spec is not UTF-8".to_string()))?;
+    let spec = spec::parse(body)?;
+    let workloads = spec.workloads();
+    if workloads.is_empty() {
+        return Err(ServeError::BadRequest("spec selects zero workloads".to_string()));
+    }
+    let cells = workloads.len() * SUITE_KINDS.len();
+    let cost = spec.cost();
+    let mut g = shared.m.lock().expect("state lock");
+    if g.shutdown {
+        return Err(ServeError::ShuttingDown);
+    }
+    if cost > shared.cfg.max_job_cost {
+        g.stats.rejected_budget += 1;
+        return Err(ServeError::Budget { cost, limit: shared.cfg.max_job_cost });
+    }
+    let inflight = g.tenants.get(tenant).map_or(0, |t| t.inflight_jobs);
+    if inflight >= shared.cfg.tenant_max_inflight {
+        g.stats.rejected_quota += 1;
+        return Err(ServeError::Quota {
+            tenant: tenant.to_string(),
+            inflight,
+            limit: shared.cfg.tenant_max_inflight,
+        });
+    }
+    if g.queued_cells + cells > shared.cfg.max_queued_cells {
+        g.stats.rejected_queue += 1;
+        return Err(ServeError::QueueFull {
+            cells,
+            queued: g.queued_cells,
+            limit: shared.cfg.max_queued_cells,
+        });
+    }
+    let id = format!("j{}", g.next_id);
+    g.next_id += 1;
+    let writer = shared
+        .spool
+        .create(&id, tenant, &spec)
+        .map_err(|e| ServeError::Sim(SimError::Io { context: format!("spool {id}"), source: e }))?;
+    let total = cells;
+    g.jobs.insert(
+        id.clone(),
+        Job {
+            tenant: tenant.to_string(),
+            spec,
+            workloads,
+            artifacts: (0..total).map(|_| None).collect(),
+            completed: 0,
+            phase: Phase::Queued,
+            error: None,
+            report: None,
+            writer: Some(writer),
+        },
+    );
+    g.enqueue_cells(tenant, &id, 0..total);
+    g.tenants.entry(tenant.to_string()).or_default().inflight_jobs += 1;
+    g.stats.submitted += 1;
+    drop(g);
+    shared.cv.notify_all();
+    Ok((id, total, cost))
+}
+
+fn cancel(shared: &Shared, job_id: &str) -> Result<String, ServeError> {
+    let mut g = shared.m.lock().expect("state lock");
+    let tenant = {
+        let Some(job) = g.jobs.get_mut(job_id) else {
+            return Err(ServeError::NotFound(format!("job {job_id}")));
+        };
+        if job.phase.terminal() {
+            return Err(ServeError::BadRequest(format!(
+                "job {job_id} already {}",
+                job.phase.label()
+            )));
+        }
+        job.phase = Phase::Canceled;
+        if let Some(w) = &mut job.writer {
+            let _ = w.mark_canceled();
+        }
+        job.tenant.clone()
+    };
+    g.stats.canceled += 1;
+    g.drop_queued_cells(&tenant, job_id);
+    release_tenant_slot(&mut g, &tenant);
+    drop(g);
+    shared.cv.notify_all();
+    Ok(format!("{{\"job\":\"{job_id}\",\"state\":\"canceled\"}}\n"))
+}
+
+fn status_json(g: &Inner, job_id: &str) -> Result<String, ServeError> {
+    let Some(job) = g.jobs.get(job_id) else {
+        return Err(ServeError::NotFound(format!("job {job_id}")));
+    };
+    Ok(format!(
+        "{{\"job\":\"{job_id}\",\"tenant\":\"{}\",\"state\":\"{}\",\"cells\":{},\
+         \"completed\":{},\"cost\":{}}}\n",
+        job.tenant,
+        job.phase.label(),
+        job.total(),
+        job.completed,
+        job.spec.cost()
+    ))
+}
+
+fn stats_json(g: &Inner) -> String {
+    let s = &g.stats;
+    let mut tenants = String::new();
+    for (i, (name, t)) in g.tenants.iter().enumerate() {
+        if i > 0 {
+            tenants.push(',');
+        }
+        let mut esc = String::new();
+        json_escape_into(&mut esc, name);
+        tenants.push_str(&format!(
+            "\"{esc}\":{{\"queued_cells\":{},\"inflight_jobs\":{},\"deficit\":{}}}",
+            t.queue.len(),
+            t.inflight_jobs,
+            t.deficit
+        ));
+    }
+    format!(
+        "{{\"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\"canceled\":{}}},\
+         \"cells\":{{\"executed\":{},\"resumed\":{},\"queued\":{}}},\
+         \"rejects\":{{\"queue\":{},\"quota\":{},\"budget\":{}}},\
+         \"tenants\":{{{tenants}}}}}\n",
+        s.submitted,
+        s.done,
+        s.failed,
+        s.canceled,
+        s.executed_cells,
+        s.resumed_cells,
+        g.queued_cells,
+        s.rejected_queue,
+        s.rejected_quota,
+        s.rejected_budget
+    )
+}
+
+/// What the report long-poll resolved to.
+enum ReportOutcome {
+    Text(String),
+    Error(u16, String),
+}
+
+fn wait_report(shared: &Shared, job_id: &str) -> ReportOutcome {
+    let mut g = shared.m.lock().expect("state lock");
+    loop {
+        let Some(job) = g.jobs.get(job_id) else {
+            let e = ServeError::NotFound(format!("job {job_id}"));
+            return ReportOutcome::Error(e.http_status(), e.json_body());
+        };
+        match job.phase {
+            Phase::Done => {
+                return ReportOutcome::Text(job.report.clone().expect("done jobs have reports"))
+            }
+            Phase::Failed => {
+                let e = job.error.clone().expect("failed jobs carry their error");
+                return ReportOutcome::Error(e.http_status(), e.json_body());
+            }
+            Phase::Canceled => {
+                let e = ServeError::Canceled;
+                return ReportOutcome::Error(e.http_status(), e.json_body());
+            }
+            Phase::Queued | Phase::Running => {
+                if g.shutdown {
+                    let e = ServeError::ShuttingDown;
+                    return ReportOutcome::Error(e.http_status(), e.json_body());
+                }
+            }
+        }
+        g = shared.cv.wait_timeout(g, WAIT_TICK).expect("state lock").0;
+    }
+}
+
+/// Streams the job's telemetry JSONL in input-cell order as cells
+/// complete. Ends early (after the cells that did complete) when the job
+/// reaches a terminal state with gaps.
+fn stream_telemetry(shared: &Shared, job_id: &str, w: &mut TcpStream) -> io::Result<()> {
+    let total = {
+        let g = shared.m.lock().expect("state lock");
+        match g.jobs.get(job_id) {
+            Some(job) => job.total(),
+            None => {
+                return write_error(w, &ServeError::NotFound(format!("job {job_id}")));
+            }
+        }
+    };
+    let mut cw = ChunkedWriter::start(w, 200, "application/jsonl")?;
+    for index in 0..total {
+        let piece: Option<Option<String>> = {
+            let mut g = shared.m.lock().expect("state lock");
+            loop {
+                let Some(job) = g.jobs.get(job_id) else { break None };
+                if let Some(a) = &job.artifacts[index] {
+                    break Some(a.jsonl.clone());
+                }
+                if job.phase.terminal() || g.shutdown {
+                    break None;
+                }
+                g = shared.cv.wait_timeout(g, WAIT_TICK).expect("state lock").0;
+            }
+        };
+        match piece {
+            Some(Some(jsonl)) => cw.chunk(jsonl.as_bytes())?,
+            Some(None) => {} // cell done, telemetry disabled
+            None => break,   // job died with this cell missing
+        }
+    }
+    cw.finish()
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut w = stream;
+    let req = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_error(&mut w, &e);
+            return;
+        }
+    };
+    let _ = route(shared, &req, &mut w);
+}
+
+fn tenant_of(req: &Request) -> Result<String, ServeError> {
+    let t = req.header("x-tenant").unwrap_or("anon");
+    let ok = !t.is_empty()
+        && t.len() <= 64
+        && t.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+    if ok {
+        Ok(t.to_string())
+    } else {
+        Err(ServeError::BadRequest(format!("invalid tenant name '{t}'")))
+    }
+}
+
+fn route(shared: &Shared, req: &Request, w: &mut TcpStream) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => write_response(w, 200, "text/plain", b"ok\n"),
+        ("GET", "/stats") => {
+            let body = stats_json(&shared.m.lock().expect("state lock"));
+            write_response(w, 200, "application/json", body.as_bytes())
+        }
+        ("POST", "/jobs") => {
+            let outcome = tenant_of(req).and_then(|t| submit(shared, &t, &req.body));
+            match outcome {
+                Ok((id, cells, cost)) => {
+                    let body = format!("{{\"job\":\"{id}\",\"cells\":{cells},\"cost\":{cost}}}\n");
+                    write_response(w, 201, "application/json", body.as_bytes())
+                }
+                Err(e) => write_error(w, &e),
+            }
+        }
+        (method, path) if path.starts_with("/jobs/") => {
+            let rest = &path["/jobs/".len()..];
+            let (id, action) = match rest.split_once('/') {
+                Some((id, action)) => (id, Some(action)),
+                None => (rest, None),
+            };
+            match (method, action) {
+                ("GET", None) => {
+                    let outcome = status_json(&shared.m.lock().expect("state lock"), id);
+                    match outcome {
+                        Ok(body) => write_response(w, 200, "application/json", body.as_bytes()),
+                        Err(e) => write_error(w, &e),
+                    }
+                }
+                ("GET", Some("report")) => match wait_report(shared, id) {
+                    ReportOutcome::Text(t) => write_response(w, 200, "text/plain", t.as_bytes()),
+                    ReportOutcome::Error(status, body) => {
+                        write_response(w, status, "application/json", body.as_bytes())
+                    }
+                },
+                ("GET", Some("telemetry")) => stream_telemetry(shared, id, w),
+                ("DELETE", None) => match cancel(shared, id) {
+                    Ok(body) => write_response(w, 200, "application/json", body.as_bytes()),
+                    Err(e) => write_error(w, &e),
+                },
+                _ => write_error(w, &ServeError::NotFound(format!("{} {}", req.method, req.path))),
+            }
+        }
+        _ => write_error(w, &ServeError::NotFound(format!("{} {}", req.method, req.path))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http;
+
+    fn test_cfg(workers: usize) -> (ServeConfig, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("fgdram_serve_t_{}_{workers}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig { workers, spool_dir: dir.clone(), ..ServeConfig::default() };
+        (cfg, dir)
+    }
+
+    fn start(cfg: ServeConfig) -> (Arc<Server>, String, thread::JoinHandle<io::Result<()>>) {
+        let server = Arc::new(Server::bind(cfg, "127.0.0.1:0").expect("bind"));
+        let addr = server.local_addr().expect("addr").to_string();
+        let s2 = Arc::clone(&server);
+        let h = thread::spawn(move || s2.serve());
+        (server, addr, h)
+    }
+
+    fn small_spec(workloads: usize, window: u64) -> String {
+        format!("suite=compute\nwarmup=200\nwindow={window}\nmax_workloads={workloads}\n")
+    }
+
+    #[test]
+    fn submit_run_report_round_trip() {
+        let (cfg, dir) = test_cfg(2);
+        let (server, addr, h) = start(cfg);
+        let resp =
+            http::request(&addr, "POST", "/jobs", &[], small_spec(2, 1500).as_bytes()).unwrap();
+        assert_eq!(resp.status, 201);
+        let body = String::from_utf8(resp.into_body().unwrap()).unwrap();
+        assert!(body.contains("\"job\":\"j1\""), "{body}");
+        assert!(body.contains("\"cells\":4"), "{body}");
+        let report = http::request(&addr, "GET", "/jobs/j1/report", &[], b"").unwrap();
+        assert_eq!(report.status, 200);
+        let text = String::from_utf8(report.into_body().unwrap()).unwrap();
+        assert!(text.contains("compute suite: gmean speedup"), "{text}");
+        // Byte-identity against the shared renderer, computed directly.
+        let spec = spec::parse(&small_spec(2, 1500)).unwrap();
+        let ws = spec.workloads();
+        let reports: Vec<SimReport> = (0..4)
+            .map(|i| {
+                let (w, k) = spec.cell(&ws, i);
+                spec.run_cell(w, k).unwrap().report
+            })
+            .collect();
+        assert_eq!(text, render_report(spec.which, &ws, &reports));
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn admission_rejects_are_typed() {
+        let (mut cfg, dir) = test_cfg(1);
+        cfg.max_job_cost = 2_000_000;
+        cfg.max_queued_cells = 3; // any 2-workload job (4 cells) can never fit
+        cfg.tenant_max_inflight = 1;
+        let (server, addr, h) = start(cfg);
+        // Budget: 2 workloads x 2 kinds x (200 + 50M) >> 2M.
+        let r = http::request(&addr, "POST", "/jobs", &[], small_spec(2, 50_000_000).as_bytes())
+            .unwrap();
+        assert_eq!(r.status, 422);
+        assert!(String::from_utf8(r.into_body().unwrap()).unwrap().contains("\"code\":\"budget\""));
+        // Admit one job (2 cells x 100_200 ns fits both bounds), then
+        // hit the tenant quota while it is still in flight.
+        let r =
+            http::request(&addr, "POST", "/jobs", &[], small_spec(1, 100_000).as_bytes()).unwrap();
+        assert_eq!(r.status, 201);
+        let r =
+            http::request(&addr, "POST", "/jobs", &[], small_spec(1, 100_000).as_bytes()).unwrap();
+        assert_eq!(r.status, 429);
+        assert!(String::from_utf8(r.into_body().unwrap()).unwrap().contains("\"code\":\"quota\""));
+        // A second tenant floods: 4 cells exceed the 3-cell global bound
+        // no matter how far the queue has drained.
+        let r = http::request(
+            &addr,
+            "POST",
+            "/jobs",
+            &[("X-Tenant", "flooder")],
+            small_spec(2, 100_000).as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(r.status, 429);
+        assert!(String::from_utf8(r.into_body().unwrap())
+            .unwrap()
+            .contains("\"code\":\"queue-full\""));
+        let stats = http::request(&addr, "GET", "/stats", &[], b"").unwrap();
+        let stats = String::from_utf8(stats.into_body().unwrap()).unwrap();
+        assert!(stats.contains("\"budget\":1"), "{stats}");
+        assert!(stats.contains("\"quota\":1"), "{stats}");
+        assert!(stats.contains("\"queue\":1"), "{stats}");
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn drr_lets_a_small_tenant_through_a_big_backlog() {
+        let (mut cfg, dir) = test_cfg(1); // single worker: strict ordering
+        cfg.quantum = 2_000;
+        let (server, addr, h) = start(cfg);
+        // Tenant A queues a long job, then tenant B a short one.
+        let ra = http::request(
+            &addr,
+            "POST",
+            "/jobs",
+            &[("X-Tenant", "big")],
+            small_spec(6, 1500).as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(ra.status, 201);
+        let rb = http::request(
+            &addr,
+            "POST",
+            "/jobs",
+            &[("X-Tenant", "small")],
+            small_spec(1, 1500).as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(rb.status, 201);
+        // B's report must arrive even though A has 12 cells queued ahead
+        // of B's 2 — DRR interleaves the tenants.
+        let report = http::request(&addr, "GET", "/jobs/j2/report", &[], b"").unwrap();
+        assert_eq!(report.status, 200);
+        let sa = http::request(&addr, "GET", "/jobs/j1", &[], b"").unwrap();
+        let sa = String::from_utf8(sa.into_body().unwrap()).unwrap();
+        // Not asserting A unfinished (timing-dependent); just validity.
+        assert!(sa.contains("\"job\":\"j1\""), "{sa}");
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cancel_and_restart_resume_from_spool() {
+        let (cfg, dir) = test_cfg(1);
+        let spool_dir = cfg.spool_dir.clone();
+        let (server, addr, h) = start(cfg.clone());
+        let r = http::request(&addr, "POST", "/jobs", &[], small_spec(3, 1200).as_bytes()).unwrap();
+        assert_eq!(r.status, 201);
+        // Wait until at least one cell is checkpointed, then stop the
+        // daemon (graceful stop == kill between cells for the spool).
+        loop {
+            let g = server.shared.m.lock().unwrap();
+            if g.stats.executed_cells >= 1 {
+                break;
+            }
+            drop(g);
+            thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let executed_before = {
+            let g = server.shared.m.lock().unwrap();
+            g.stats.executed_cells
+        };
+        drop(server);
+        // Restart on the same spool: finished cells restore, the rest run.
+        let (server2, addr2, h2) = start(cfg);
+        let report = http::request(&addr2, "GET", "/jobs/j1/report", &[], b"").unwrap();
+        assert_eq!(report.status, 200);
+        let text = String::from_utf8(report.into_body().unwrap()).unwrap();
+        assert!(text.contains("compute suite: gmean speedup"), "{text}");
+        let (resumed, executed_after) = {
+            let g = server2.shared.m.lock().unwrap();
+            (g.stats.resumed_cells, g.stats.executed_cells)
+        };
+        assert!(resumed >= 1, "restored checkpointed cells");
+        assert_eq!(resumed + executed_after, 6, "no finished cell recomputed");
+        assert!(executed_after <= 6 - executed_before.min(6));
+        server2.shutdown();
+        h2.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(spool_dir);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn telemetry_streams_in_cell_order() {
+        let (cfg, dir) = test_cfg(2);
+        let (server, addr, h) = start(cfg);
+        let body = "suite=compute\nwarmup=200\nwindow=1500\nmax_workloads=1\n\
+                    telemetry=1\nepoch=500\n";
+        let r = http::request(&addr, "POST", "/jobs", &[], body.as_bytes()).unwrap();
+        assert_eq!(r.status, 201);
+        let resp = http::request(&addr, "GET", "/jobs/j1/telemetry", &[], b"").unwrap();
+        assert_eq!(resp.status, 200);
+        let jsonl = String::from_utf8(resp.into_body().unwrap()).unwrap();
+        let archs: Vec<&str> = jsonl
+            .lines()
+            .map(|l| if l.contains("\"arch\":\"FGDRAM\"") { "fg" } else { "qb" })
+            .collect();
+        assert!(!archs.is_empty());
+        // QB-HBM cell (index 0) streams entirely before FGDRAM (index 1).
+        let first_fg = archs.iter().position(|a| *a == "fg").expect("fgdram lines");
+        assert!(archs[..first_fg].iter().all(|a| *a == "qb"), "{archs:?}");
+        assert!(archs[first_fg..].iter().all(|a| *a == "fg"), "{archs:?}");
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

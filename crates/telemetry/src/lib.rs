@@ -64,8 +64,10 @@ pub mod record;
 pub mod recorder;
 pub mod sample;
 pub mod series;
+pub mod sink;
 
 pub use record::{ComponentRecord, EpochRecord, FieldValue, HistSummary};
 pub use recorder::{Recorder, Telemetry, TelemetryConfig};
 pub use sample::{RawValue, SampleBuf, Sampled};
 pub use series::RingBuffer;
+pub use sink::{CsvSink, JsonlSink, SeriesSink};

@@ -1,0 +1,154 @@
+//! Streaming sinks: where a telemetry series goes, decoupled from how it
+//! is produced.
+//!
+//! The exporters in [`crate::export`] are pure functions over a complete
+//! [`Telemetry`] series. A *sink* is the stateful counterpart for callers
+//! that emit several series incrementally into one output — a suite run
+//! appending one series per (workload, architecture) cell to a file, or
+//! `fgdram-serve` streaming each cell's series to a client as it
+//! completes. The sink owns the cross-series state (the single CSV
+//! header) so every front end that writes telemetry shares one
+//! implementation instead of re-deriving the header rules.
+
+use std::io::{self, Write};
+
+use crate::export;
+use crate::recorder::Telemetry;
+
+/// A destination for a sequence of telemetry series.
+///
+/// `emit` may be called any number of times (one call per completed
+/// cell/run); `finish` flushes whatever the transport buffers.
+pub trait SeriesSink {
+    /// Appends one series, tagged with `meta` key/value pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    fn emit(&mut self, meta: &[(&str, &str)], t: &Telemetry) -> io::Result<()>;
+
+    /// Flushes the underlying transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport flush failures.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// JSON Lines sink: every epoch of every emitted series becomes one
+/// self-describing JSON object line.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `w`.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> SeriesSink for JsonlSink<W> {
+    fn emit(&mut self, meta: &[(&str, &str)], t: &Telemetry) -> io::Result<()> {
+        export::write_jsonl(&mut self.w, meta, t)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// CSV sink: one header line derived from the first emitted series, then
+/// data rows from every series (all series in one file must share a
+/// schema, which holds for same-spec suite cells).
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    w: W,
+    header_done: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps `w`; the first `emit` writes the header.
+    pub fn new(w: W) -> Self {
+        CsvSink { w, header_done: false }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> SeriesSink for CsvSink<W> {
+    fn emit(&mut self, meta: &[(&str, &str)], t: &Telemetry) -> io::Result<()> {
+        export::write_csv_with_header(&mut self.w, meta, t, !self.header_done)?;
+        // An empty series writes nothing; keep the header pending so the
+        // first non-empty series still gets one.
+        if !t.records.is_empty() {
+            self.header_done = true;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ComponentRecord, EpochRecord, FieldValue};
+
+    fn series(v: u64) -> Telemetry {
+        Telemetry {
+            epoch_ns: 1000,
+            records: vec![EpochRecord {
+                index: 0,
+                start_ns: 0,
+                end_ns: 1000,
+                components: vec![ComponentRecord {
+                    component: "c",
+                    fields: vec![("n", FieldValue::U64(v))],
+                }],
+            }],
+            dropped_epochs: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_appends_series() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&[("arch", "QB")], &series(1)).unwrap();
+        sink.emit(&[("arch", "FG")], &series(2)).unwrap();
+        sink.finish().unwrap();
+        let s = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().nth(1).unwrap().contains("\"FG\""));
+    }
+
+    #[test]
+    fn csv_sink_writes_exactly_one_header() {
+        let mut sink = CsvSink::new(Vec::new());
+        // An empty leading series must not consume the header.
+        sink.emit(
+            &[("arch", "QB")],
+            &Telemetry { epoch_ns: 1, records: vec![], dropped_epochs: 0 },
+        )
+        .unwrap();
+        sink.emit(&[("arch", "QB")], &series(1)).unwrap();
+        sink.emit(&[("arch", "FG")], &series(2)).unwrap();
+        let s = String::from_utf8(sink.into_inner()).unwrap();
+        let headers = s.lines().filter(|l| l.starts_with("arch,epoch")).count();
+        assert_eq!(headers, 1, "{s}");
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,237 @@
+//! `fgdram-client` — command-line client for the `fgdram-serve` daemon.
+//!
+//! ```text
+//! fgdram-client submit --suite compute|graphics [--addr HOST:PORT]
+//!               [--tenant NAME] [--warmup NS] [--window NS]
+//!               [--max-workloads N] [--telemetry PATH] [--epoch NS]
+//!               [--no-wait]
+//! fgdram-client status  JOB [--addr HOST:PORT]
+//! fgdram-client report  JOB [--addr HOST:PORT]
+//! fgdram-client cancel  JOB [--addr HOST:PORT]
+//! fgdram-client stats       [--addr HOST:PORT]
+//! ```
+//!
+//! `submit` waits for the job: telemetry (when requested) streams into
+//! `--telemetry PATH` as epochs arrive, then the final report — the
+//! exact bytes `fgdram_sim suite` would print — goes to stdout.
+//!
+//! Exit codes mirror a local `fgdram_sim` run where one exists:
+//! simulation failures keep their codes 3-7, and the serving layer adds
+//! 8 (over budget), 9 (queue/quota backpressure or daemon shutdown) and
+//! 10 (job cancelled). Transport failures exit 6, usage errors 2.
+
+use std::fs::File;
+use std::io::Write;
+use std::process::ExitCode;
+
+use fgdram_serve::http::{self, Response};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7733";
+
+const USAGE: &str = "usage: fgdram-client <submit|status|report|cancel|stats> [args] \
+                     [--addr HOST:PORT]  (see --help per command)";
+
+fn fail_usage(msg: &str) -> ExitCode {
+    eprintln!("fgdram-client: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn fail_io(context: &str, e: &std::io::Error) -> ExitCode {
+    eprintln!("fgdram-client: {context}: {e}");
+    ExitCode::from(6)
+}
+
+/// Extracts `"key":<integer>` from a JSON error body (good enough for
+/// our own fixed-shape bodies; no general JSON parser in a zero-dep
+/// workspace).
+fn json_uint(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let digits: String = body[at..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Reports a non-2xx response on stderr and converts it to the typed
+/// exit code carried in the error body.
+fn fail_http(context: &str, status: u16, body: &[u8]) -> ExitCode {
+    let body = String::from_utf8_lossy(body);
+    eprintln!("fgdram-client: {context}: HTTP {status}: {}", body.trim_end());
+    let code = json_uint(&body, "exit_code").unwrap_or(if status < 500 { 2 } else { 1 });
+    ExitCode::from(code.min(255) as u8)
+}
+
+struct Common {
+    addr: String,
+    positional: Vec<String>,
+}
+
+/// Splits `--addr` (and `--tenant`, returned separately by `submit`)
+/// from positional arguments for the simple commands.
+fn parse_common(args: &[String]) -> Result<Common, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--addr" {
+            addr = it.next().ok_or("--addr needs a value")?.clone();
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a}"));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Common { addr, positional })
+}
+
+fn print_body(resp: Response, context: &str) -> ExitCode {
+    let status = resp.status;
+    match resp.into_body() {
+        Ok(body) if (200..300).contains(&status) => {
+            let mut out = std::io::stdout();
+            let _ = out.write_all(&body);
+            let _ = out.flush();
+            ExitCode::SUCCESS
+        }
+        Ok(body) => fail_http(context, status, &body),
+        Err(e) => fail_io(context, &e),
+    }
+}
+
+fn simple(
+    method: &str,
+    needs_job: bool,
+    path_of: impl Fn(&str) -> String,
+    args: &[String],
+) -> ExitCode {
+    let c = match parse_common(args) {
+        Ok(c) => c,
+        Err(m) => return fail_usage(&m),
+    };
+    let path = if needs_job {
+        match c.positional.as_slice() {
+            [job] => path_of(job),
+            _ => return fail_usage("expected exactly one JOB argument"),
+        }
+    } else {
+        if !c.positional.is_empty() {
+            return fail_usage("unexpected positional arguments");
+        }
+        path_of("")
+    };
+    match http::request(&c.addr, method, &path, &[], b"") {
+        Ok(resp) => print_body(resp, &path),
+        Err(e) => fail_io(&format!("{method} {path} on {}", c.addr), &e),
+    }
+}
+
+fn submit(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut tenant: Option<String> = None;
+    let mut suite: Option<String> = None;
+    let mut spec_pairs: Vec<(String, String)> = Vec::new();
+    let mut telemetry_path: Option<String> = None;
+    let mut wait = true;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--no-wait" {
+            wait = false;
+            continue;
+        }
+        let Some(value) = it.next() else {
+            return fail_usage(&format!("{flag} needs a value"));
+        };
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--tenant" => tenant = Some(value.clone()),
+            "--suite" => suite = Some(value.clone()),
+            "--warmup" => spec_pairs.push(("warmup".into(), value.clone())),
+            "--window" => spec_pairs.push(("window".into(), value.clone())),
+            "--max-workloads" => spec_pairs.push(("max_workloads".into(), value.clone())),
+            "--epoch" => spec_pairs.push(("epoch".into(), value.clone())),
+            "--telemetry" => telemetry_path = Some(value.clone()),
+            other => return fail_usage(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(suite) = suite else {
+        return fail_usage("submit requires --suite compute|graphics");
+    };
+    let mut body = format!("suite={suite}\n");
+    for (k, v) in &spec_pairs {
+        body.push_str(&format!("{k}={v}\n"));
+    }
+    if telemetry_path.is_some() {
+        body.push_str("telemetry=1\n");
+    }
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(t) = &tenant {
+        headers.push(("X-Tenant", t));
+    }
+    let resp = match http::request(&addr, "POST", "/jobs", &headers, body.as_bytes()) {
+        Ok(r) => r,
+        Err(e) => return fail_io(&format!("POST /jobs on {addr}"), &e),
+    };
+    let status = resp.status;
+    let submit_body = match resp.into_body() {
+        Ok(b) => b,
+        Err(e) => return fail_io("submit response", &e),
+    };
+    if status != 201 {
+        return fail_http("submit", status, &submit_body);
+    }
+    let submit_body = String::from_utf8_lossy(&submit_body).into_owned();
+    let Some(job) = submit_body.split("\"job\":\"").nth(1).and_then(|s| s.split('"').next()) else {
+        eprintln!("fgdram-client: malformed submit response: {submit_body}");
+        return ExitCode::from(1);
+    };
+    eprintln!("fgdram-client: submitted {job} ({})", submit_body.trim_end());
+    if !wait {
+        println!("{job}");
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &telemetry_path {
+        let mut file = match File::create(path) {
+            Ok(f) => f,
+            Err(e) => return fail_io(&format!("create {path}"), &e),
+        };
+        let tpath = format!("/jobs/{job}/telemetry");
+        match http::request(&addr, "GET", &tpath, &[], b"") {
+            Ok(resp) if resp.status == 200 => {
+                // Chunks land in the file as epochs complete server-side.
+                match resp.stream_body(|chunk| file.write_all(chunk)) {
+                    Ok(n) => eprintln!("fgdram-client: telemetry: {n} bytes -> {path}"),
+                    Err(e) => return fail_io("telemetry stream", &e),
+                }
+            }
+            Ok(resp) => {
+                let status = resp.status;
+                let body = resp.into_body().unwrap_or_default();
+                return fail_http("telemetry", status, &body);
+            }
+            Err(e) => return fail_io(&format!("GET {tpath}"), &e),
+        }
+    }
+    let rpath = format!("/jobs/{job}/report");
+    match http::request(&addr, "GET", &rpath, &[], b"") {
+        Ok(resp) => print_body(resp, "report"),
+        Err(e) => fail_io(&format!("GET {rpath}"), &e),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return fail_usage("missing command");
+    };
+    match cmd.as_str() {
+        "submit" => submit(rest),
+        "status" => simple("GET", true, |j| format!("/jobs/{j}"), rest),
+        "report" => simple("GET", true, |j| format!("/jobs/{j}/report"), rest),
+        "cancel" => simple("DELETE", true, |j| format!("/jobs/{j}"), rest),
+        "stats" => simple("GET", false, |_| "/stats".to_string(), rest),
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => fail_usage(&format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,88 @@
+//! `fgdram-serve` — the persistent simulation job daemon.
+//!
+//! Binds a TCP port, loads the spool directory (resuming any jobs that
+//! were interrupted by a previous kill), and serves suite jobs until
+//! terminated. See DESIGN.md "Serving subsystem" for the wire protocol
+//! and `fgdram-client` for the matching command-line client.
+//!
+//! ```text
+//! fgdram-serve [--addr IP] [--port N] [--spool DIR] [--workers N]
+//!              [--max-queued-cells N] [--max-job-cost NS]
+//!              [--tenant-inflight N] [--quantum NS]
+//! ```
+//!
+//! With `--port 0` the OS picks a free port; the daemon prints
+//! `fgdram-serve: listening on IP:PORT` to stdout either way, which is
+//! what `ci.sh` and the integration tests parse.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fgdram_serve::{ServeConfig, Server};
+
+const USAGE: &str = "usage: fgdram-serve [--addr IP] [--port N] [--spool DIR] [--workers N] \
+                     [--max-queued-cells N] [--max-job-cost NS] [--tenant-inflight N] \
+                     [--quantum NS]";
+
+fn parse_args(args: &[String]) -> Result<(String, ServeConfig), String> {
+    let mut addr = "127.0.0.1".to_string();
+    let mut port = 7733u16;
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let num = |what: &str| -> Result<u64, String> {
+            value.parse::<u64>().map_err(|e| format!("{what} {value}: {e}"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--port" => port = num("--port")? as u16,
+            "--spool" => cfg.spool_dir = PathBuf::from(value),
+            "--workers" => cfg.workers = num("--workers")? as usize,
+            "--max-queued-cells" => cfg.max_queued_cells = num("--max-queued-cells")? as usize,
+            "--max-job-cost" => cfg.max_job_cost = num("--max-job-cost")?,
+            "--tenant-inflight" => cfg.tenant_max_inflight = num("--tenant-inflight")? as usize,
+            "--quantum" => cfg.quantum = num("--quantum")?,
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok((format!("{addr}:{port}"), cfg))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (bind_addr, cfg) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(cfg, &bind_addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fgdram-serve: bind {bind_addr}: {e}");
+            return ExitCode::from(6);
+        }
+    };
+    match server.local_addr() {
+        Ok(a) => {
+            // Stdout, flushed: scripts block on this line to learn the port.
+            println!("fgdram-serve: listening on {a}");
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("fgdram-serve: local_addr: {e}");
+            return ExitCode::from(6);
+        }
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("fgdram-serve: accept loop: {e}");
+        return ExitCode::from(6);
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@
 //!        --grs  --closed-page  --trace-check  --wave <n>  --mlp <n>
 //!        --jobs <n>   worker threads for `suite` (default: all cores;
 //!                     results are identical at any job count)
+//!        --max-workloads <n>  cap the suite's workload list (CI scale)
 //!        --telemetry <path>   epoch-sampled time series (JSONL, or CSV
 //!                             when the path ends in `.csv`)
 //!        --epoch <ns>         telemetry epoch length (default 1000)
@@ -25,12 +26,13 @@
 use std::process::ExitCode;
 
 use fgdram::core::experiments::{self, Scale};
+use fgdram::core::suite;
 use fgdram::core::{SimError, SimReport, SystemBuilder};
 use fgdram::dram::ProtocolChecker;
 use fgdram::energy::floorplan::IoTechnology;
 use fgdram::faults::{timing, FaultSpec};
 use fgdram::model::config::{CtrlConfig, DramConfig, DramKind, GpuConfig, PagePolicy};
-use fgdram::telemetry::{export, Telemetry, TelemetryConfig};
+use fgdram::telemetry::{CsvSink, JsonlSink, SeriesSink, Telemetry, TelemetryConfig};
 use fgdram::workloads::{suites, Workload};
 
 /// A CLI failure: either a usage error (exit 2, with the usage text) or a
@@ -64,6 +66,8 @@ struct Flags {
     mlp: Option<usize>,
     /// Worker threads for matrix-shaped commands; 0 = available cores.
     jobs: usize,
+    /// Cap on the suite's workload list (`suite` only).
+    max_workloads: Option<usize>,
     /// Telemetry output path; format by extension (`.csv` = CSV, else JSONL).
     telemetry: Option<String>,
     /// Telemetry epoch length in simulated ns.
@@ -88,6 +92,7 @@ impl Default for Flags {
             wave: None,
             mlp: None,
             jobs: 0,
+            max_workloads: None,
             telemetry: None,
             epoch: 1_000,
             faults: None,
@@ -120,6 +125,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--wave" => f.wave = Some(next("--wave")?.parse().map_err(|e| format!("{e}"))?),
             "--mlp" => f.mlp = Some(next("--mlp")?.parse().map_err(|e| format!("{e}"))?),
             "--jobs" => f.jobs = next("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--max-workloads" => {
+                f.max_workloads = Some(
+                    next("--max-workloads")?
+                        .parse()
+                        .map_err(|e| format!("--max-workloads: {e}"))?,
+                )
+            }
             "--telemetry" => f.telemetry = Some(next("--telemetry")?),
             "--epoch" => {
                 f.epoch = next("--epoch")?.parse().map_err(|e| format!("--epoch: {e}"))?;
@@ -154,6 +166,7 @@ const FLAG_NAMES: &[&str] = &[
     "--wave",
     "--mlp",
     "--jobs",
+    "--max-workloads",
     "--telemetry",
     "--epoch",
     "--faults",
@@ -205,15 +218,13 @@ fn builder_for(mut workload: Workload, kind: DramKind, f: &Flags) -> SystemBuild
     b
 }
 
-/// One telemetry output file; routes each series to the JSONL or CSV
-/// exporter by the path's extension and keeps a single CSV header when
-/// several same-schema series (per-architecture, per-workload) land in
-/// the same file.
+/// One telemetry output file: a [`SeriesSink`] (JSONL or CSV by the
+/// path's extension — the sinks own the cross-series format state like
+/// the single CSV header) plus the CLI-side concerns: `SimError`
+/// wrapping, epoch counting, and the dropped-epoch warning.
 struct TelemetrySink {
-    out: std::io::BufWriter<std::fs::File>,
+    inner: Box<dyn SeriesSink>,
     path: String,
-    csv: bool,
-    header_done: bool,
     epochs: usize,
 }
 
@@ -221,13 +232,13 @@ impl TelemetrySink {
     fn create(path: &str) -> Result<Self, SimError> {
         let file = std::fs::File::create(path)
             .map_err(|e| SimError::Io { context: format!("--telemetry {path}"), source: e })?;
-        Ok(TelemetrySink {
-            out: std::io::BufWriter::new(file),
-            path: path.to_string(),
-            csv: path.ends_with(".csv"),
-            header_done: false,
-            epochs: 0,
-        })
+        let out = std::io::BufWriter::new(file);
+        let inner: Box<dyn SeriesSink> = if path.ends_with(".csv") {
+            Box::new(CsvSink::new(out))
+        } else {
+            Box::new(JsonlSink::new(out))
+        };
+        Ok(TelemetrySink { inner, path: path.to_string(), epochs: 0 })
     }
 
     fn io_err(&self, e: std::io::Error) -> SimError {
@@ -235,13 +246,7 @@ impl TelemetrySink {
     }
 
     fn emit(&mut self, meta: &[(&str, &str)], t: &Telemetry) -> Result<(), SimError> {
-        let res = if self.csv {
-            export::write_csv_with_header(&mut self.out, meta, t, !self.header_done)
-        } else {
-            export::write_jsonl(&mut self.out, meta, t)
-        };
-        res.map_err(|e| self.io_err(e))?;
-        self.header_done = true;
+        self.inner.emit(meta, t).map_err(|e| self.io_err(e))?;
         self.epochs += t.records.len();
         if t.dropped_epochs > 0 {
             eprintln!("warning: {} telemetry epochs dropped (ring capacity)", t.dropped_epochs);
@@ -250,8 +255,7 @@ impl TelemetrySink {
     }
 
     fn close(mut self) -> Result<(), SimError> {
-        use std::io::Write;
-        self.out.flush().map_err(|e| {
+        self.inner.finish().map_err(|e| {
             let e = std::io::Error::new(e.kind(), e.to_string());
             self.io_err(e)
         })?;
@@ -420,25 +424,27 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         Some("suite") => {
             let which = args.get(1).map(String::as_str).unwrap_or("compute");
             let f = parse_flags(&args[2..])?;
-            let workloads = match which {
-                "compute" => suites::compute_suite(),
-                "graphics" => suites::graphics_suite(),
-                other => return Err(format!("unknown suite {other} (compute|graphics)").into()),
-            };
+            let which = suite::SuiteKind::parse(which)
+                .ok_or_else(|| format!("unknown suite {which} (compute|graphics)"))?;
+            let mut workloads = which.all_workloads();
+            if let Some(n) = f.max_workloads {
+                workloads.truncate(n);
+            }
             warn_ignored(&f, "suite", &["--arch", "--trace-check"]);
             // Every (workload, architecture) cell is independent; run the
             // whole suite through the sharded cell executor. Results —
             // including the telemetry stream, which is serialised from the
             // input-order result table after the run — are identical at
-            // any --jobs value.
+            // any --jobs value. The cell table and the final rendering are
+            // shared with `fgdram-serve` (core::suite), which is what
+            // makes the served report byte-identical to this command.
             let scale = Scale {
                 warmup: f.warmup,
                 window: f.window,
-                max_workloads: None,
+                max_workloads: None, // already applied above
                 parallelism: experiments::Parallelism::jobs(f.jobs),
             };
-            let kinds = [DramKind::QbHbm, DramKind::Fgdram];
-            let cells = experiments::run_cells(&workloads, &kinds, scale, |w, k| {
+            let cells = experiments::run_cells(&workloads, &suite::SUITE_KINDS, scale, |w, k| {
                 let mut b = builder_for(w.clone(), k, &f);
                 if f.telemetry.is_some() {
                     b = b.telemetry(telemetry_cfg(&f));
@@ -446,41 +452,20 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
                 b.run_instrumented(scale.warmup, scale.window)
             })?;
             let mut sink = f.telemetry.as_deref().map(TelemetrySink::create).transpose()?;
-            let mut logsum = 0.0;
-            let (mut eq, mut ef) = (0.0, 0.0);
-            for (wi, w) in workloads.iter().enumerate() {
-                let (qb, qb_t) = &cells[wi * kinds.len()];
-                let (fg, fg_t) = &cells[wi * kinds.len() + 1];
-                println!(
-                    "{:<14} speedup {:>5.2}x   {:>5.2} -> {:>5.2} pJ/b",
-                    w.name,
-                    fg.speedup_over(qb),
-                    qb.energy_per_bit.total().value(),
-                    fg.energy_per_bit.total().value()
-                );
-                logsum += fg.speedup_over(qb).max(1e-9).ln();
-                eq += qb.energy_per_bit.total().value();
-                ef += fg.energy_per_bit.total().value();
-                if let Some(sink) = sink.as_mut() {
-                    for (kind, t) in kinds.iter().zip([qb_t, fg_t]) {
-                        if let Some(t) = t {
-                            sink.emit(&[("workload", &w.name), ("arch", kind.label())], t)?;
-                        }
+            if let Some(sink) = sink.as_mut() {
+                for (ci, (_, t)) in cells.iter().enumerate() {
+                    if let Some(t) = t {
+                        let w = &workloads[ci / suite::SUITE_KINDS.len()];
+                        let kind = suite::SUITE_KINDS[ci % suite::SUITE_KINDS.len()];
+                        sink.emit(&[("workload", &w.name), ("arch", kind.label())], t)?;
                     }
                 }
             }
             if let Some(sink) = sink {
                 sink.close()?;
             }
-            let n = workloads.len() as f64;
-            println!(
-                "\n{} suite: gmean speedup {:.2}x, energy {:.2} -> {:.2} pJ/b ({:.0}%)",
-                which,
-                (logsum / n).exp(),
-                eq / n,
-                ef / n,
-                100.0 * (1.0 - (ef / eq))
-            );
+            let reports: Vec<SimReport> = cells.into_iter().map(|(r, _)| r).collect();
+            print!("{}", suite::render_report(which, &workloads, &reports));
         }
         Some(other) => return Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
         None => return Err(CliError::Usage("missing subcommand".to_string())),

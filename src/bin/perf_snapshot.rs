@@ -11,10 +11,18 @@
 //!
 //! Usage:
 //!   perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N]
+//!                 [--jobs N]
 //!
 //! `--repeat N` runs the whole cell matrix N times (interleaved, so host
 //! noise hits every cell alike) and keeps the minimum wall time per cell —
 //! the standard noise-robust estimator for a shared host.
+//!
+//! `--jobs N` runs each round's cells on N worker threads through the same
+//! sharded executor the `suite` command uses. Co-running cells contend for
+//! the host, so per-cell wall times are only comparable between snapshots
+//! taken at the same `jobs` level — which is why the header records it,
+//! along with the git commit and the host core count (provenance for the
+//! perf trajectory).
 //!
 //! `--smoke` shrinks the horizon to a CI-friendly second or two and marks
 //! the snapshot as non-comparable. Exit codes follow the simulator
@@ -23,11 +31,12 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use fgdram::core::experiments::{self, Parallelism, Scale};
 use fgdram::core::SimError;
 use fgdram::core::SystemBuilder;
 use fgdram::model::config::DramKind;
 use fgdram::model::units::Ns;
-use fgdram::workloads::suites;
+use fgdram::workloads::{suites, Workload};
 
 struct Flags {
     smoke: bool,
@@ -35,17 +44,20 @@ struct Flags {
     warmup: Ns,
     window: Ns,
     repeat: usize,
+    jobs: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N]"
+        "usage: perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N] \
+         [--jobs N]"
     );
     std::process::exit(2);
 }
 
 fn parse_flags() -> Flags {
-    let mut f = Flags { smoke: false, out: None, warmup: 2_000, window: 20_000, repeat: 1 };
+    let mut f =
+        Flags { smoke: false, out: None, warmup: 2_000, window: 20_000, repeat: 1, jobs: 1 };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -59,6 +71,13 @@ fn parse_flags() -> Flags {
             }
             "--repeat" => {
                 f.repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--jobs" => {
+                f.jobs = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
@@ -106,9 +125,41 @@ fn peak_rss_kb() -> u64 {
     0
 }
 
+/// The current git commit hash, read straight from `.git` (no `git`
+/// binary invocation): `HEAD` -> ref file -> `packed-refs`, "unknown"
+/// when any link in that chain is missing (e.g. a source tarball).
+fn git_commit() -> String {
+    fn from_git_dir(git: &std::path::Path) -> Option<String> {
+        let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+        let head = head.trim();
+        let Some(refname) = head.strip_prefix("ref: ") else {
+            // Detached HEAD: the file holds the hash itself.
+            return Some(head.to_string());
+        };
+        if let Ok(h) = std::fs::read_to_string(git.join(refname)) {
+            return Some(h.trim().to_string());
+        }
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        packed
+            .lines()
+            .filter_map(|l| l.split_once(' '))
+            .find(|(_, name)| name.trim() == refname)
+            .map(|(hash, _)| hash.to_string())
+    }
+    let candidates = [
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(".git"),
+        std::path::PathBuf::from(".git"),
+    ];
+    candidates
+        .iter()
+        .find_map(|p| from_git_dir(p))
+        .filter(|h| h.len() >= 7 && h.bytes().all(|b| b.is_ascii_hexdigit()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 struct BenchResult {
     name: String,
-    workload: &'static str,
+    workload: String,
     kind: DramKind,
     simulated_ns: Ns,
     wall_ms: f64,
@@ -124,23 +175,51 @@ impl BenchResult {
     }
 }
 
-fn run_bench(workload: &'static str, kind: DramKind, f: &Flags) -> Result<BenchResult, SimError> {
-    let w = suites::by_name(workload).ok_or_else(|| SimError::Io {
-        context: format!("workload {workload} not in suite"),
-        source: std::io::Error::other("unknown workload"),
-    })?;
+fn bench_cell(w: &Workload, kind: DramKind, f: &Flags) -> Result<BenchResult, SimError> {
     let t0 = Instant::now();
-    let report = SystemBuilder::new(kind).workload(w).run(f.warmup, f.window)?;
+    let report = SystemBuilder::new(kind).workload(w.clone()).run(f.warmup, f.window)?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
     // The report only proves the run happened; the metric is wall time
     // over the whole horizon (warmup + window), which is what a sweep pays.
     let _ = report;
     Ok(BenchResult {
-        name: format!("{workload}/{}", kind.label()),
-        workload,
+        name: format!("{}/{}", w.name, kind.label()),
+        workload: w.name.clone(),
         kind,
         simulated_ns: f.warmup + f.window,
         wall_ms,
+    })
+}
+
+/// One full pass over the cell matrix, on `--jobs` worker threads via the
+/// same sharded executor the `suite` command uses (`--jobs 1` takes its
+/// strictly sequential path). Results come back in workload-major input
+/// order regardless of job count.
+fn run_round(f: &Flags) -> Result<Vec<BenchResult>, SimError> {
+    let mut workloads = Vec::new();
+    for name in ["STREAM", "GUPS"] {
+        workloads.push(suites::by_name(name).ok_or_else(|| SimError::Io {
+            context: format!("workload {name} not in suite"),
+            source: std::io::Error::other("unknown workload"),
+        })?);
+    }
+    let kinds = [DramKind::QbHbm, DramKind::Fgdram];
+    let scale = Scale {
+        warmup: f.warmup,
+        window: f.window,
+        max_workloads: None,
+        parallelism: Parallelism::jobs(f.jobs),
+    };
+    experiments::run_cells(&workloads, &kinds, scale, |w, k| {
+        let r = bench_cell(w, k, f)?;
+        eprintln!(
+            "[perf-snapshot] {:<16} {:>10} sim-ns in {:>9.1} ms -> {:>12.0} cycles/sec",
+            r.name,
+            r.simulated_ns,
+            r.wall_ms,
+            r.cycles_per_sec()
+        );
+        Ok(r)
     })
 }
 
@@ -157,10 +236,12 @@ fn render(results: &[BenchResult], f: &Flags, date: &str) -> String {
     out.push_str(&format!("  \"warmup_ns\": {},\n", f.warmup));
     out.push_str(&format!("  \"window_ns\": {},\n", f.window));
     out.push_str(&format!("  \"repeat\": {},\n", f.repeat));
+    out.push_str(&format!("  \"jobs\": {},\n", f.jobs));
     out.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     ));
+    out.push_str(&format!("  \"git_commit\": \"{}\",\n", json_escape(&git_commit())));
     out.push_str("  \"benches\": [\n");
     let (mut total_ns, mut total_ms) = (0u64, 0f64);
     for (i, r) in results.iter().enumerate() {
@@ -170,7 +251,7 @@ fn render(results: &[BenchResult], f: &Flags, date: &str) -> String {
             "    {{\"name\": \"{}\", \"workload\": \"{}\", \"kind\": \"{}\", \
              \"simulated_ns\": {}, \"wall_ms\": {:.3}, \"cycles_per_sec\": {:.1}}}{}\n",
             json_escape(&r.name),
-            json_escape(r.workload),
+            json_escape(&r.workload),
             json_escape(r.kind.label()),
             r.simulated_ns,
             r.wall_ms,
@@ -194,34 +275,20 @@ fn render(results: &[BenchResult], f: &Flags, date: &str) -> String {
 
 fn main() {
     let f = parse_flags();
-    let cells: &[(&'static str, DramKind)] = &[
-        ("STREAM", DramKind::QbHbm),
-        ("STREAM", DramKind::Fgdram),
-        ("GUPS", DramKind::QbHbm),
-        ("GUPS", DramKind::Fgdram),
-    ];
-    let mut results: Vec<BenchResult> = Vec::with_capacity(cells.len());
+    let mut results: Vec<BenchResult> = Vec::new();
     for round in 0..f.repeat {
-        for (i, &(w, k)) in cells.iter().enumerate() {
-            match run_bench(w, k, &f) {
-                Ok(r) => {
-                    eprintln!(
-                        "[perf-snapshot] {:<16} {:>10} sim-ns in {:>9.1} ms -> {:>12.0} cycles/sec",
-                        r.name,
-                        r.simulated_ns,
-                        r.wall_ms,
-                        r.cycles_per_sec()
-                    );
-                    if round == 0 {
-                        results.push(r);
-                    } else if r.wall_ms < results[i].wall_ms {
-                        results[i] = r;
+        match run_round(&f) {
+            Ok(round_results) if round == 0 => results = round_results,
+            Ok(round_results) => {
+                for (best, r) in results.iter_mut().zip(round_results) {
+                    if r.wall_ms < best.wall_ms {
+                        *best = r;
                     }
                 }
-                Err(e) => {
-                    eprintln!("perf-snapshot: {e}");
-                    std::process::exit(e.exit_code() as i32);
-                }
+            }
+            Err(e) => {
+                eprintln!("perf-snapshot: {e}");
+                std::process::exit(e.exit_code() as i32);
             }
         }
     }

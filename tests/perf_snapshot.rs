@@ -12,7 +12,7 @@ fn smoke_snapshot_writes_valid_schema_json() {
     let out_path =
         std::env::temp_dir().join(format!("fgdram_bench_smoke_{}.json", std::process::id()));
     let out = Command::new(env!("CARGO_BIN_EXE_perf-snapshot"))
-        .args(["--smoke", "--out"])
+        .args(["--smoke", "--jobs", "2", "--out"])
         .arg(&out_path)
         .output()
         .expect("perf-snapshot spawns");
@@ -32,6 +32,9 @@ fn smoke_snapshot_writes_valid_schema_json() {
         "\"warmup_ns\"",
         "\"window_ns\"",
         "\"repeat\"",
+        "\"jobs\": 2",
+        "\"host_parallelism\"",
+        "\"git_commit\"",
         "\"benches\"",
         "\"simulated_ns\"",
         "\"wall_ms\"",
