@@ -109,6 +109,45 @@ kill -9 "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=
 
+echo "== smoke: seeded chaos run is byte-identical, faults visible in /stats =="
+# Wire chaos (torn requests, resets, mid-response disconnects) plus disk
+# chaos on the spool: a retrying client must still get the exact CLI
+# bytes, and /stats must show the faults actually fired.
+rm -rf "$sdir/spool"
+start_daemon --chaos torn=0.3,reset=0.3,disconnect=0.2,ckpt-corrupt=0.3,ckpt-short=0.2 \
+    --chaos-seed 42 --read-timeout-ms 2000
+target/release/fgdram-client submit --addr "$serve_addr" "${spec[@]}" \
+    --retries 16 --retry-base-ms 10 2> "$sdir/chaos_client.log" > "$sdir/chaos.txt"
+diff "$sdir/golden.txt" "$sdir/chaos.txt"
+target/release/fgdram-client stats --addr "$serve_addr" --retries 16 --retry-base-ms 10 \
+    > "$sdir/chaos_stats.json"
+grep -q '"chaos":' "$sdir/chaos_stats.json"
+grep -Eq '"(torn|reset|disconnect)":[1-9]' "$sdir/chaos_stats.json"
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+
+echo "== smoke: SIGTERM drains gracefully (exit 0, job completes on restart) =="
+rm -rf "$sdir/spool"
+start_daemon --workers 1
+job="$(target/release/fgdram-client submit --addr "$serve_addr" "${spec[@]}" \
+    --no-wait 2>/dev/null)"
+for _ in $(seq 1 200); do
+    [ -f "$sdir/spool/$job.ckpt" ] && break
+    sleep 0.05
+done
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+code=$?
+set -e
+[ "$code" -eq 0 ] || { echo "expected graceful drain exit 0, got $code"; exit 1; }
+start_daemon --workers 1
+target/release/fgdram-client report "$job" --addr "$serve_addr" > "$sdir/drained.txt"
+diff "$sdir/golden.txt" "$sdir/drained.txt"
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=
+
 echo "== lint: clippy (workspace, including fgdram-faults) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

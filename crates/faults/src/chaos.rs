@@ -1,0 +1,162 @@
+//! Shared seeded-chaos plumbing: the pieces every chaos layer above the
+//! simulation core needs, kept here so wire-level and disk-level fault
+//! injection (see `fgdram-serve`) draw from the same deterministic
+//! toolbox as the DRAM fault engine.
+//!
+//! - [`derive_seed`] — splits one user-facing `--chaos-seed` into
+//!   independent per-site streams (`("wire", conn 17)` never correlates
+//!   with `("disk", append 17)`), so concurrent injection sites stay
+//!   deterministic individually even when their interleaving is not.
+//! - [`Dice`] — a thin seeded decision helper over the in-repo
+//!   xoshiro256++ [`SmallRng`]: probability rolls, ranges, and byte
+//!   corruption in one place.
+//! - [`crc32`] — the CRC-32/ISO-HDLC checksum (the `cksum`/zlib
+//!   polynomial), used by the serve spool to tell a corrupt checkpoint
+//!   record from a merely truncated one.
+
+use fgdram_model::rng::SmallRng;
+
+/// Derives an independent stream seed for one injection site.
+///
+/// `site` names the fault class (e.g. `"wire"`, `"disk"`) and `counter`
+/// the event index within it. The mix is SplitMix64-style so adjacent
+/// counters produce uncorrelated streams, and the result is stable
+/// across platforms and releases (chaos tests pin exact behaviour to a
+/// seed, the same contract as the workload generators).
+pub fn derive_seed(base: u64, site: &str, counter: u64) -> u64 {
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+    for &b in site.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h = h.wrapping_add(counter.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    // Final avalanche so low-entropy (site, counter) pairs still flip
+    // high bits.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 27;
+    h
+}
+
+/// A seeded decision helper: one PRNG plus the few draw shapes chaos
+/// layers need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dice {
+    rng: SmallRng,
+}
+
+impl Dice {
+    /// A dice stream for one injection site.
+    pub fn for_site(base: u64, site: &str, counter: u64) -> Dice {
+        Dice { rng: SmallRng::seed_from_u64(derive_seed(base, site, counter)) }
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`). Always consumes
+    /// exactly one draw, so spec changes that zero a probability do not
+    /// shift later decisions in the same stream.
+    pub fn roll(&mut self, p: f64) -> bool {
+        self.rng.random_bool(p)
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` (an empty range is a caller bug).
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Flips up to `flips` seeded bytes of `buf` in place (XOR with a
+    /// non-zero mask, so every chosen byte really changes). Returns the
+    /// number of bytes actually corrupted (0 for an empty buffer).
+    pub fn corrupt_bytes(&mut self, buf: &mut [u8], flips: usize) -> usize {
+        if buf.is_empty() {
+            return 0;
+        }
+        let mut changed = 0;
+        for _ in 0..flips {
+            let at = self.rng.random_index(buf.len());
+            let mask = (self.rng.random_range(1..256)) as u8;
+            buf[at] ^= mask;
+            changed += 1;
+        }
+        changed
+    }
+}
+
+/// CRC-32/ISO-HDLC (reflected, polynomial `0xEDB88320`), the checksum
+/// zlib and POSIX `cksum -o 3` use. Table-free bitwise form: the spool
+/// checksums a few hundred bytes per record, so simplicity beats speed.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_reference_vectors() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_single_byte_flips() {
+        let base = b"cell 3\nreport workload=GUPS kind=FGDRAM retired=42\n".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            let mut mutated = base.clone();
+            mutated[i] ^= 0x01;
+            assert_ne!(crc32(&mutated), reference, "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_independent() {
+        let a = derive_seed(42, "wire", 0);
+        assert_eq!(a, derive_seed(42, "wire", 0), "same inputs, same seed");
+        let mut seen = std::collections::HashSet::new();
+        for counter in 0..64 {
+            seen.insert(derive_seed(42, "wire", counter));
+            seen.insert(derive_seed(42, "disk", counter));
+            seen.insert(derive_seed(43, "wire", counter));
+        }
+        assert_eq!(seen.len(), 3 * 64, "site/counter/base all separate streams");
+    }
+
+    #[test]
+    fn dice_streams_replay_exactly() {
+        let mut a = Dice::for_site(7, "wire", 3);
+        let mut b = Dice::for_site(7, "wire", 3);
+        for _ in 0..32 {
+            assert_eq!(a.roll(0.3), b.roll(0.3));
+            assert_eq!(a.range(1, 100), b.range(1, 100));
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_changes_the_buffer_deterministically() {
+        let clean = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let mut x = clean.clone();
+        let mut y = clean.clone();
+        assert_eq!(Dice::for_site(1, "disk", 9).corrupt_bytes(&mut x, 3), 3);
+        Dice::for_site(1, "disk", 9).corrupt_bytes(&mut y, 3);
+        assert_eq!(x, y, "same dice, same corruption");
+        assert_ne!(x, clean, "corruption actually changed bytes");
+        assert_eq!(Dice::for_site(1, "disk", 9).corrupt_bytes(&mut [], 3), 0);
+    }
+}

@@ -24,6 +24,10 @@
 //! - [`timing`] — command timing-violation injection: a per-rule catalogue
 //!   of minimal violating traces and a seeded perturber for real traces,
 //!   both caught by the independent protocol checker in `fgdram-dram`.
+//! - [`chaos`] — the seeded plumbing shared with chaos layers above the
+//!   simulation (per-site seed derivation, decision dice, byte
+//!   corruption, CRC-32); `fgdram-serve` builds its wire/disk fault
+//!   injection on these.
 //!
 //! Everything is deterministic: one PRNG seeded from `--fault-seed`, no
 //! wall clock, and identical streams at any `--jobs` level.
@@ -45,11 +49,13 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod ecc;
 pub mod engine;
 pub mod spec;
 pub mod timing;
 
+pub use chaos::{crc32, derive_seed, Dice};
 pub use ecc::{EccOutcome, SecdedModel};
 pub use engine::{DueOutcome, FaultCounters, FaultEngine};
 pub use spec::{FaultSpec, SpecError, DEFAULT_WATCHDOG_NS};

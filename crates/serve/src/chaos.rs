@@ -1,0 +1,597 @@
+//! Seeded chaos injection for the serving layer: wire faults on accepted
+//! connections and disk faults on checkpoint appends.
+//!
+//! This extends the `crates/faults` philosophy (deterministic, seeded,
+//! spec-driven fault injection) one level up the stack: where
+//! `FaultSpec` breaks the simulated DRAM, [`ChaosSpec`] breaks the
+//! daemon's own transport and spool, so every serving-layer defense
+//! (read/write deadlines, client retry, CRC-checked spool records,
+//! overload shedding) ships with the seeded attack that would kill it.
+//!
+//! ## Grammar
+//!
+//! `--chaos` takes a comma-separated `key=value` list of probabilities,
+//! mirroring `--faults`:
+//!
+//! | key | fault injected |
+//! |---|---|
+//! | `torn=p` | the request stream ends after a seeded prefix (client died mid-send) |
+//! | `reset=p` | the connection is dropped before reading anything (RST-style) |
+//! | `dribble=p` | the read stalls past the deadline after a seeded prefix (slow loris) |
+//! | `disconnect=p` | the response stream is cut after a seeded prefix |
+//! | `garble=p` | seeded bytes of the request body are flipped (malformed spec) |
+//! | `ckpt-corrupt=p` | seeded bytes of a spool record are flipped after its CRC is computed |
+//! | `ckpt-short=p` | only a seeded prefix of a spool record reaches the file |
+//! | `ckpt-enospc=p` | the spool append fails outright (ENOSPC-style) |
+//!
+//! plus the bare preset `storm` (aggressive-but-survivable rates for all
+//! eight). Determinism: each connection and each append draws its own
+//! [`fgdram_faults::Dice`] stream from `--chaos-seed` via
+//! [`fgdram_faults::derive_seed`], keyed by a monotone event counter —
+//! so a single-client interaction replays exactly under a fixed seed.
+//!
+//! At most one wire fault fires per connection (rolled in the fixed
+//! order reset, torn, dribble, disconnect, garble) and at most one disk
+//! fault per append (enospc, short, corrupt) — first hit wins, and every
+//! roll is consumed either way so probabilities compose independently.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fgdram_faults::Dice;
+
+/// A parsed, validated chaos specification (all rates default to 0).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSpec {
+    /// P(request stream torn after a seeded prefix).
+    pub torn: f64,
+    /// P(connection dropped before the request is read).
+    pub reset: f64,
+    /// P(read stalls past the deadline — surfaces as a timeout).
+    pub dribble: f64,
+    /// P(response stream cut after a seeded prefix).
+    pub disconnect: f64,
+    /// P(request body bytes flipped before parsing).
+    pub garble: f64,
+    /// P(spool record corrupted after its CRC was computed).
+    pub ckpt_corrupt: f64,
+    /// P(spool record truncated to a seeded prefix).
+    pub ckpt_short: f64,
+    /// P(spool append fails outright).
+    pub ckpt_enospc: f64,
+}
+
+/// Why a chaos spec failed to parse (same stance as `FaultSpec`: typed,
+/// never a panic, mapped to a usage error by the CLI).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosSpecError {
+    /// Key is not part of the grammar.
+    UnknownKey(String),
+    /// Value failed to parse or a probability was outside `[0, 1]`.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The offending value text.
+        value: String,
+    },
+}
+
+impl core::fmt::Display for ChaosSpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChaosSpecError::UnknownKey(k) => write!(f, "unknown chaos-spec key '{k}'"),
+            ChaosSpecError::BadValue { key, value } => {
+                write!(f, "chaos-spec {key}: bad probability '{value}' (want [0, 1])")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosSpecError {}
+
+impl ChaosSpec {
+    /// Parses the comma-separated `key=value` grammar (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// A [`ChaosSpecError`] naming the first offending item.
+    pub fn parse(s: &str) -> Result<ChaosSpec, ChaosSpecError> {
+        let mut spec = ChaosSpec::default();
+        for item in s.split(',').map(str::trim).filter(|i| !i.is_empty()) {
+            let (key, value) = match item.split_once('=') {
+                Some((k, v)) => (k.trim(), v.trim()),
+                None => {
+                    if item == "storm" {
+                        spec.apply_storm_preset();
+                        continue;
+                    }
+                    return Err(ChaosSpecError::UnknownKey(item.to_string()));
+                }
+            };
+            let p: f64 =
+                value.parse().ok().filter(|p| (0.0..=1.0).contains(p)).ok_or_else(|| {
+                    ChaosSpecError::BadValue { key: key.to_string(), value: value.to_string() }
+                })?;
+            match key {
+                "torn" => spec.torn = p,
+                "reset" => spec.reset = p,
+                "dribble" => spec.dribble = p,
+                "disconnect" => spec.disconnect = p,
+                "garble" => spec.garble = p,
+                "ckpt-corrupt" => spec.ckpt_corrupt = p,
+                "ckpt-short" => spec.ckpt_short = p,
+                "ckpt-enospc" => spec.ckpt_enospc = p,
+                other => return Err(ChaosSpecError::UnknownKey(other.to_string())),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The aggressive-but-survivable preset behind the bare `storm`
+    /// item: every fault class fires often enough to exercise its
+    /// defense, rarely enough that a retrying client still converges.
+    fn apply_storm_preset(&mut self) {
+        self.torn = 0.15;
+        self.reset = 0.1;
+        self.dribble = 0.1;
+        self.disconnect = 0.15;
+        self.garble = 0.05;
+        self.ckpt_corrupt = 0.2;
+        self.ckpt_short = 0.15;
+        self.ckpt_enospc = 0.1;
+    }
+
+    /// True when no fault can ever fire — the chaos layer is not engaged
+    /// and the daemon behaves byte-identically to one built without it.
+    pub fn is_noop(&self) -> bool {
+        self.torn == 0.0
+            && self.reset == 0.0
+            && self.dribble == 0.0
+            && self.disconnect == 0.0
+            && self.garble == 0.0
+            && self.ckpt_corrupt == 0.0
+            && self.ckpt_short == 0.0
+            && self.ckpt_enospc == 0.0
+    }
+}
+
+/// Monotone injection counters, surfaced under `"chaos"` in `/stats`.
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Request streams torn short.
+    pub torn: AtomicU64,
+    /// Connections reset before the request was read.
+    pub reset: AtomicU64,
+    /// Reads stalled into the deadline.
+    pub dribble: AtomicU64,
+    /// Response streams cut mid-write.
+    pub disconnect: AtomicU64,
+    /// Request bodies garbled.
+    pub garble: AtomicU64,
+    /// Spool records corrupted.
+    pub ckpt_corrupt: AtomicU64,
+    /// Spool records short-written.
+    pub ckpt_short: AtomicU64,
+    /// Spool appends failed outright.
+    pub ckpt_enospc: AtomicU64,
+}
+
+impl ChaosStats {
+    /// Renders the counters as the `/stats` JSON fragment (no trailing
+    /// newline; the caller embeds it).
+    pub fn json(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "{{\"wire\":{{\"torn\":{},\"reset\":{},\"dribble\":{},\"disconnect\":{},\
+             \"garble\":{}}},\"disk\":{{\"corrupt\":{},\"short\":{},\"enospc\":{}}}}}",
+            g(&self.torn),
+            g(&self.reset),
+            g(&self.dribble),
+            g(&self.disconnect),
+            g(&self.garble),
+            g(&self.ckpt_corrupt),
+            g(&self.ckpt_short),
+            g(&self.ckpt_enospc)
+        )
+    }
+}
+
+/// What the chaos layer decided to do to one connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePlan {
+    /// Leave the connection alone.
+    None,
+    /// Drop it before reading anything.
+    Reset,
+    /// End the request stream after `after` bytes.
+    Torn {
+        /// Bytes delivered before the tear.
+        after: usize,
+    },
+    /// Stall the read (deadline-style timeout) after `after` bytes.
+    Dribble {
+        /// Bytes delivered before the stall.
+        after: usize,
+    },
+    /// Cut the response stream after `after` bytes.
+    Disconnect {
+        /// Bytes written before the cut.
+        after: usize,
+    },
+    /// Flip request-body bytes with the given per-byte probability.
+    Garble {
+        /// Per-byte flip probability (seeded per connection).
+        rate: f64,
+    },
+}
+
+/// The live chaos engine: one per daemon, shared by the connection
+/// handlers and the spool writers.
+#[derive(Debug)]
+pub struct Chaos {
+    spec: ChaosSpec,
+    seed: u64,
+    conns: AtomicU64,
+    appends: AtomicU64,
+    /// Injection counters (public so `/stats` can render them).
+    pub stats: ChaosStats,
+}
+
+/// What the chaos layer decided to do to one spool append.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiskPlan {
+    /// Write the record faithfully.
+    None,
+    /// Fail the append outright (ENOSPC-style).
+    Enospc,
+    /// Write only the first `keep` bytes of the record.
+    Short {
+        /// Bytes of the record that reach the file.
+        keep: usize,
+    },
+    /// Flip `flips` seeded bytes of the record before writing.
+    Corrupt {
+        /// Number of byte flips.
+        flips: usize,
+        /// The dice stream to draw flip positions from.
+        dice: Dice,
+    },
+}
+
+impl Chaos {
+    /// Builds the engine for one daemon run.
+    pub fn new(spec: ChaosSpec, seed: u64) -> Chaos {
+        Chaos {
+            spec,
+            seed,
+            conns: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// The parsed spec this engine runs.
+    pub fn spec(&self) -> &ChaosSpec {
+        &self.spec
+    }
+
+    /// Draws the wire plan for the next accepted connection (and counts
+    /// the injection), plus the rest of the connection's dice stream —
+    /// [`ChaosReader`] draws garble positions from it. Each connection
+    /// consumes one counter value, so a sequential client replays
+    /// exactly under a fixed seed.
+    pub fn wire_plan(&self) -> (WirePlan, Dice) {
+        let n = self.conns.fetch_add(1, Ordering::Relaxed);
+        let mut dice = Dice::for_site(self.seed, "wire", n);
+        // Fixed roll order; every roll consumed so the streams stay
+        // aligned when individual rates change.
+        let reset = dice.roll(self.spec.reset);
+        let torn = dice.roll(self.spec.torn);
+        let dribble = dice.roll(self.spec.dribble);
+        let disconnect = dice.roll(self.spec.disconnect);
+        let garble = dice.roll(self.spec.garble);
+        let plan = if reset {
+            WirePlan::Reset
+        } else if torn {
+            WirePlan::Torn { after: dice.range(1, 64) as usize }
+        } else if dribble {
+            WirePlan::Dribble { after: dice.range(1, 64) as usize }
+        } else if disconnect {
+            WirePlan::Disconnect { after: dice.range(1, 160) as usize }
+        } else if garble {
+            WirePlan::Garble { rate: 0.02 + 0.18 * (dice.range(0, 1000) as f64 / 1000.0) }
+        } else {
+            WirePlan::None
+        };
+        let counter = match &plan {
+            WirePlan::None => None,
+            WirePlan::Reset => Some(&self.stats.reset),
+            WirePlan::Torn { .. } => Some(&self.stats.torn),
+            WirePlan::Dribble { .. } => Some(&self.stats.dribble),
+            WirePlan::Disconnect { .. } => Some(&self.stats.disconnect),
+            WirePlan::Garble { .. } => Some(&self.stats.garble),
+        };
+        if let Some(c) = counter {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        (plan, dice)
+    }
+
+    /// Draws the disk plan for the next spool append of a `record_len`
+    /// byte record (and counts the injection).
+    pub fn disk_plan(&self, record_len: usize) -> DiskPlan {
+        let n = self.appends.fetch_add(1, Ordering::Relaxed);
+        let mut dice = Dice::for_site(self.seed, "disk", n);
+        let enospc = dice.roll(self.spec.ckpt_enospc);
+        let short = dice.roll(self.spec.ckpt_short);
+        let corrupt = dice.roll(self.spec.ckpt_corrupt);
+        if enospc {
+            self.stats.ckpt_enospc.fetch_add(1, Ordering::Relaxed);
+            DiskPlan::Enospc
+        } else if short && record_len > 1 {
+            self.stats.ckpt_short.fetch_add(1, Ordering::Relaxed);
+            DiskPlan::Short { keep: dice.range(1, record_len as u64) as usize }
+        } else if corrupt && record_len > 0 {
+            self.stats.ckpt_corrupt.fetch_add(1, Ordering::Relaxed);
+            DiskPlan::Corrupt { flips: dice.range(1, 4) as usize, dice }
+        } else {
+            DiskPlan::None
+        }
+    }
+}
+
+/// A reader that applies a [`WirePlan`] to an inbound request stream.
+/// Wrap the raw `TcpStream` with this, then put the `BufReader` on top.
+#[derive(Debug)]
+pub struct ChaosReader<R: Read> {
+    inner: R,
+    plan: WirePlan,
+    seen: usize,
+    /// Rolling 4-byte window used to find the head/body boundary for
+    /// garbling (we only corrupt the body: a garbled head is just a torn
+    /// request, but a garbled body must reach the spec parser).
+    tail: [u8; 4],
+    in_body: bool,
+    dice: Dice,
+}
+
+impl<R: Read> ChaosReader<R> {
+    /// Wraps `inner` under `plan`, drawing garble positions from `dice`.
+    pub fn new(inner: R, plan: WirePlan, dice: Dice) -> ChaosReader<R> {
+        ChaosReader { inner, plan, seen: 0, tail: [0; 4], in_body: false, dice }
+    }
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let budget = match self.plan {
+            WirePlan::Torn { after } => {
+                if self.seen >= after {
+                    return Ok(0); // stream torn: looks like client EOF
+                }
+                after - self.seen
+            }
+            WirePlan::Dribble { after } => {
+                if self.seen >= after {
+                    // The dribbling client never sends the next byte; the
+                    // socket deadline fires. Surfaced directly as the
+                    // same error a real `SO_RCVTIMEO` expiry produces.
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "chaos dribble stall"));
+                }
+                after - self.seen
+            }
+            _ => buf.len().max(1),
+        };
+        let take = buf.len().min(budget);
+        let n = self.inner.read(&mut buf[..take])?;
+        if let WirePlan::Garble { rate } = self.plan {
+            for b in &mut buf[..n] {
+                if self.in_body {
+                    if self.dice.roll(rate) {
+                        let mask = self.dice.range(1, 256) as u8;
+                        *b ^= mask;
+                    }
+                } else {
+                    self.tail = [self.tail[1], self.tail[2], self.tail[3], *b];
+                    if self.tail == *b"\r\n\r\n" {
+                        self.in_body = true;
+                    }
+                }
+            }
+        }
+        self.seen += n;
+        Ok(n)
+    }
+}
+
+/// A writer that applies a [`WirePlan::Disconnect`] to the response
+/// stream: after the budgeted bytes, every write fails like a peer
+/// hangup.
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write> {
+    inner: W,
+    cut_after: Option<usize>,
+    written: usize,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner`; `cut_after` is `Some(n)` for a disconnect plan.
+    pub fn new(inner: W, cut_after: Option<usize>) -> ChaosWriter<W> {
+        ChaosWriter { inner, cut_after, written: 0 }
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(cut) = self.cut_after {
+            if self.written >= cut {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "chaos disconnect: peer gone",
+                ));
+            }
+            let take = buf.len().min(cut - self.written);
+            let n = self.inner.write(&buf[..take])?;
+            self.written += n;
+            return Ok(n);
+        }
+        let n = self.inner.write(buf)?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead as _;
+
+    #[test]
+    fn parses_full_grammar_and_storm_preset() {
+        let s = ChaosSpec::parse(
+            "torn=0.1,reset=0.2,dribble=0.3,disconnect=0.4,garble=0.05,\
+             ckpt-corrupt=0.6,ckpt-short=0.7,ckpt-enospc=0.8",
+        )
+        .unwrap();
+        assert_eq!(s.torn, 0.1);
+        assert_eq!(s.reset, 0.2);
+        assert_eq!(s.dribble, 0.3);
+        assert_eq!(s.disconnect, 0.4);
+        assert_eq!(s.garble, 0.05);
+        assert_eq!(s.ckpt_corrupt, 0.6);
+        assert_eq!(s.ckpt_short, 0.7);
+        assert_eq!(s.ckpt_enospc, 0.8);
+        assert!(!s.is_noop());
+        let storm = ChaosSpec::parse("storm").unwrap();
+        assert!(!storm.is_noop());
+        // Preset then override: later items win.
+        assert_eq!(ChaosSpec::parse("storm,reset=0").unwrap().reset, 0.0);
+    }
+
+    #[test]
+    fn empty_and_zero_specs_are_noop() {
+        assert!(ChaosSpec::parse("").unwrap().is_noop());
+        assert!(ChaosSpec::parse("torn=0,reset=0.0").unwrap().is_noop());
+        assert_eq!(ChaosSpec::default(), ChaosSpec::parse("").unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_items() {
+        assert!(matches!(ChaosSpec::parse("bogus=1"), Err(ChaosSpecError::UnknownKey(_))));
+        assert!(matches!(ChaosSpec::parse("frob"), Err(ChaosSpecError::UnknownKey(_))));
+        assert!(matches!(ChaosSpec::parse("torn=zebra"), Err(ChaosSpecError::BadValue { .. })));
+        assert!(matches!(ChaosSpec::parse("torn=1.5"), Err(ChaosSpecError::BadValue { .. })));
+        assert!(matches!(ChaosSpec::parse("torn=-0.1"), Err(ChaosSpecError::BadValue { .. })));
+    }
+
+    #[test]
+    fn wire_plans_replay_under_a_fixed_seed() {
+        let spec = ChaosSpec::parse("storm").unwrap();
+        let a = Chaos::new(spec.clone(), 42);
+        let b = Chaos::new(spec, 42);
+        let plans_a: Vec<WirePlan> = (0..64).map(|_| a.wire_plan().0).collect();
+        let plans_b: Vec<WirePlan> = (0..64).map(|_| b.wire_plan().0).collect();
+        assert_eq!(plans_a, plans_b);
+        assert!(plans_a.iter().any(|p| *p != WirePlan::None), "storm injects something in 64");
+        assert!(plans_a.contains(&WirePlan::None), "storm is not total loss");
+    }
+
+    #[test]
+    fn noop_spec_never_injects() {
+        let c = Chaos::new(ChaosSpec::default(), 7);
+        for _ in 0..256 {
+            assert_eq!(c.wire_plan().0, WirePlan::None);
+            assert_eq!(c.disk_plan(100), DiskPlan::None);
+        }
+    }
+
+    #[test]
+    fn torn_reader_ends_the_stream_early() {
+        let data = b"POST /jobs HTTP/1.1\r\n\r\nsuite=compute\n";
+        let mut r =
+            ChaosReader::new(&data[..], WirePlan::Torn { after: 10 }, Dice::for_site(0, "wire", 0));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, &data[..10]);
+    }
+
+    #[test]
+    fn dribble_reader_times_out_after_its_prefix() {
+        let data = b"GET /stats HTTP/1.1\r\n\r\n";
+        let mut r = ChaosReader::new(
+            &data[..],
+            WirePlan::Dribble { after: 5 },
+            Dice::for_site(0, "wire", 0),
+        );
+        let mut buf = [0u8; 64];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 5);
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn garble_reader_leaves_the_head_alone_and_flips_the_body() {
+        let head = b"POST /jobs HTTP/1.1\r\nContent-Length: 14\r\n\r\n";
+        let body = b"suite=compute\n";
+        let mut data = head.to_vec();
+        data.extend_from_slice(body);
+        let mut r = ChaosReader::new(
+            &data[..],
+            WirePlan::Garble { rate: 1.0 },
+            Dice::for_site(3, "wire", 1),
+        );
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(&out[..head.len()], head, "head untouched");
+        assert_ne!(&out[head.len()..], body, "body flipped");
+        // And a BufReader stacks on top without issue.
+        let mut br = std::io::BufReader::new(ChaosReader::new(
+            &data[..],
+            WirePlan::None,
+            Dice::for_site(0, "wire", 0),
+        ));
+        let mut line = String::new();
+        br.read_line(&mut line).unwrap();
+        assert_eq!(line, "POST /jobs HTTP/1.1\r\n");
+    }
+
+    #[test]
+    fn disconnect_writer_cuts_after_its_budget() {
+        let mut sink = Vec::new();
+        let mut w = ChaosWriter::new(&mut sink, Some(8));
+        assert_eq!(w.write(b"HTTP/1.1 200").unwrap(), 8);
+        assert_eq!(w.write(b"more").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(sink, b"HTTP/1.1");
+    }
+
+    #[test]
+    fn disk_plans_cover_all_faults_and_replay() {
+        let spec = ChaosSpec::parse("ckpt-corrupt=0.4,ckpt-short=0.3,ckpt-enospc=0.2").unwrap();
+        let a = Chaos::new(spec.clone(), 9);
+        let b = Chaos::new(spec, 9);
+        let mut kinds = [0u32; 4];
+        for _ in 0..256 {
+            let pa = a.disk_plan(200);
+            assert_eq!(pa, b.disk_plan(200));
+            match pa {
+                DiskPlan::None => kinds[0] += 1,
+                DiskPlan::Enospc => kinds[1] += 1,
+                DiskPlan::Short { keep } => {
+                    assert!((1..200).contains(&keep));
+                    kinds[2] += 1;
+                }
+                DiskPlan::Corrupt { flips, .. } => {
+                    assert!((1..4).contains(&flips));
+                    kinds[3] += 1;
+                }
+            }
+        }
+        assert!(kinds.iter().all(|&k| k > 0), "all plan kinds drawn: {kinds:?}");
+        assert_eq!(a.stats.ckpt_enospc.load(Ordering::Relaxed), u64::from(kinds[1]));
+    }
+}

@@ -44,6 +44,20 @@ pub enum ServeError {
         /// The per-job budget.
         limit: u64,
     },
+    /// The queue-wait budget is exhausted: the backlog's simulated-ns
+    /// cost exceeds the shed threshold, so admitting more work would
+    /// only grow latency. HTTP 429 with a `Retry-After` hint.
+    Overloaded {
+        /// Simulated-ns cost already queued.
+        queued_cost: u64,
+        /// The shed threshold in simulated-ns.
+        limit: u64,
+        /// The `Retry-After` hint in seconds.
+        retry_after_s: u64,
+    },
+    /// The connection idled past the read or write deadline (slow-loris
+    /// style). HTTP 408.
+    Timeout(String),
     /// The job was cancelled before completing. HTTP 409.
     Canceled,
     /// The daemon is shutting down. HTTP 503.
@@ -61,6 +75,8 @@ impl ServeError {
             ServeError::QueueFull { .. } => "queue-full",
             ServeError::Quota { .. } => "quota",
             ServeError::Budget { .. } => "budget",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Timeout(_) => "timeout",
             ServeError::Canceled => "canceled",
             ServeError::ShuttingDown => "shutting-down",
             ServeError::Sim(e) => match e {
@@ -79,7 +95,9 @@ impl ServeError {
             ServeError::BadRequest(_) => 400,
             ServeError::NotFound(_) => 404,
             ServeError::QueueFull { .. } | ServeError::Quota { .. } => 429,
+            ServeError::Overloaded { .. } => 429,
             ServeError::Budget { .. } => 422,
+            ServeError::Timeout(_) => 408,
             ServeError::Canceled => 409,
             ServeError::ShuttingDown => 503,
             // A config error in a cell means the spec validated but the
@@ -98,6 +116,8 @@ impl ServeError {
             ServeError::BadRequest(_) | ServeError::NotFound(_) => 2,
             ServeError::Budget { .. } => 8,
             ServeError::QueueFull { .. } | ServeError::Quota { .. } => 9,
+            ServeError::Overloaded { .. } => 9,
+            ServeError::Timeout(_) => 6,
             ServeError::Canceled => 10,
             ServeError::ShuttingDown => 9,
             ServeError::Sim(e) => e.exit_code(),
@@ -108,6 +128,17 @@ impl ServeError {
     /// run would have exited with, where that is meaningful).
     fn wire_exit_code(&self) -> u8 {
         self.client_exit_code()
+    }
+
+    /// Extra response headers this error carries (today: `Retry-After`
+    /// on overload rejects, so well-behaved clients pace their retries).
+    pub fn extra_headers(&self) -> Vec<(String, String)> {
+        match self {
+            ServeError::Overloaded { retry_after_s, .. } => {
+                vec![("Retry-After".to_string(), retry_after_s.to_string())]
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// Renders the typed JSON error body:
@@ -156,6 +187,12 @@ impl core::fmt::Display for ServeError {
             ServeError::Budget { cost, limit } => {
                 write!(f, "job cost {cost} cells x simulated-ns exceeds the per-job budget {limit}")
             }
+            ServeError::Overloaded { queued_cost, limit, retry_after_s } => write!(
+                f,
+                "overloaded: {queued_cost} simulated-ns queued exceeds the {limit} shed \
+                 budget; retry in ~{retry_after_s}s"
+            ),
+            ServeError::Timeout(m) => write!(f, "connection deadline exceeded: {m}"),
             ServeError::Canceled => write!(f, "job cancelled"),
             ServeError::ShuttingDown => write!(f, "daemon shutting down"),
             ServeError::Sim(e) => write!(f, "{e}"),
@@ -190,6 +227,13 @@ mod tests {
             (ServeError::QueueFull { cells: 8, queued: 100, limit: 100 }, "queue-full", 429, 9),
             (ServeError::Quota { tenant: "t".into(), inflight: 4, limit: 4 }, "quota", 429, 9),
             (ServeError::Budget { cost: 10, limit: 5 }, "budget", 422, 8),
+            (
+                ServeError::Overloaded { queued_cost: 9, limit: 5, retry_after_s: 2 },
+                "overloaded",
+                429,
+                9,
+            ),
+            (ServeError::Timeout("read".into()), "timeout", 408, 6),
             (ServeError::Canceled, "canceled", 409, 10),
         ];
         for (e, code, status, exit) in cases {
@@ -209,6 +253,13 @@ mod tests {
         assert_eq!(e.client_exit_code(), 5);
         let body = e.json_body();
         assert!(body.contains("\"exit_code\":5"), "{body}");
+    }
+
+    #[test]
+    fn overload_carries_a_retry_after_header() {
+        let e = ServeError::Overloaded { queued_cost: 100, limit: 50, retry_after_s: 7 };
+        assert_eq!(e.extra_headers(), vec![("Retry-After".to_string(), "7".to_string())]);
+        assert!(ServeError::Canceled.extra_headers().is_empty());
     }
 
     #[test]

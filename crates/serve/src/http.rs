@@ -20,6 +20,17 @@ use crate::error::ServeError;
 pub const MAX_BODY: usize = 64 * 1024;
 const MAX_HEAD_LINE: usize = 8 * 1024;
 const MAX_HEADERS: usize = 64;
+/// Cap on a single chunk a peer may claim in chunked framing. A hostile
+/// `ffffffffffffffff\r\n` size line must not turn into an exabyte
+/// allocation (which would abort the process, not error).
+const MAX_CHUNK: usize = 16 * 1024 * 1024;
+
+/// True for the error kinds a socket deadline expiry produces
+/// (`WouldBlock` on Unix `SO_RCVTIMEO`/`SO_SNDTIMEO`, `TimedOut`
+/// elsewhere) — the signature of a slow-loris peer.
+pub fn is_deadline(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
 
 /// One parsed HTTP request.
 #[derive(Debug)]
@@ -46,7 +57,16 @@ fn read_line_crlf<R: BufRead>(r: &mut R) -> io::Result<String> {
     loop {
         let mut byte = [0u8; 1];
         match r.read(&mut byte)? {
-            0 => break,
+            // EOF before the terminator: the peer tore the connection
+            // mid-line. Surfaced as `UnexpectedEof` so the server maps it
+            // to the retryable 408, not a permanent 400 — a torn request
+            // is a transport failure, not a malformed client.
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ));
+            }
             _ => {
                 if byte[0] == b'\n' {
                     break;
@@ -64,16 +84,39 @@ fn read_line_crlf<R: BufRead>(r: &mut R) -> io::Result<String> {
     String::from_utf8(line).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 head"))
 }
 
+/// Wraps a transport failure while reading the request: deadline
+/// expiries and torn connections become the typed (retryable) 408,
+/// everything else the typed 400 (the connection is torn down either
+/// way; the status tells the peer — and `/stats` — which defense
+/// fired).
+fn read_err(context: &str, e: &io::Error) -> ServeError {
+    if is_deadline(e) {
+        ServeError::Timeout(format!("{context} stalled past the read deadline"))
+    } else if e.kind() == io::ErrorKind::UnexpectedEof {
+        // A request torn mid-flight (peer vanished, connection cut) is a
+        // transport failure: 408 so a retrying client tries again, where
+        // a syntactically bad request stays a permanent 400.
+        ServeError::Timeout(format!("{context} incomplete: connection closed mid-request"))
+    } else {
+        ServeError::BadRequest(format!("{context}: {e}"))
+    }
+}
+
 /// Reads and parses one request from `r`.
+///
+/// Every malformed input is a typed error, never a panic: oversized
+/// lines, header floods, bad `Content-Length`, short bodies, and
+/// deadline expiries all map to 400/408 (see the hostile-input fuzz
+/// loop in `tests/serve.rs`).
 ///
 /// # Errors
 ///
-/// [`ServeError::BadRequest`] on malformed framing, or the underlying
-/// I/O error wrapped the same way (the connection is torn down either
-/// way, so the distinction does not matter to callers).
+/// [`ServeError::BadRequest`] on malformed framing,
+/// [`ServeError::Timeout`] when the peer dribbles past the read
+/// deadline.
 pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ServeError> {
     let bad = |m: &str| ServeError::BadRequest(m.to_string());
-    let line = read_line_crlf(r).map_err(|e| ServeError::BadRequest(format!("read: {e}")))?;
+    let line = read_line_crlf(r).map_err(|e| read_err("request line", &e))?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or_else(|| bad("empty request line"))?.to_uppercase();
     let path = parts.next().ok_or_else(|| bad("request line missing path"))?.to_string();
@@ -83,7 +126,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ServeError> {
     }
     let mut headers = Vec::new();
     loop {
-        let line = read_line_crlf(r).map_err(|e| ServeError::BadRequest(format!("read: {e}")))?;
+        let line = read_line_crlf(r).map_err(|e| read_err("header", &e))?;
         if line.is_empty() {
             break;
         }
@@ -102,7 +145,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ServeError> {
         return Err(bad("body too large"));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(|e| ServeError::BadRequest(format!("body read: {e}")))?;
+    r.read_exact(&mut body).map_err(|e| read_err("body", &e))?;
     Ok(Request { method, path, headers, body })
 }
 
@@ -113,6 +156,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
@@ -133,25 +177,51 @@ pub fn write_response<W: Write>(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_ex(w, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`).
+///
+/// # Errors
+///
+/// Propagates transport write failures.
+pub fn write_response_ex<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra: &[(String, String)],
+    body: &[u8],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     )?;
+    for (k, v) in extra {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
 
-/// Writes the typed JSON error body for `e`.
+/// Writes the typed JSON error body for `e` (plus any extra headers the
+/// error carries, e.g. `Retry-After` on overload rejects).
 ///
 /// # Errors
 ///
 /// Propagates transport write failures.
 pub fn write_error<W: Write>(w: &mut W, e: &ServeError) -> io::Result<()> {
-    write_response(w, e.http_status(), "application/json", e.json_body().as_bytes())
+    write_response_ex(
+        w,
+        e.http_status(),
+        "application/json",
+        &e.extra_headers(),
+        e.json_body().as_bytes(),
+    )
 }
 
 /// A `Transfer-Encoding: chunked` body writer. Each [`Self::chunk`] call
@@ -221,6 +291,11 @@ pub struct Response {
 }
 
 impl Response {
+    /// First value of response header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
     /// Reads the whole body into memory.
     ///
     /// # Errors
@@ -286,9 +361,18 @@ impl BodyReader {
             }
             Framing::Chunked => {
                 let line = read_line_crlf(&mut self.r)?;
-                let size = usize::from_str_radix(line.trim(), 16).map_err(|_| {
+                // Tolerate (and ignore) chunk extensions after ';'.
+                let size_text = line.split(';').next().unwrap_or("").trim();
+                let size = usize::from_str_radix(size_text, 16).map_err(|_| {
                     io::Error::new(io::ErrorKind::InvalidData, "bad chunk size line")
                 })?;
+                // A hostile size must error, not abort on allocation.
+                if size > MAX_CHUNK {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "chunk size exceeds the 16 MiB cap",
+                    ));
+                }
                 if size == 0 {
                     // Trailing CRLF after the last-chunk line.
                     let _ = read_line_crlf(&mut self.r);
@@ -395,6 +479,77 @@ mod tests {
             let mut r = io::BufReader::new(raw);
             assert!(read_request(&mut r).is_err());
         }
+    }
+
+    /// A reader that yields a prefix, then fails like an expired socket
+    /// deadline.
+    struct StallAfter {
+        data: Vec<u8>,
+        at: usize,
+    }
+
+    impl io::Read for StallAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.at >= self.data.len() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            let n = buf.len().min(self.data.len() - self.at);
+            buf[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_is_the_typed_timeout_not_a_bad_request() {
+        // Stall mid-head and mid-body: both must classify as timeout.
+        for raw in
+            [&b"GET /stats HT"[..], &b"POST /jobs HTTP/1.1\r\nContent-Length: 40\r\n\r\nsui"[..]]
+        {
+            let mut r = io::BufReader::new(StallAfter { data: raw.to_vec(), at: 0 });
+            let err = read_request(&mut r).expect_err("stalled request");
+            assert_eq!(err.code(), "timeout", "{raw:?}");
+            assert_eq!(err.http_status(), 408);
+        }
+    }
+
+    #[test]
+    fn hostile_chunk_sizes_error_instead_of_allocating() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut r = BufReader::new(stream.try_clone().expect("clone"));
+            read_request(&mut r).expect("request");
+            // A chunked response claiming an absurd chunk size.
+            stream
+                .write_all(
+                    b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+                      ffffffffffffff\r\nnope\r\n0\r\n\r\n",
+                )
+                .unwrap();
+        });
+        let resp = request(&addr, "GET", "/x", &[], b"").unwrap();
+        let err = resp.into_body().expect_err("hostile chunk size");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn extra_headers_ride_the_response() {
+        let mut buf = Vec::new();
+        write_response_ex(
+            &mut buf,
+            429,
+            "application/json",
+            &[("Retry-After".to_string(), "3".to_string())],
+            b"{}",
+        )
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{s}");
+        assert!(s.contains("Retry-After: 3\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\n{}"), "{s}");
     }
 
     #[test]

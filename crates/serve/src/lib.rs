@@ -18,8 +18,12 @@
 //! - [`spec`] — the `key=value` wire job spec.
 //! - [`spool`] — per-cell checkpoint files (exact-bit report encoding),
 //!   so a killed daemon resumes without recomputing finished cells.
-//! - [`server`] — admission control, deficit-round-robin fair-share
-//!   scheduling, the worker pool, and the HTTP routes.
+//! - [`server`] — admission control, overload shedding,
+//!   deficit-round-robin fair-share scheduling, the worker pool, and the
+//!   HTTP routes.
+//! - [`chaos`] — seeded wire/disk fault injection (`--chaos`), the
+//!   serving-layer sibling of `--faults`: every defense above ships with
+//!   the deterministic attack that exercises it.
 //!
 //! ## Wire protocol
 //!
@@ -40,11 +44,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod error;
 pub mod http;
 pub mod server;
 pub mod spec;
 pub mod spool;
 
+pub use chaos::{Chaos, ChaosSpec};
 pub use error::ServeError;
 pub use server::{ServeConfig, Server};

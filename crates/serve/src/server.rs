@@ -31,7 +31,7 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,6 +45,7 @@ use fgdram_core::SimError;
 use fgdram_model::config::DramKind;
 use fgdram_workloads::Workload;
 
+use crate::chaos::{Chaos, ChaosReader, ChaosSpec, ChaosWriter, WirePlan};
 use crate::error::{json_escape_into, ServeError};
 use crate::http::{read_request, write_error, write_response, ChunkedWriter, Request};
 use crate::spec;
@@ -65,6 +66,21 @@ pub struct ServeConfig {
     pub quantum: u64,
     /// Directory for job checkpoint files.
     pub spool_dir: PathBuf,
+    /// Per-connection read deadline: a peer that dribbles its request
+    /// slower than this gets a typed 408 (slow-loris defense).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline: a peer that stops draining its
+    /// response tears the connection down instead of pinning a thread.
+    pub write_timeout: Duration,
+    /// Overload shed threshold in queued simulated-ns: submits that
+    /// would push the backlog past this get a typed 429 `overloaded`
+    /// with a `Retry-After` hint instead of ever-growing queue wait.
+    pub shed_cost: u64,
+    /// Seeded fault injection (`--chaos`); a no-op spec disables the
+    /// chaos layer entirely.
+    pub chaos: ChaosSpec,
+    /// Seed for the chaos dice streams (`--chaos-seed`).
+    pub chaos_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +92,11 @@ impl Default for ServeConfig {
             max_job_cost: 2_000_000_000,
             quantum: 200_000,
             spool_dir: PathBuf::from("fgdram-spool"),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            shed_cost: 20_000_000_000,
+            chaos: ChaosSpec::default(),
+            chaos_seed: 0,
         }
     }
 }
@@ -183,11 +204,22 @@ struct Counters {
     done: u64,
     failed: u64,
     canceled: u64,
+    /// Submits answered with an existing job via the idempotency key.
+    deduped: u64,
     executed_cells: u64,
     resumed_cells: u64,
     rejected_queue: u64,
     rejected_quota: u64,
     rejected_budget: u64,
+    rejected_overload: u64,
+    /// Connections torn down by the read deadline (slow-loris style).
+    timeouts: u64,
+    /// Requests rejected as unparseable (typed 400, not a panic).
+    malformed: u64,
+    /// Spool records discarded on load (truncated or corrupt).
+    skipped_records: u64,
+    /// Spool records deduplicated on load (last valid won).
+    duplicate_records: u64,
 }
 
 struct Inner {
@@ -196,6 +228,12 @@ struct Inner {
     /// Rotation order of tenants with non-empty queues.
     rr: VecDeque<String>,
     queued_cells: usize,
+    /// Simulated-ns cost of all queued cells (the shed metric).
+    queued_cost: u64,
+    /// Idempotency keys: `(tenant, key)` -> job id, for exactly-once
+    /// submits across client retries (and daemon restarts, via the
+    /// spool).
+    keys: BTreeMap<(String, String), String>,
     next_id: u64,
     shutdown: bool,
     stats: Counters,
@@ -203,10 +241,13 @@ struct Inner {
 
 impl Inner {
     fn enqueue_cells(&mut self, tenant: &str, job_id: &str, cells: impl Iterator<Item = usize>) {
+        let cell_cost = self.jobs.get(job_id).map_or(0, |j| j.spec.cell_cost().max(1));
         let t = self.tenants.entry(tenant.to_string()).or_default();
         let before = t.queue.len();
         t.queue.extend(cells.map(|i| (job_id.to_string(), i)));
-        self.queued_cells += t.queue.len() - before;
+        let added = t.queue.len() - before;
+        self.queued_cells += added;
+        self.queued_cost += added as u64 * cell_cost;
         if before == 0 && !t.queue.is_empty() && !self.rr.iter().any(|n| n == tenant) {
             self.rr.push_back(tenant.to_string());
         }
@@ -214,10 +255,13 @@ impl Inner {
 
     /// Removes every queued cell of `job_id` (cancel / fail path).
     fn drop_queued_cells(&mut self, tenant: &str, job_id: &str) {
+        let cell_cost = self.jobs.get(job_id).map_or(0, |j| j.spec.cell_cost().max(1));
         if let Some(t) = self.tenants.get_mut(tenant) {
             let before = t.queue.len();
             t.queue.retain(|(j, _)| j != job_id);
-            self.queued_cells -= before - t.queue.len();
+            let removed = before - t.queue.len();
+            self.queued_cells -= removed;
+            self.queued_cost = self.queued_cost.saturating_sub(removed as u64 * cell_cost);
             if t.queue.is_empty() {
                 t.deficit = 0;
                 self.rr.retain(|n| n != tenant);
@@ -239,6 +283,7 @@ impl Inner {
                 t.deficit -= cost;
                 let (job_id, index) = t.queue.pop_front().expect("checked front");
                 self.queued_cells -= 1;
+                self.queued_cost = self.queued_cost.saturating_sub(cost);
                 if t.queue.is_empty() {
                     t.deficit = 0;
                     self.rr.pop_front();
@@ -256,6 +301,9 @@ struct Shared {
     cv: Condvar,
     cfg: ServeConfig,
     spool: Spool,
+    /// The live chaos engine, `None` when `--chaos` is absent or no-op —
+    /// the faithful path pays nothing for the layer's existence.
+    chaos: Option<Arc<Chaos>>,
 }
 
 /// The job server. Bind it, then run [`Server::serve`] on a thread (or
@@ -278,12 +326,16 @@ impl Server {
     /// Propagates bind and spool I/O failures.
     pub fn bind(cfg: ServeConfig, addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let spool = Spool::open(&cfg.spool_dir)?;
+        let chaos =
+            (!cfg.chaos.is_noop()).then(|| Arc::new(Chaos::new(cfg.chaos.clone(), cfg.chaos_seed)));
+        let spool = Spool::open(&cfg.spool_dir, chaos.clone())?;
         let mut inner = Inner {
             jobs: BTreeMap::new(),
             tenants: BTreeMap::new(),
             rr: VecDeque::new(),
             queued_cells: 0,
+            queued_cost: 0,
+            keys: BTreeMap::new(),
             next_id: 1,
             shutdown: false,
             stats: Counters::default(),
@@ -310,41 +362,58 @@ impl Server {
             // whether or not the job had finished.
             inner.stats.resumed_cells += completed as u64;
             inner.stats.submitted += 1;
-            match loaded.status {
+            inner.stats.skipped_records += loaded.skipped_records;
+            inner.stats.duplicate_records += loaded.duplicate_records;
+            if let Some(k) = &loaded.key {
+                inner.keys.insert((loaded.tenant.clone(), k.clone()), loaded.id.clone());
+            }
+            let resume = match loaded.status {
                 SpoolStatus::Done if completed == total => {
                     job.phase = Phase::Done;
                     job.render_final();
+                    false
                 }
                 SpoolStatus::Failed { code, exit_code, message } => {
                     job.phase = Phase::Failed;
                     job.error = Some(JobError { code, exit_code, message });
+                    false
                 }
-                SpoolStatus::Canceled => job.phase = Phase::Canceled,
+                SpoolStatus::Canceled => {
+                    job.phase = Phase::Canceled;
+                    false
+                }
                 // In progress (or a corrupt done marker): re-enqueue the
                 // missing cells; the completed ones are not recomputed.
-                SpoolStatus::Done | SpoolStatus::InProgress => {
-                    let missing: Vec<usize> = job
-                        .artifacts
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, a)| a.is_none().then_some(i))
-                        .collect();
-                    eprintln!(
-                        "fgdram-serve: resumed {} for tenant '{}': {completed}/{total} cells \
-                         checkpointed, re-queueing {}",
-                        loaded.id,
-                        job.tenant,
-                        missing.len()
-                    );
-                    job.writer = Some(spool.reopen(&loaded.id)?);
-                    let tenant = job.tenant.clone();
-                    inner.enqueue_cells(&tenant, &loaded.id, missing.into_iter());
-                    inner.tenants.entry(tenant).or_default().inflight_jobs += 1;
-                }
+                SpoolStatus::Done | SpoolStatus::InProgress => true,
+            };
+            let missing: Vec<usize> = job
+                .artifacts
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| a.is_none().then_some(i))
+                .collect();
+            if resume {
+                eprintln!(
+                    "fgdram-serve: resumed {} for tenant '{}': {completed}/{total} cells \
+                     checkpointed, re-queueing {}",
+                    loaded.id,
+                    job.tenant,
+                    missing.len()
+                );
+                job.writer = Some(spool.reopen(&loaded.id)?);
             }
+            let tenant = job.tenant.clone();
+            let id = loaded.id.clone();
+            // Insert before enqueueing: the queue accounting reads the
+            // job's cell cost from the map.
             inner.jobs.insert(loaded.id, job);
+            if resume {
+                inner.enqueue_cells(&tenant, &id, missing.into_iter());
+                inner.tenants.entry(tenant).or_default().inflight_jobs += 1;
+            }
         }
-        let shared = Arc::new(Shared { m: Mutex::new(inner), cv: Condvar::new(), cfg, spool });
+        let shared =
+            Arc::new(Shared { m: Mutex::new(inner), cv: Condvar::new(), cfg, spool, chaos });
         let n = if shared.cfg.workers == 0 {
             thread::available_parallelism().map_or(1, |p| p.get())
         } else {
@@ -516,7 +585,22 @@ fn release_tenant_slot(g: &mut Inner, tenant: &str) {
     }
 }
 
-fn submit(shared: &Shared, tenant: &str, body: &[u8]) -> Result<(String, usize, u64), ServeError> {
+/// What a successful `POST /jobs` resolved to.
+struct Submitted {
+    id: String,
+    cells: usize,
+    cost: u64,
+    /// True when the idempotency key matched an existing job: nothing
+    /// was queued, the client is re-attached to the original run.
+    deduped: bool,
+}
+
+fn submit(
+    shared: &Shared,
+    tenant: &str,
+    key: Option<&str>,
+    body: &[u8],
+) -> Result<Submitted, ServeError> {
     let body = std::str::from_utf8(body)
         .map_err(|_| ServeError::BadRequest("job spec is not UTF-8".to_string()))?;
     let spec = spec::parse(body)?;
@@ -527,6 +611,17 @@ fn submit(shared: &Shared, tenant: &str, body: &[u8]) -> Result<(String, usize, 
     let cells = workloads.len() * SUITE_KINDS.len();
     let cost = spec.cost();
     let mut g = shared.m.lock().expect("state lock");
+    // Idempotency first, even during shutdown or overload: a retried
+    // submit whose first response was lost must re-attach to the job
+    // that already ran, never double-run it and never bounce.
+    if let Some(k) = key {
+        if let Some(id) = g.keys.get(&(tenant.to_string(), k.to_string())).cloned() {
+            g.stats.deduped += 1;
+            let (cells, cost) =
+                g.jobs.get(&id).map_or((cells, cost), |j| (j.total(), j.spec.cost()));
+            return Ok(Submitted { id, cells, cost, deduped: true });
+        }
+    }
     if g.shutdown {
         return Err(ServeError::ShuttingDown);
     }
@@ -551,11 +646,24 @@ fn submit(shared: &Shared, tenant: &str, body: &[u8]) -> Result<(String, usize, 
             limit: shared.cfg.max_queued_cells,
         });
     }
+    // Overload shedding: queue-wait is backlog cost over drain rate, so
+    // once the backlog's simulated-ns cost exceeds the shed budget,
+    // admitting more only grows latency for everyone. Typed 429 with a
+    // Retry-After hint scaled to how far over budget the backlog is.
+    if g.queued_cost.saturating_add(cost) > shared.cfg.shed_cost {
+        g.stats.rejected_overload += 1;
+        let retry_after_s = (1 + g.queued_cost / shared.cfg.shed_cost.max(1)).min(30);
+        return Err(ServeError::Overloaded {
+            queued_cost: g.queued_cost,
+            limit: shared.cfg.shed_cost,
+            retry_after_s,
+        });
+    }
     let id = format!("j{}", g.next_id);
     g.next_id += 1;
     let writer = shared
         .spool
-        .create(&id, tenant, &spec)
+        .create(&id, tenant, key, &spec)
         .map_err(|e| ServeError::Sim(SimError::Io { context: format!("spool {id}"), source: e }))?;
     let total = cells;
     g.jobs.insert(
@@ -575,9 +683,12 @@ fn submit(shared: &Shared, tenant: &str, body: &[u8]) -> Result<(String, usize, 
     g.enqueue_cells(tenant, &id, 0..total);
     g.tenants.entry(tenant.to_string()).or_default().inflight_jobs += 1;
     g.stats.submitted += 1;
+    if let Some(k) = key {
+        g.keys.insert((tenant.to_string(), k.to_string()), id.clone());
+    }
     drop(g);
     shared.cv.notify_all();
-    Ok((id, total, cost))
+    Ok(Submitted { id, cells: total, cost, deduped: false })
 }
 
 fn cancel(shared: &Shared, job_id: &str) -> Result<String, ServeError> {
@@ -621,7 +732,7 @@ fn status_json(g: &Inner, job_id: &str) -> Result<String, ServeError> {
     ))
 }
 
-fn stats_json(g: &Inner) -> String {
+fn stats_json(shared: &Shared, g: &Inner) -> String {
     let s = &g.stats;
     let mut tenants = String::new();
     for (i, (name, t)) in g.tenants.iter().enumerate() {
@@ -637,21 +748,35 @@ fn stats_json(g: &Inner) -> String {
             t.deficit
         ));
     }
+    let chaos = match &shared.chaos {
+        Some(c) => format!(",\"chaos\":{}", c.stats.json()),
+        None => String::new(),
+    };
     format!(
-        "{{\"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\"canceled\":{}}},\
-         \"cells\":{{\"executed\":{},\"resumed\":{},\"queued\":{}}},\
-         \"rejects\":{{\"queue\":{},\"quota\":{},\"budget\":{}}},\
-         \"tenants\":{{{tenants}}}}}\n",
+        "{{\"jobs\":{{\"submitted\":{},\"done\":{},\"failed\":{},\"canceled\":{},\
+         \"deduped\":{}}},\
+         \"cells\":{{\"executed\":{},\"resumed\":{},\"queued\":{},\"queued_cost\":{},\
+         \"skipped_records\":{},\"duplicate_records\":{}}},\
+         \"rejects\":{{\"queue\":{},\"quota\":{},\"budget\":{},\"overload\":{}}},\
+         \"wire\":{{\"timeouts\":{},\"malformed\":{}}},\
+         \"tenants\":{{{tenants}}}{chaos}}}\n",
         s.submitted,
         s.done,
         s.failed,
         s.canceled,
+        s.deduped,
         s.executed_cells,
         s.resumed_cells,
         g.queued_cells,
+        g.queued_cost,
+        s.skipped_records,
+        s.duplicate_records,
         s.rejected_queue,
         s.rejected_quota,
-        s.rejected_budget
+        s.rejected_budget,
+        s.rejected_overload,
+        s.timeouts,
+        s.malformed
     )
 }
 
@@ -694,7 +819,7 @@ fn wait_report(shared: &Shared, job_id: &str) -> ReportOutcome {
 /// Streams the job's telemetry JSONL in input-cell order as cells
 /// complete. Ends early (after the cells that did complete) when the job
 /// reaches a terminal state with gaps.
-fn stream_telemetry(shared: &Shared, job_id: &str, w: &mut TcpStream) -> io::Result<()> {
+fn stream_telemetry<W: Write>(shared: &Shared, job_id: &str, w: &mut W) -> io::Result<()> {
     let total = {
         let g = shared.m.lock().expect("state lock");
         match g.jobs.get(job_id) {
@@ -729,18 +854,46 @@ fn stream_telemetry(shared: &Shared, job_id: &str, w: &mut TcpStream) -> io::Res
 }
 
 fn handle_conn(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut w = stream;
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    match &shared.chaos {
+        // Faithful path: `&TcpStream` is `Read + Write`, no wrapping.
+        None => handle_conn_io(shared, &stream, &mut &stream),
+        Some(chaos) => {
+            let (plan, dice) = chaos.wire_plan();
+            if plan == WirePlan::Reset {
+                // Dropped before reading: the peer sees a reset/EOF.
+                return;
+            }
+            let cut = match plan {
+                WirePlan::Disconnect { after } => Some(after),
+                _ => None,
+            };
+            let reader = ChaosReader::new(&stream, plan, dice);
+            let mut writer = ChaosWriter::new(&stream, cut);
+            handle_conn_io(shared, reader, &mut writer);
+        }
+    }
+}
+
+/// Serves one request over any transport — the real socket, or the
+/// chaos-wrapped one.
+fn handle_conn_io<R: Read, W: Write>(shared: &Shared, r: R, w: &mut W) {
+    let mut reader = BufReader::new(r);
     let req = match read_request(&mut reader) {
         Ok(r) => r,
         Err(e) => {
-            let _ = write_error(&mut w, &e);
+            let mut g = shared.m.lock().expect("state lock");
+            match e {
+                ServeError::Timeout(_) => g.stats.timeouts += 1,
+                _ => g.stats.malformed += 1,
+            }
+            drop(g);
+            let _ = write_error(w, &e);
             return;
         }
     };
-    let _ = route(shared, &req, &mut w);
+    let _ = route(shared, &req, w);
 }
 
 fn tenant_of(req: &Request) -> Result<String, ServeError> {
@@ -755,19 +908,44 @@ fn tenant_of(req: &Request) -> Result<String, ServeError> {
     }
 }
 
-fn route(shared: &Shared, req: &Request, w: &mut TcpStream) -> io::Result<()> {
+/// Validates the optional `X-Job-Key` idempotency header.
+fn job_key_of(req: &Request) -> Result<Option<String>, ServeError> {
+    match req.header("x-job-key") {
+        None => Ok(None),
+        Some(k) => {
+            let ok = !k.is_empty()
+                && k.len() <= 128
+                && k.chars().all(|c| c.is_ascii_graphic() || c == ' ');
+            if ok {
+                Ok(Some(k.to_string()))
+            } else {
+                Err(ServeError::BadRequest(format!("invalid job key '{k}'")))
+            }
+        }
+    }
+}
+
+fn route<W: Write>(shared: &Shared, req: &Request, w: &mut W) -> io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => write_response(w, 200, "text/plain", b"ok\n"),
         ("GET", "/stats") => {
-            let body = stats_json(&shared.m.lock().expect("state lock"));
+            let body = stats_json(shared, &shared.m.lock().expect("state lock"));
             write_response(w, 200, "application/json", body.as_bytes())
         }
         ("POST", "/jobs") => {
-            let outcome = tenant_of(req).and_then(|t| submit(shared, &t, &req.body));
+            let outcome = tenant_of(req).and_then(|t| {
+                let key = job_key_of(req)?;
+                submit(shared, &t, key.as_deref(), &req.body)
+            });
             match outcome {
-                Ok((id, cells, cost)) => {
-                    let body = format!("{{\"job\":\"{id}\",\"cells\":{cells},\"cost\":{cost}}}\n");
-                    write_response(w, 201, "application/json", body.as_bytes())
+                // 200 (not 201) for a dedup hit: nothing was created,
+                // the client re-attached to the existing job.
+                Ok(Submitted { id, cells, cost, deduped }) => {
+                    let extra = if deduped { ",\"deduped\":true" } else { "" };
+                    let body =
+                        format!("{{\"job\":\"{id}\",\"cells\":{cells},\"cost\":{cost}{extra}}}\n");
+                    let status = if deduped { 200 } else { 201 };
+                    write_response(w, status, "application/json", body.as_bytes())
                 }
                 Err(e) => write_error(w, &e),
             }
@@ -809,9 +987,8 @@ mod tests {
     use super::*;
     use crate::http;
 
-    fn test_cfg(workers: usize) -> (ServeConfig, PathBuf) {
-        let dir =
-            std::env::temp_dir().join(format!("fgdram_serve_t_{}_{workers}", std::process::id()));
+    fn test_cfg(workers: usize, tag: &str) -> (ServeConfig, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("fgdram_serve_t_{}_{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let cfg = ServeConfig { workers, spool_dir: dir.clone(), ..ServeConfig::default() };
         (cfg, dir)
@@ -831,7 +1008,7 @@ mod tests {
 
     #[test]
     fn submit_run_report_round_trip() {
-        let (cfg, dir) = test_cfg(2);
+        let (cfg, dir) = test_cfg(2, "roundtrip");
         let (server, addr, h) = start(cfg);
         let resp =
             http::request(&addr, "POST", "/jobs", &[], small_spec(2, 1500).as_bytes()).unwrap();
@@ -860,7 +1037,7 @@ mod tests {
 
     #[test]
     fn admission_rejects_are_typed() {
-        let (mut cfg, dir) = test_cfg(1);
+        let (mut cfg, dir) = test_cfg(1, "admission");
         cfg.max_job_cost = 2_000_000;
         cfg.max_queued_cells = 3; // any 2-workload job (4 cells) can never fit
         cfg.tenant_max_inflight = 1;
@@ -905,7 +1082,7 @@ mod tests {
 
     #[test]
     fn drr_lets_a_small_tenant_through_a_big_backlog() {
-        let (mut cfg, dir) = test_cfg(1); // single worker: strict ordering
+        let (mut cfg, dir) = test_cfg(1, "drr"); // single worker: strict ordering
         cfg.quantum = 2_000;
         let (server, addr, h) = start(cfg);
         // Tenant A queues a long job, then tenant B a short one.
@@ -942,7 +1119,7 @@ mod tests {
 
     #[test]
     fn cancel_and_restart_resume_from_spool() {
-        let (cfg, dir) = test_cfg(1);
+        let (cfg, dir) = test_cfg(1, "resume");
         let spool_dir = cfg.spool_dir.clone();
         let (server, addr, h) = start(cfg.clone());
         let r = http::request(&addr, "POST", "/jobs", &[], small_spec(3, 1200).as_bytes()).unwrap();
@@ -984,8 +1161,112 @@ mod tests {
     }
 
     #[test]
+    fn overload_sheds_with_a_retry_after_hint() {
+        let (mut cfg, dir) = test_cfg(1, "shed");
+        cfg.shed_cost = 1_000; // any real job's backlog cost exceeds this
+        let (server, addr, h) = start(cfg);
+        let r =
+            http::request(&addr, "POST", "/jobs", &[], small_spec(1, 100_000).as_bytes()).unwrap();
+        assert_eq!(r.status, 429);
+        assert!(r.headers.iter().any(|(k, _)| k == "retry-after"), "{:?}", r.headers);
+        let body = String::from_utf8(r.into_body().unwrap()).unwrap();
+        assert!(body.contains("\"code\":\"overloaded\""), "{body}");
+        let stats = http::request(&addr, "GET", "/stats", &[], b"").unwrap();
+        let stats = String::from_utf8(stats.into_body().unwrap()).unwrap();
+        assert!(stats.contains("\"overload\":1"), "{stats}");
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn idempotency_key_dedupes_across_retries_and_restarts() {
+        let (cfg, dir) = test_cfg(2, "idem");
+        let spool_dir = cfg.spool_dir.clone();
+        let (server, addr, h) = start(cfg.clone());
+        let key = [("X-Job-Key", "release-42")];
+        let r =
+            http::request(&addr, "POST", "/jobs", &key, small_spec(1, 1500).as_bytes()).unwrap();
+        assert_eq!(r.status, 201, "first submit creates");
+        assert!(String::from_utf8(r.into_body().unwrap()).unwrap().contains("\"job\":\"j1\""));
+        // The retried submit (same tenant, same key) re-attaches.
+        let r =
+            http::request(&addr, "POST", "/jobs", &key, small_spec(1, 1500).as_bytes()).unwrap();
+        assert_eq!(r.status, 200, "dedup hit is 200, not 201");
+        let body = String::from_utf8(r.into_body().unwrap()).unwrap();
+        assert!(body.contains("\"job\":\"j1\"") && body.contains("\"deduped\":true"), "{body}");
+        // A different tenant with the same key is a different job.
+        let r = http::request(
+            &addr,
+            "POST",
+            "/jobs",
+            &[("X-Job-Key", "release-42"), ("X-Tenant", "other")],
+            small_spec(1, 1500).as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(r.status, 201);
+        let stats = http::request(&addr, "GET", "/stats", &[], b"").unwrap();
+        let stats = String::from_utf8(stats.into_body().unwrap()).unwrap();
+        assert!(stats.contains("\"deduped\":1"), "{stats}");
+        let report = http::request(&addr, "GET", "/jobs/j1/report", &[], b"").unwrap();
+        assert_eq!(report.status, 200);
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        drop(server);
+        // The key survives the restart via the spool header: the same
+        // retried submit still lands on j1, even though j1 is finished.
+        let (server2, addr2, h2) = start(cfg);
+        let r =
+            http::request(&addr2, "POST", "/jobs", &key, small_spec(1, 1500).as_bytes()).unwrap();
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.into_body().unwrap()).unwrap();
+        assert!(body.contains("\"job\":\"j1\"") && body.contains("\"deduped\":true"), "{body}");
+        server2.shutdown();
+        h2.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(spool_dir);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn reset_chaos_drops_connections_before_reading() {
+        let (mut cfg, dir) = test_cfg(1, "reset");
+        cfg.chaos = ChaosSpec::parse("reset=1").unwrap();
+        cfg.chaos_seed = 7;
+        let (server, addr, h) = start(cfg);
+        // Every connection is dropped without a response; the client
+        // sees a dead socket, not a hang and not a daemon crash.
+        for _ in 0..3 {
+            assert!(http::request(&addr, "GET", "/healthz", &[], b"").is_err());
+        }
+        let chaos = server.shared.chaos.as_ref().expect("chaos engaged");
+        assert!(chaos.stats.reset.load(Ordering::Relaxed) >= 3);
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn slow_loris_is_cut_off_with_a_typed_408() {
+        let (mut cfg, dir) = test_cfg(1, "loris");
+        cfg.read_timeout = Duration::from_millis(150);
+        let (server, addr, h) = start(cfg);
+        // Send half a request line and then stall forever.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"GET /stats HT").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 408 "), "{resp}");
+        assert!(resp.contains("\"code\":\"timeout\""), "{resp}");
+        let timeouts = server.shared.m.lock().unwrap().stats.timeouts;
+        assert_eq!(timeouts, 1);
+        server.shutdown();
+        h.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn telemetry_streams_in_cell_order() {
-        let (cfg, dir) = test_cfg(2);
+        let (cfg, dir) = test_cfg(2, "telemetry");
         let (server, addr, h) = start(cfg);
         let body = "suite=compute\nwarmup=200\nwindow=1500\nmax_workloads=1\n\
                     telemetry=1\nepoch=500\n";

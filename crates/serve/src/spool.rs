@@ -1,4 +1,5 @@
-//! Job spooling: per-cell checkpoints that survive a daemon kill.
+//! Job spooling: per-cell checkpoints that survive a daemon kill — and,
+//! since v2, survive a *lying disk*.
 //!
 //! Every completed cell is appended to `<spool>/<job>.ckpt` — the cell's
 //! [`SimReport`] (floats as exact IEEE-754 bit patterns, so a resumed
@@ -6,26 +7,52 @@
 //! JSONL. A restarted daemon reloads every unfinished spool file,
 //! restores the completed cells, and re-enqueues only the missing ones.
 //!
-//! The format is line-based and append-only; each cell record is closed
-//! by an `end <index>` line, so a record cut short by `kill -9` is
-//! simply discarded on load (that cell re-runs — correct, just not
-//! free). Terminal markers (`done` / `failed ...` / `canceled`) make
-//! finished jobs re-attachable after a restart without re-running
-//! anything.
+//! The format is line-based and append-only. Each cell record closes
+//! with an `end <index> <crc32>` line whose checksum covers the whole
+//! record body, so the loader can tell three failure shapes apart:
+//!
+//! - **truncated** (kill -9 or a short write mid-append): the record is
+//!   structurally incomplete — skipped, the cell re-runs;
+//! - **corrupted** (bit rot, torn sector): the record parses but its CRC
+//!   disagrees — skipped, the cell re-runs. Without the CRC a flipped
+//!   digit inside a float's hex bit pattern would *decode successfully
+//!   into the wrong number* and poison the resumed report silently;
+//! - **duplicated** (an append retried after an unreported success): the
+//!   last valid record for a cell wins, and the duplicate is counted.
+//!
+//! A bad record never ends parsing: the loader resyncs to the next
+//! record boundary and keeps going, so one corrupt middle record costs
+//! one cell, not every record after it. Every record is also preceded by
+//! a guard newline, so a short-written record cannot glue itself onto
+//! the next one's `cell` line. Skip/duplicate counts are surfaced on
+//! [`LoadedJob`] and logged, never silently swallowed.
+//!
+//! Terminal markers (`done` / `failed ...` / `canceled`) make finished
+//! jobs re-attachable after a restart without re-running anything; a
+//! corrupted marker line degrades to "still in progress", the safe
+//! direction.
+//!
+//! Disk-fault injection: when the spool carries a [`Chaos`] engine
+//! (`--chaos` with `ckpt-*` rates), each append draws a seeded
+//! [`DiskPlan`] — fail outright (ENOSPC-style), write a short prefix, or
+//! flip bytes *after* the CRC was computed so the loader must catch it.
 
 use std::fs;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use fgdram_core::report::{FaultSummary, SimReport};
 use fgdram_core::suite::SuiteSpec;
 use fgdram_energy::meter::{EnergyBreakdown, EnergyPerBit};
+use fgdram_faults::crc32;
 use fgdram_model::config::DramKind;
 use fgdram_model::units::{GbPerSec, Picojoules, PjPerBit};
 
+use crate::chaos::{Chaos, DiskPlan};
 use crate::spec;
 
-const MAGIC: &str = "fgdram-serve-ckpt-v1";
+const MAGIC: &str = "fgdram-serve-ckpt-v2";
 
 /// One persisted (and in-memory) completed cell.
 #[derive(Debug, Clone)]
@@ -64,53 +91,75 @@ pub struct LoadedJob {
     pub id: String,
     /// Owning tenant.
     pub tenant: String,
+    /// The client-supplied idempotency key, if the submit carried one.
+    pub key: Option<String>,
     /// The job spec.
     pub spec: SuiteSpec,
     /// Input-order cell table; `None` cells still need to run.
     pub cells: Vec<Option<Artifact>>,
     /// Terminal state, if the job had reached one.
     pub status: SpoolStatus,
+    /// Records discarded on load (truncated, corrupt, or unparseable).
+    pub skipped_records: u64,
+    /// Valid records that re-wrote an already-loaded cell (last wins).
+    pub duplicate_records: u64,
 }
 
 /// The spool directory.
 #[derive(Debug, Clone)]
 pub struct Spool {
     dir: PathBuf,
+    chaos: Option<Arc<Chaos>>,
 }
 
 /// Append handle for one job's checkpoint file.
 #[derive(Debug)]
 pub struct CkptWriter {
     w: BufWriter<fs::File>,
+    chaos: Option<Arc<Chaos>>,
 }
 
 impl Spool {
-    /// Opens (creating if needed) the spool directory.
+    /// Opens (creating if needed) the spool directory. `chaos` carries
+    /// the daemon's fault-injection engine; appends draw their
+    /// [`DiskPlan`] from it (pass `None` for a faithful spool).
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
-    pub fn open(dir: &Path) -> io::Result<Self> {
+    pub fn open(dir: &Path, chaos: Option<Arc<Chaos>>) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        Ok(Spool { dir: dir.to_path_buf() })
+        Ok(Spool { dir: dir.to_path_buf(), chaos })
     }
 
     fn path_for(&self, id: &str) -> PathBuf {
         self.dir.join(format!("{id}.ckpt"))
     }
 
-    /// Creates the checkpoint file for a newly admitted job.
+    /// Creates the checkpoint file for a newly admitted job. `key` is
+    /// the client's idempotency key, persisted so a restarted daemon
+    /// still deduplicates resubmits.
     ///
     /// # Errors
     ///
     /// Propagates file I/O failures.
-    pub fn create(&self, id: &str, tenant: &str, spec: &SuiteSpec) -> io::Result<CkptWriter> {
+    pub fn create(
+        &self,
+        id: &str,
+        tenant: &str,
+        key: Option<&str>,
+        spec: &SuiteSpec,
+    ) -> io::Result<CkptWriter> {
         let file = fs::File::create(self.path_for(id))?;
         let mut w = BufWriter::new(file);
         let spec_line = spec::render(spec).trim_end().replace('\n', ";");
-        write!(w, "{MAGIC}\nid {id}\ntenant {}\nspec {spec_line}\n", esc(tenant))?;
+        write!(w, "{MAGIC}\nid {id}\ntenant {}\n", esc(tenant))?;
+        if let Some(k) = key {
+            writeln!(w, "key {}", esc(k))?;
+        }
+        writeln!(w, "spec {spec_line}")?;
         w.flush()?;
-        Ok(CkptWriter { w })
+        Ok(CkptWriter { w, chaos: self.chaos.clone() })
     }
 
     /// Reopens a resumed job's checkpoint file for appending.
@@ -120,12 +169,13 @@ impl Spool {
     /// Propagates file I/O failures.
     pub fn reopen(&self, id: &str) -> io::Result<CkptWriter> {
         let file = fs::OpenOptions::new().append(true).open(self.path_for(id))?;
-        Ok(CkptWriter { w: BufWriter::new(file) })
+        Ok(CkptWriter { w: BufWriter::new(file), chaos: self.chaos.clone() })
     }
 
     /// Loads every parseable job in the spool directory, sorted by id.
     /// Unreadable or foreign files are skipped with a stderr warning —
-    /// a corrupt spool entry must not keep the daemon from starting.
+    /// a corrupt spool entry must not keep the daemon from starting —
+    /// and per-job skip/duplicate counts are logged the same way.
     pub fn load_all(&self) -> Vec<LoadedJob> {
         let mut out = Vec::new();
         let Ok(entries) = fs::read_dir(&self.dir) else { return out };
@@ -135,8 +185,25 @@ impl Spool {
             .collect();
         paths.sort();
         for p in paths {
-            match fs::read_to_string(&p).map_err(|e| e.to_string()).and_then(|s| parse_ckpt(&s)) {
-                Ok(job) => out.push(job),
+            // Lossy decode: corruption can leave invalid UTF-8 inside one
+            // record, and that must cost that record (its CRC fails on
+            // the replacement bytes), not the whole file.
+            match fs::read(&p)
+                .map_err(|e| e.to_string())
+                .and_then(|b| parse_ckpt(&String::from_utf8_lossy(&b)))
+            {
+                Ok(job) => {
+                    if job.skipped_records > 0 || job.duplicate_records > 0 {
+                        eprintln!(
+                            "fgdram-serve: spool {}: skipped {} bad record(s), \
+                             deduplicated {} (affected cells re-run)",
+                            p.display(),
+                            job.skipped_records,
+                            job.duplicate_records
+                        );
+                    }
+                    out.push(job);
+                }
                 Err(e) => eprintln!("fgdram-serve: skipping spool file {}: {e}", p.display()),
             }
         }
@@ -146,22 +213,61 @@ impl Spool {
 
 impl CkptWriter {
     /// Appends one completed cell and flushes, so the record survives a
-    /// kill arriving any time after this returns.
+    /// kill arriving any time after this returns. The record body is
+    /// CRC-checked end to end; a guard newline in front keeps a
+    /// previously short-written record from gluing onto this one.
     ///
     /// # Errors
     ///
-    /// Propagates file I/O failures.
+    /// Propagates file I/O failures (including injected ENOSPC-style
+    /// chaos failures). A failed append loses only this record: the
+    /// cell's result stays in memory and simply re-runs after a
+    /// restart.
     pub fn append_cell(&mut self, index: usize, artifact: &Artifact) -> io::Result<()> {
-        writeln!(self.w, "cell {index}")?;
-        writeln!(self.w, "report {}", encode_report(&artifact.report))?;
+        let mut rec = format!("cell {index}\nreport {}\n", encode_report(&artifact.report));
         match &artifact.jsonl {
             Some(j) => {
-                writeln!(self.w, "jsonl {}", j.lines().count())?;
-                self.w.write_all(j.as_bytes())?;
+                rec.push_str(&format!("jsonl {}\n", j.lines().count()));
+                rec.push_str(j);
+                if !j.ends_with('\n') {
+                    rec.push('\n');
+                }
             }
-            None => writeln!(self.w, "notelemetry")?,
+            None => rec.push_str("notelemetry\n"),
         }
-        writeln!(self.w, "end {index}")?;
+        let crc = crc32(rec.as_bytes());
+        rec.push_str(&format!("end {index} {crc:08x}\n"));
+        let mut bytes = Vec::with_capacity(rec.len() + 1);
+        bytes.push(b'\n'); // guard newline: isolates us from a prior short write
+        bytes.extend_from_slice(rec.as_bytes());
+        let plan = match &self.chaos {
+            Some(c) => c.disk_plan(bytes.len()),
+            None => DiskPlan::None,
+        };
+        match plan {
+            DiskPlan::None => self.w.write_all(&bytes)?,
+            DiskPlan::Enospc => {
+                return Err(io::Error::other("chaos: spool append failed (ENOSPC-style)"));
+            }
+            // A short write models a torn append: the prefix lands, the
+            // writer never learns. The loader discards the partial
+            // record, so the cell re-runs — correct, just not free.
+            DiskPlan::Short { keep } => self.w.write_all(&bytes[..keep.min(bytes.len())])?,
+            DiskPlan::Corrupt { flips, mut dice } => {
+                // Flip bytes AFTER the CRC went in: the loader must
+                // catch this, or a resumed report silently lies.
+                dice.corrupt_bytes(&mut bytes, flips);
+                self.w.write_all(&bytes)?;
+            }
+        }
+        self.w.flush()
+    }
+
+    fn append_marker(&mut self, marker: &str) -> io::Result<()> {
+        // Same guard newline as cell records; markers are single short
+        // lines and carry no CRC — a corrupted marker degrades to "still
+        // in progress", which only costs re-running, never wrong output.
+        write!(self.w, "\n{marker}\n")?;
         self.w.flush()
     }
 
@@ -171,8 +277,7 @@ impl CkptWriter {
     ///
     /// Propagates file I/O failures.
     pub fn mark_done(&mut self) -> io::Result<()> {
-        writeln!(self.w, "done")?;
-        self.w.flush()
+        self.append_marker("done")
     }
 
     /// Appends the terminal marker for a failed job.
@@ -181,8 +286,7 @@ impl CkptWriter {
     ///
     /// Propagates file I/O failures.
     pub fn mark_failed(&mut self, code: &str, exit_code: u8, message: &str) -> io::Result<()> {
-        writeln!(self.w, "failed {code} {exit_code} {}", esc(message))?;
-        self.w.flush()
+        self.append_marker(&format!("failed {code} {exit_code} {}", esc(message)))
     }
 
     /// Appends the terminal marker for a cancelled job.
@@ -191,86 +295,174 @@ impl CkptWriter {
     ///
     /// Propagates file I/O failures.
     pub fn mark_canceled(&mut self) -> io::Result<()> {
-        writeln!(self.w, "canceled")?;
-        self.w.flush()
+        self.append_marker("canceled")
     }
 }
 
-fn parse_ckpt(s: &str) -> Result<LoadedJob, String> {
-    let mut lines = s.lines();
-    if lines.next() != Some(MAGIC) {
-        return Err("missing magic header".to_string());
+/// True when `line` starts a new top-level element — where the loader
+/// resyncs to after a bad record.
+fn is_boundary(line: &str) -> bool {
+    line.starts_with("cell ") || line == "done" || line == "canceled" || line.starts_with("failed ")
+}
+
+/// Parses one cell record starting at `lines[i]` (which starts with
+/// `"cell "`). Returns the cell index, artifact, and the line index just
+/// past the record. Structure is validated first, then the CRC, and only
+/// then is the report decoded — so corruption is caught even when the
+/// mangled bytes would still decode.
+fn parse_record(
+    lines: &[&str],
+    i: usize,
+    total: usize,
+) -> Result<(usize, Artifact, usize), String> {
+    let index: usize = lines[i]
+        .strip_prefix("cell ")
+        .and_then(|r| r.trim().parse().ok())
+        .ok_or("bad cell line")?;
+    if index >= total {
+        return Err(format!("cell index {index} out of range (job has {total})"));
     }
-    let take = |lines: &mut std::str::Lines<'_>, key: &str| -> Result<String, String> {
-        lines
-            .next()
+    let mut j = i + 1;
+    let report_line =
+        lines.get(j).and_then(|l| l.strip_prefix("report ")).ok_or("missing report line")?;
+    j += 1;
+    let jsonl_lines: Option<std::ops::Range<usize>> = match lines.get(j) {
+        Some(&"notelemetry") => {
+            j += 1;
+            None
+        }
+        Some(l) if l.starts_with("jsonl ") => {
+            let n: usize =
+                l["jsonl ".len()..].trim().parse().map_err(|_| "bad jsonl count".to_string())?;
+            j += 1;
+            if j.checked_add(n).is_none_or(|end| end > lines.len()) {
+                return Err("truncated jsonl block".to_string());
+            }
+            let range = j..j + n;
+            j += n;
+            Some(range)
+        }
+        _ => return Err("missing telemetry line".to_string()),
+    };
+    let end = lines.get(j).ok_or("missing end line")?;
+    let mut it = end.strip_prefix("end ").ok_or("missing end line")?.split(' ');
+    let end_index: usize =
+        it.next().and_then(|v| v.parse().ok()).ok_or("bad end index".to_string())?;
+    let crc_stored: u32 = it
+        .next()
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or("missing record crc".to_string())?;
+    if end_index != index {
+        return Err(format!("end index {end_index} does not match cell {index}"));
+    }
+    let mut content = String::new();
+    for l in &lines[i..j] {
+        content.push_str(l);
+        content.push('\n');
+    }
+    let crc_actual = crc32(content.as_bytes());
+    if crc_actual != crc_stored {
+        return Err(format!("crc mismatch (stored {crc_stored:08x}, actual {crc_actual:08x})"));
+    }
+    // CRC passed, so any decode failure here is a writer bug — still
+    // skip rather than poison.
+    let report = decode_report(report_line).ok_or("undecodable report")?;
+    let jsonl = jsonl_lines.map(|range| {
+        let mut buf = String::new();
+        for l in &lines[range] {
+            buf.push_str(l);
+            buf.push('\n');
+        }
+        buf
+    });
+    Ok((index, Artifact { report, jsonl }, j + 1))
+}
+
+fn parse_ckpt(s: &str) -> Result<LoadedJob, String> {
+    let lines: Vec<&str> = s.lines().collect();
+    if lines.first().copied() != Some(MAGIC) {
+        return Err(format!("missing or foreign magic header (want {MAGIC})"));
+    }
+    let mut i = 1;
+    let mut take = |key: &str| -> Result<String, String> {
+        let v = lines
+            .get(i)
             .and_then(|l| l.strip_prefix(key))
             .map(|v| v.trim().to_string())
-            .ok_or_else(|| format!("missing '{key}' header"))
+            .ok_or_else(|| format!("missing '{key}' header"))?;
+        i += 1;
+        Ok(v)
     };
-    let id = take(&mut lines, "id ")?;
-    let tenant = unesc(&take(&mut lines, "tenant ")?);
-    let spec_line = take(&mut lines, "spec ")?.replace(';', "\n");
+    let id = take("id ")?;
+    let tenant = unesc(&take("tenant ")?);
+    let key = match lines.get(i).and_then(|l| l.strip_prefix("key ")) {
+        Some(v) => {
+            i += 1;
+            Some(unesc(v.trim()))
+        }
+        None => None,
+    };
+    let spec_line = {
+        let v = lines
+            .get(i)
+            .and_then(|l| l.strip_prefix("spec "))
+            .map(|v| v.trim().to_string())
+            .ok_or("missing 'spec ' header")?;
+        i += 1;
+        v.replace(';', "\n")
+    };
     let spec = spec::parse(&spec_line).map_err(|e| format!("spec: {e}"))?;
     let total = spec.cell_count();
     let mut cells: Vec<Option<Artifact>> = (0..total).map(|_| None).collect();
     let mut status = SpoolStatus::InProgress;
-    // Cell records: any truncated trailing record fails one of the
-    // steps below and is discarded (the loop simply ends).
-    while let Some(line) = lines.next() {
-        if let Some(rest) = line.strip_prefix("cell ") {
-            let Ok(index) = rest.trim().parse::<usize>() else { break };
-            if index >= total {
-                break;
-            }
-            let Some(report_line) = lines.next().and_then(|l| l.strip_prefix("report ")) else {
-                break;
-            };
-            let Some(report) = decode_report(report_line) else { break };
-            let jsonl = match lines.next() {
-                Some("notelemetry") => None,
-                Some(l) if l.starts_with("jsonl ") => {
-                    let Ok(n) = l["jsonl ".len()..].trim().parse::<usize>() else { break };
-                    let mut buf = String::new();
-                    let mut ok = true;
-                    for _ in 0..n {
-                        match lines.next() {
-                            Some(j) => {
-                                buf.push_str(j);
-                                buf.push('\n');
-                            }
-                            None => {
-                                ok = false;
-                                break;
-                            }
-                        }
+    let mut skipped_records = 0u64;
+    let mut duplicate_records = 0u64;
+    // One bad record skips to the next boundary; it never ends parsing.
+    while i < lines.len() {
+        let line = lines[i];
+        if line.is_empty() {
+            i += 1; // guard newline between records
+        } else if line.starts_with("cell ") {
+            match parse_record(&lines, i, total) {
+                Ok((index, artifact, next)) => {
+                    if cells[index].is_some() {
+                        duplicate_records += 1;
                     }
-                    if !ok {
-                        break;
-                    }
-                    Some(buf)
+                    cells[index] = Some(artifact);
+                    i = next;
                 }
-                _ => break,
-            };
-            if lines.next() != Some(format!("end {index}").as_str()) {
-                break;
+                Err(_) => {
+                    skipped_records += 1;
+                    i += 1;
+                    while i < lines.len() && !is_boundary(lines[i]) {
+                        i += 1;
+                    }
+                }
             }
-            cells[index] = Some(Artifact { report, jsonl });
         } else if line == "done" {
             status = SpoolStatus::Done;
+            i += 1;
         } else if line == "canceled" {
             status = SpoolStatus::Canceled;
+            i += 1;
         } else if let Some(rest) = line.strip_prefix("failed ") {
             let mut it = rest.splitn(3, ' ');
             let code = it.next().unwrap_or("internal").to_string();
             let exit_code = it.next().and_then(|v| v.parse().ok()).unwrap_or(1);
             let message = unesc(it.next().unwrap_or(""));
             status = SpoolStatus::Failed { code, exit_code, message };
+            i += 1;
         } else {
-            break;
+            // Orphan garbage (e.g. the tail of a short write): one skip,
+            // then resync.
+            skipped_records += 1;
+            i += 1;
+            while i < lines.len() && !is_boundary(lines[i]) {
+                i += 1;
+            }
         }
     }
-    Ok(LoadedJob { id, tenant, spec, cells, status })
+    Ok(LoadedJob { id, tenant, key, spec, cells, status, skipped_records, duplicate_records })
 }
 
 /// Percent-escapes the characters the line format reserves.
@@ -410,6 +602,7 @@ pub fn decode_report(line: &str) -> Option<SimReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosSpec;
     use fgdram_core::suite::SuiteKind;
 
     fn sample_report(seedish: u64) -> SimReport {
@@ -449,6 +642,23 @@ mod tests {
         }
     }
 
+    fn test_spec() -> SuiteSpec {
+        SuiteSpec {
+            which: SuiteKind::Compute,
+            warmup: 100,
+            window: 400,
+            max_workloads: Some(2),
+            telemetry_epoch: None,
+        }
+    }
+
+    fn tmp_spool(tag: &str) -> (PathBuf, Spool) {
+        let dir = std::env::temp_dir().join(format!("fgdram_spool_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spool = Spool::open(&dir, None).expect("open spool");
+        (dir, spool)
+    }
+
     #[test]
     fn report_round_trip_preserves_every_bit() {
         for i in 0..4 {
@@ -462,17 +672,9 @@ mod tests {
 
     #[test]
     fn ckpt_survives_truncation_and_resumes_partial() {
-        let dir = std::env::temp_dir().join(format!("fgdram_spool_test_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let spool = Spool::open(&dir).expect("open spool");
-        let spec = SuiteSpec {
-            which: SuiteKind::Compute,
-            warmup: 100,
-            window: 400,
-            max_workloads: Some(2),
-            telemetry_epoch: None,
-        };
-        let mut w = spool.create("j7", "ten ant", &spec).expect("create");
+        let (dir, spool) = tmp_spool("trunc");
+        let spec = test_spec();
+        let mut w = spool.create("j7", "ten ant", None, &spec).expect("create");
         let a0 =
             Artifact { report: sample_report(0), jsonl: Some("{\"x\":1}\n{\"x\":2}\n".into()) };
         let a2 = Artifact { report: sample_report(1), jsonl: None };
@@ -488,48 +690,49 @@ mod tests {
         assert_eq!(jobs.len(), 1);
         let j = &jobs[0];
         assert_eq!((j.id.as_str(), j.tenant.as_str()), ("j7", "ten ant"));
+        assert_eq!(j.key, None);
         assert_eq!(j.spec, spec);
         assert_eq!(j.status, SpoolStatus::InProgress);
         assert_eq!(j.cells.len(), 4);
         assert!(j.cells[0].is_some() && j.cells[2].is_some());
         assert!(j.cells[1].is_none() && j.cells[3].is_none(), "truncated record discarded");
+        assert_eq!(j.skipped_records, 1);
         assert_eq!(j.cells[0].as_ref().unwrap().jsonl.as_deref(), Some("{\"x\":1}\n{\"x\":2}\n"));
-        // Resume appends through reopen; a done marker then loads as Done.
+        // A marker appended after the garbage is still honoured: the
+        // loader resyncs past the truncated record instead of giving up.
         let mut w = spool.reopen("j7").expect("reopen");
-        // Overwrite the truncated garbage is not needed: append after it
-        // is unreachable on load, so re-append the missing cells cleanly.
         w.mark_failed("stall", 5, "no forward progress at t=9").expect("failed marker");
         drop(w);
-        // The truncated line still ends parsing before the marker — the
-        // job stays resumable, which is the safe direction.
         let jobs = spool.load_all();
-        assert_eq!(jobs[0].status, SpoolStatus::InProgress);
+        assert_eq!(
+            jobs[0].status,
+            SpoolStatus::Failed {
+                code: "stall".into(),
+                exit_code: 5,
+                message: "no forward progress at t=9".into()
+            }
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn terminal_markers_round_trip() {
-        let dir = std::env::temp_dir().join(format!("fgdram_spool_term_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let spool = Spool::open(&dir).expect("open spool");
-        let spec = SuiteSpec {
-            which: SuiteKind::Compute,
-            warmup: 1,
-            window: 2,
-            max_workloads: Some(1),
-            telemetry_epoch: None,
-        };
-        let mut w = spool.create("j1", "a", &spec).unwrap();
+    fn terminal_markers_and_key_round_trip() {
+        let (dir, spool) = tmp_spool("term");
+        let spec = test_spec();
+        let mut w = spool.create("j1", "a", Some("order%66 retry"), &spec).unwrap();
         w.append_cell(0, &Artifact { report: sample_report(0), jsonl: None }).unwrap();
         w.append_cell(1, &Artifact { report: sample_report(1), jsonl: None }).unwrap();
         w.mark_done().unwrap();
-        let mut w = spool.create("j2", "a", &spec).unwrap();
+        let mut w = spool.create("j2", "a", None, &spec).unwrap();
         w.mark_failed("protocol", 4, "boom boom").unwrap();
-        let mut w = spool.create("j3", "a", &spec).unwrap();
+        let mut w = spool.create("j3", "a", None, &spec).unwrap();
         w.mark_canceled().unwrap();
         let jobs = spool.load_all();
         assert_eq!(jobs.len(), 3);
         assert_eq!(jobs[0].status, SpoolStatus::Done);
+        assert_eq!(jobs[0].key.as_deref(), Some("order%66 retry"), "idempotency key survives");
+        assert_eq!(jobs[0].skipped_records, 0);
+        assert_eq!(jobs[0].duplicate_records, 0);
         assert_eq!(
             jobs[1].status,
             SpoolStatus::Failed {
@@ -538,7 +741,138 @@ mod tests {
                 message: "boom boom".into()
             }
         );
+        assert_eq!(jobs[1].key, None);
         assert_eq!(jobs[2].status, SpoolStatus::Canceled);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_skipped_without_poisoning_the_rest() {
+        let (dir, spool) = tmp_spool("corrupt");
+        let spec = test_spec();
+        let mut w = spool.create("j4", "a", None, &spec).unwrap();
+        for i in 0..3 {
+            w.append_cell(i, &Artifact { report: sample_report(i as u64), jsonl: None }).unwrap();
+        }
+        w.mark_done().unwrap();
+        drop(w);
+        // Flip one decimal digit of the MIDDLE record's retired count:
+        // without the CRC this would decode cleanly into the wrong
+        // number — the silent-poisoning failure v1 had.
+        let path = dir.join("j4.ckpt");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let honest = format!("retired={}", sample_report(1).retired);
+        let lying = format!("retired={}", sample_report(1).retired + 50);
+        assert_eq!(body.matches(&honest).count(), 1);
+        std::fs::write(&path, body.replace(&honest, &lying)).unwrap();
+        let jobs = spool.load_all();
+        let j = &jobs[0];
+        assert_eq!(j.skipped_records, 1, "corrupt record skipped, not trusted");
+        assert!(j.cells[1].is_none(), "the lying cell re-runs");
+        assert!(j.cells[0].is_some() && j.cells[2].is_some(), "neighbours survive");
+        assert_eq!(j.status, SpoolStatus::Done, "marker after the corruption still parsed");
+        assert_eq!(
+            format!("{:?}", j.cells[2].as_ref().unwrap().report),
+            format!("{:?}", sample_report(2)),
+            "surviving cells are bit-exact"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_records_dedupe_last_valid_wins() {
+        let (dir, spool) = tmp_spool("dup");
+        let spec = test_spec();
+        let mut w = spool.create("j5", "a", None, &spec).unwrap();
+        // An append retried after an unreported success: same cell twice.
+        w.append_cell(1, &Artifact { report: sample_report(7), jsonl: None }).unwrap();
+        w.append_cell(1, &Artifact { report: sample_report(8), jsonl: None }).unwrap();
+        drop(w);
+        let jobs = spool.load_all();
+        let j = &jobs[0];
+        assert_eq!(j.duplicate_records, 1);
+        assert_eq!(j.skipped_records, 0);
+        assert_eq!(
+            format!("{:?}", j.cells[1].as_ref().unwrap().report),
+            format!("{:?}", sample_report(8)),
+            "last valid record wins"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_truncation_prefix_loads_safely() {
+        let (dir, spool) = tmp_spool("sweep");
+        let spec = test_spec();
+        let mut w = spool.create("j6", "a", None, &spec).unwrap();
+        for i in 0..4 {
+            let jsonl = (i % 2 == 0).then(|| "{\"epoch\":1}\n".to_string());
+            w.append_cell(i, &Artifact { report: sample_report(i as u64), jsonl }).unwrap();
+        }
+        w.mark_done().unwrap();
+        drop(w);
+        let path = dir.join("j6.ckpt");
+        let full = std::fs::read(&path).unwrap();
+        // Every kill -9 point: any prefix must load without panicking,
+        // and every cell it does restore must be bit-exact.
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            for j in spool.load_all() {
+                for (i, cell) in j.cells.iter().enumerate() {
+                    if let Some(a) = cell {
+                        assert_eq!(
+                            format!("{:?}", a.report),
+                            format!("{:?}", sample_report(i as u64)),
+                            "prefix {cut}: restored cell {i} must be bit-exact"
+                        );
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_disk_faults_never_corrupt_a_loaded_cell() {
+        let dir =
+            std::env::temp_dir().join(format!("fgdram_spool_chaosdisk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let chaos = Arc::new(Chaos::new(
+            ChaosSpec::parse("ckpt-corrupt=0.3,ckpt-short=0.25,ckpt-enospc=0.2").unwrap(),
+            4242,
+        ));
+        let spool = Spool::open(&dir, Some(chaos.clone())).expect("open spool");
+        let spec = test_spec();
+        let mut w = spool.create("j8", "a", None, &spec).unwrap();
+        let mut enospc_seen = 0;
+        // Retry loop, like the server after a failed append: keep
+        // re-appending each cell until one append reports success.
+        for round in 0..12 {
+            for i in 0..4 {
+                let jsonl = (i == 0).then(|| "{\"epoch\":1}\n{\"epoch\":2}\n".to_string());
+                let art = Artifact { report: sample_report(i as u64), jsonl };
+                if w.append_cell(i, &art).is_err() {
+                    enospc_seen += 1;
+                }
+            }
+            let _ = round;
+        }
+        drop(w);
+        let jobs = spool.load_all();
+        let j = &jobs[0];
+        let total_bad = chaos.stats.ckpt_corrupt.load(std::sync::atomic::Ordering::Relaxed)
+            + chaos.stats.ckpt_short.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(total_bad > 0, "chaos actually injected disk faults");
+        assert!(enospc_seen > 0, "ENOSPC-style appends surfaced as errors");
+        assert!(j.skipped_records > 0 || j.duplicate_records > 0, "loader saw the damage");
+        for (i, cell) in j.cells.iter().enumerate() {
+            let a = cell.as_ref().expect("12 rounds outlast the fault rates");
+            assert_eq!(
+                format!("{:?}", a.report),
+                format!("{:?}", sample_report(i as u64)),
+                "cell {i}: loaded record is bit-exact or absent, never wrong"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,32 +4,50 @@
 //! fgdram-client submit --suite compute|graphics [--addr HOST:PORT]
 //!               [--tenant NAME] [--warmup NS] [--window NS]
 //!               [--max-workloads N] [--telemetry PATH] [--epoch NS]
-//!               [--no-wait]
-//! fgdram-client status  JOB [--addr HOST:PORT]
-//! fgdram-client report  JOB [--addr HOST:PORT]
-//! fgdram-client cancel  JOB [--addr HOST:PORT]
-//! fgdram-client stats       [--addr HOST:PORT]
+//!               [--no-wait] [--job-key KEY]
+//!               [--retries N] [--retry-base-ms N] [--deadline-ms N]
+//! fgdram-client status  JOB [--addr HOST:PORT] [retry flags]
+//! fgdram-client report  JOB [--addr HOST:PORT] [retry flags]
+//! fgdram-client cancel  JOB [--addr HOST:PORT] [retry flags]
+//! fgdram-client stats       [--addr HOST:PORT] [retry flags]
 //! ```
 //!
 //! `submit` waits for the job: telemetry (when requested) streams into
 //! `--telemetry PATH` as epochs arrive, then the final report — the
 //! exact bytes `fgdram_sim suite` would print — goes to stdout.
 //!
+//! Transient failures retry automatically: connection errors, torn
+//! responses, 408 (server read deadline), 429 (overload shed; the
+//! `Retry-After` hint is honoured) and 503 retry with exponential
+//! backoff plus jitter, up to `--retries` attempts (default 4) within
+//! the optional `--deadline-ms` total budget. Resubmission is safe
+//! because every retried submit carries the same `X-Job-Key`
+//! idempotency key (auto-generated unless `--job-key` pins one): a
+//! duplicate submit re-attaches to the original job instead of running
+//! it twice. `--retries 0` disables all retrying.
+//!
 //! Exit codes mirror a local `fgdram_sim` run where one exists:
 //! simulation failures keep their codes 3-7, and the serving layer adds
-//! 8 (over budget), 9 (queue/quota backpressure or daemon shutdown) and
-//! 10 (job cancelled). Transport failures exit 6, usage errors 2.
+//! 6 (transport/timeout), 8 (over budget), 9 (backpressure/overload or
+//! daemon shutdown) and 10 (job cancelled). Usage errors exit 2.
 
 use std::fs::File;
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-use fgdram_serve::http::{self, Response};
+use fgdram_model::rng::SmallRng;
+use fgdram_serve::http;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7733";
+const DEFAULT_RETRIES: u32 = 4;
+const DEFAULT_BASE_MS: u64 = 100;
+/// Backoff sleeps never exceed this, whatever `Retry-After` says.
+const MAX_BACKOFF_MS: u64 = 5_000;
 
 const USAGE: &str = "usage: fgdram-client <submit|status|report|cancel|stats> [args] \
-                     [--addr HOST:PORT]  (see --help per command)";
+                     [--addr HOST:PORT] [--retries N] [--retry-base-ms N] [--deadline-ms N] \
+                     (see --help per command)";
 
 fn fail_usage(msg: &str) -> ExitCode {
     eprintln!("fgdram-client: {msg}\n{USAGE}");
@@ -60,40 +78,155 @@ fn fail_http(context: &str, status: u16, body: &[u8]) -> ExitCode {
     ExitCode::from(code.min(255) as u8)
 }
 
+/// Retry policy plus the mutable state one command invocation threads
+/// through every request it makes (jitter stream, total deadline).
+struct Retry {
+    retries: u32,
+    base_ms: u64,
+    deadline: Option<Instant>,
+    rng: SmallRng,
+}
+
+impl Retry {
+    fn new(retries: u32, base_ms: u64, deadline_ms: u64) -> Retry {
+        let now_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        Retry {
+            retries,
+            base_ms: base_ms.max(1),
+            deadline: (deadline_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(deadline_ms)),
+            // Wall-clock xor pid: retries only need *decorrelated* jitter
+            // across concurrent clients, not reproducibility.
+            rng: SmallRng::seed_from_u64(now_ns ^ (u64::from(std::process::id()) << 32)),
+        }
+    }
+
+    /// The backoff sleep before retry number `attempt` (1-based):
+    /// exponential in the attempt with up to 50% added jitter, floored
+    /// by the server's `Retry-After` hint and capped at
+    /// [`MAX_BACKOFF_MS`].
+    fn delay(&mut self, attempt: u32, retry_after_s: Option<u64>) -> Duration {
+        let exp = self.base_ms.saturating_mul(1u64 << attempt.min(10));
+        let jitter = self.rng.random_range(0..exp / 2 + 1);
+        let hinted = retry_after_s.map_or(0, |s| s.saturating_mul(1000));
+        Duration::from_millis(exp.saturating_add(jitter).max(hinted).min(MAX_BACKOFF_MS))
+    }
+
+    /// `true` if a sleep of `d` still fits inside the total deadline.
+    fn fits(&self, d: Duration) -> bool {
+        self.deadline.is_none_or(|dl| Instant::now() + d < dl)
+    }
+}
+
+/// A fully-read response: status plus body.
+struct Reply {
+    status: u16,
+    body: Vec<u8>,
+}
+
+/// Whether a failed request is worth retrying: the three statuses the
+/// server uses for transient conditions (read deadline, overload shed,
+/// shutting down). Transport errors always retry — the job key makes
+/// resubmission idempotent.
+fn retryable_status(status: u16) -> bool {
+    matches!(status, 408 | 429 | 503)
+}
+
+/// Issues `method path` and reads the whole response, retrying
+/// transient failures per the [`Retry`] policy. Non-retryable HTTP
+/// errors come back as an `Ok` reply for the caller's normal handling;
+/// `Err` means the transport failed on every attempt.
+fn fetch(
+    r: &mut Retry,
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<Reply> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = http::request(addr, method, path, headers, body).and_then(|resp| {
+            let status = resp.status;
+            let retry_after = resp.header("retry-after").and_then(|v| v.parse::<u64>().ok());
+            let body = resp.into_body()?;
+            Ok((Reply { status, body }, retry_after))
+        });
+        let (why, retry_after) = match outcome {
+            Ok((reply, retry_after)) => {
+                if !retryable_status(reply.status) || attempt >= r.retries {
+                    return Ok(reply);
+                }
+                (format!("HTTP {}", reply.status), retry_after)
+            }
+            Err(e) => {
+                if attempt >= r.retries {
+                    return Err(e);
+                }
+                (e.to_string(), None)
+            }
+        };
+        attempt += 1;
+        let d = r.delay(attempt, retry_after);
+        if !r.fits(d) {
+            return Err(std::io::Error::other(format!(
+                "deadline exhausted after {attempt} attempt(s); last failure: {why}"
+            )));
+        }
+        eprintln!(
+            "fgdram-client: {method} {path}: {why}; retry {attempt}/{} in {}ms",
+            r.retries,
+            d.as_millis()
+        );
+        std::thread::sleep(d);
+    }
+}
+
 struct Common {
     addr: String,
+    retry: Retry,
     positional: Vec<String>,
 }
 
-/// Splits `--addr` (and `--tenant`, returned separately by `submit`)
-/// from positional arguments for the simple commands.
+/// Splits `--addr` and the retry flags from positional arguments.
 fn parse_common(args: &[String]) -> Result<Common, String> {
     let mut addr = DEFAULT_ADDR.to_string();
+    let mut retries = DEFAULT_RETRIES;
+    let mut base_ms = DEFAULT_BASE_MS;
+    let mut deadline_ms = 0u64;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--addr" {
-            addr = it.next().ok_or("--addr needs a value")?.clone();
-        } else if a.starts_with("--") {
-            return Err(format!("unknown flag {a}"));
+        if a.starts_with("--") {
+            let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+            match a.as_str() {
+                "--addr" => addr = v.clone(),
+                "--retries" => retries = v.parse().map_err(|e| format!("--retries {v}: {e}"))?,
+                "--retry-base-ms" => {
+                    base_ms = v.parse().map_err(|e| format!("--retry-base-ms {v}: {e}"))?;
+                }
+                "--deadline-ms" => {
+                    deadline_ms = v.parse().map_err(|e| format!("--deadline-ms {v}: {e}"))?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
         } else {
             positional.push(a.clone());
         }
     }
-    Ok(Common { addr, positional })
+    Ok(Common { addr, retry: Retry::new(retries, base_ms, deadline_ms), positional })
 }
 
-fn print_body(resp: Response, context: &str) -> ExitCode {
-    let status = resp.status;
-    match resp.into_body() {
-        Ok(body) if (200..300).contains(&status) => {
-            let mut out = std::io::stdout();
-            let _ = out.write_all(&body);
-            let _ = out.flush();
-            ExitCode::SUCCESS
-        }
-        Ok(body) => fail_http(context, status, &body),
-        Err(e) => fail_io(context, &e),
+fn print_reply(reply: Reply, context: &str) -> ExitCode {
+    if (200..300).contains(&reply.status) {
+        let mut out = std::io::stdout();
+        let _ = out.write_all(&reply.body);
+        let _ = out.flush();
+        ExitCode::SUCCESS
+    } else {
+        fail_http(context, reply.status, &reply.body)
     }
 }
 
@@ -103,7 +236,7 @@ fn simple(
     path_of: impl Fn(&str) -> String,
     args: &[String],
 ) -> ExitCode {
-    let c = match parse_common(args) {
+    let mut c = match parse_common(args) {
         Ok(c) => c,
         Err(m) => return fail_usage(&m),
     };
@@ -118,8 +251,8 @@ fn simple(
         }
         path_of("")
     };
-    match http::request(&c.addr, method, &path, &[], b"") {
-        Ok(resp) => print_body(resp, &path),
+    match fetch(&mut c.retry, &c.addr, method, &path, &[], b"") {
+        Ok(reply) => print_reply(reply, &path),
         Err(e) => fail_io(&format!("{method} {path} on {}", c.addr), &e),
     }
 }
@@ -130,6 +263,10 @@ fn submit(args: &[String]) -> ExitCode {
     let mut suite: Option<String> = None;
     let mut spec_pairs: Vec<(String, String)> = Vec::new();
     let mut telemetry_path: Option<String> = None;
+    let mut job_key: Option<String> = None;
+    let mut retries = DEFAULT_RETRIES;
+    let mut base_ms = DEFAULT_BASE_MS;
+    let mut deadline_ms = 0u64;
     let mut wait = true;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -149,12 +286,33 @@ fn submit(args: &[String]) -> ExitCode {
             "--max-workloads" => spec_pairs.push(("max_workloads".into(), value.clone())),
             "--epoch" => spec_pairs.push(("epoch".into(), value.clone())),
             "--telemetry" => telemetry_path = Some(value.clone()),
+            "--job-key" => job_key = Some(value.clone()),
+            "--retries" => match value.parse() {
+                Ok(n) => retries = n,
+                Err(e) => return fail_usage(&format!("--retries {value}: {e}")),
+            },
+            "--retry-base-ms" => match value.parse() {
+                Ok(n) => base_ms = n,
+                Err(e) => return fail_usage(&format!("--retry-base-ms {value}: {e}")),
+            },
+            "--deadline-ms" => match value.parse() {
+                Ok(n) => deadline_ms = n,
+                Err(e) => return fail_usage(&format!("--deadline-ms {value}: {e}")),
+            },
             other => return fail_usage(&format!("unknown flag {other}")),
         }
     }
     let Some(suite) = suite else {
         return fail_usage("submit requires --suite compute|graphics");
     };
+    let mut retry = Retry::new(retries, base_ms, deadline_ms);
+    // Resubmission is only safe with an idempotency key: if the first
+    // submit succeeded but its response was lost, the retry must attach
+    // to the existing job, not start a second one. Generate a key when
+    // retries are possible and the caller did not pin one.
+    let job_key = job_key.or_else(|| {
+        (retries > 0).then(|| format!("cli-{:016x}", retry.rng.random_range(0..u64::MAX)))
+    });
     let mut body = format!("suite={suite}\n");
     for (k, v) in &spec_pairs {
         body.push_str(&format!("{k}={v}\n"));
@@ -166,54 +324,98 @@ fn submit(args: &[String]) -> ExitCode {
     if let Some(t) = &tenant {
         headers.push(("X-Tenant", t));
     }
-    let resp = match http::request(&addr, "POST", "/jobs", &headers, body.as_bytes()) {
+    if let Some(k) = &job_key {
+        headers.push(("X-Job-Key", k));
+    }
+    let reply = match fetch(&mut retry, &addr, "POST", "/jobs", &headers, body.as_bytes()) {
         Ok(r) => r,
         Err(e) => return fail_io(&format!("POST /jobs on {addr}"), &e),
     };
-    let status = resp.status;
-    let submit_body = match resp.into_body() {
-        Ok(b) => b,
-        Err(e) => return fail_io("submit response", &e),
-    };
-    if status != 201 {
-        return fail_http("submit", status, &submit_body);
+    // 201 is a fresh job; 200 means the idempotency key matched an
+    // earlier submit (our own lost-response retry, typically) and we
+    // re-attached to it.
+    if reply.status != 201 && reply.status != 200 {
+        return fail_http("submit", reply.status, &reply.body);
     }
-    let submit_body = String::from_utf8_lossy(&submit_body).into_owned();
+    let submit_body = String::from_utf8_lossy(&reply.body).into_owned();
     let Some(job) = submit_body.split("\"job\":\"").nth(1).and_then(|s| s.split('"').next()) else {
         eprintln!("fgdram-client: malformed submit response: {submit_body}");
         return ExitCode::from(1);
     };
-    eprintln!("fgdram-client: submitted {job} ({})", submit_body.trim_end());
+    let attached = if submit_body.contains("\"deduped\":true") { " (deduped)" } else { "" };
+    eprintln!("fgdram-client: submitted {job}{attached} ({})", submit_body.trim_end());
     if !wait {
         println!("{job}");
         return ExitCode::SUCCESS;
     }
     if let Some(path) = &telemetry_path {
-        let mut file = match File::create(path) {
-            Ok(f) => f,
-            Err(e) => return fail_io(&format!("create {path}"), &e),
-        };
         let tpath = format!("/jobs/{job}/telemetry");
-        match http::request(&addr, "GET", &tpath, &[], b"") {
-            Ok(resp) if resp.status == 200 => {
-                // Chunks land in the file as epochs complete server-side.
-                match resp.stream_body(|chunk| file.write_all(chunk)) {
-                    Ok(n) => eprintln!("fgdram-client: telemetry: {n} bytes -> {path}"),
-                    Err(e) => return fail_io("telemetry stream", &e),
-                }
-            }
-            Ok(resp) => {
-                let status = resp.status;
-                let body = resp.into_body().unwrap_or_default();
-                return fail_http("telemetry", status, &body);
-            }
+        match stream_telemetry(&mut retry, &addr, &tpath, path) {
+            Ok(code) if code != ExitCode::SUCCESS => return code,
+            Ok(_) => {}
             Err(e) => return fail_io(&format!("GET {tpath}"), &e),
         }
     }
     let rpath = format!("/jobs/{job}/report");
-    match http::request(&addr, "GET", &rpath, &[], b"") {
-        Ok(resp) => print_body(resp, "report"),
+    match fetch(&mut retry, &addr, "GET", &rpath, &[], b"") {
+        Ok(reply) => print_reply(reply, "report"),
         Err(e) => fail_io(&format!("GET {rpath}"), &e),
+    }
+}
+
+/// Streams telemetry to `out_path`, retrying the whole stream on a
+/// mid-stream transport failure. Each attempt recreates the file, so a
+/// torn stream never leaves a silently truncated telemetry log behind.
+fn stream_telemetry(
+    r: &mut Retry,
+    addr: &str,
+    tpath: &str,
+    out_path: &str,
+) -> std::io::Result<ExitCode> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome: std::io::Result<Result<usize, Reply>> =
+            http::request(addr, "GET", tpath, &[], b"").and_then(|resp| {
+                if resp.status != 200 {
+                    let status = resp.status;
+                    let body = resp.into_body()?;
+                    return Ok(Err(Reply { status, body }));
+                }
+                let mut file = File::create(out_path)?;
+                // Chunks land in the file as epochs complete server-side.
+                resp.stream_body(|chunk| file.write_all(chunk)).map(Ok)
+            });
+        let why = match outcome {
+            Ok(Ok(n)) => {
+                eprintln!("fgdram-client: telemetry: {n} bytes -> {out_path}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            Ok(Err(reply)) => {
+                if !retryable_status(reply.status) || attempt >= r.retries {
+                    return Ok(fail_http("telemetry", reply.status, &reply.body));
+                }
+                format!("HTTP {}", reply.status)
+            }
+            Err(e) => {
+                if attempt >= r.retries {
+                    return Err(e);
+                }
+                e.to_string()
+            }
+        };
+        attempt += 1;
+        let d = r.delay(attempt, None);
+        if !r.fits(d) {
+            return Err(std::io::Error::other(format!(
+                "deadline exhausted after {attempt} attempt(s); last failure: {why}"
+            )));
+        }
+        eprintln!(
+            "fgdram-client: GET {tpath}: {why}; retry {attempt}/{} in {}ms",
+            r.retries,
+            d.as_millis()
+        );
+        std::thread::sleep(d);
     }
 }
 

@@ -9,21 +9,31 @@
 //! fgdram-serve [--addr IP] [--port N] [--spool DIR] [--workers N]
 //!              [--max-queued-cells N] [--max-job-cost NS]
 //!              [--tenant-inflight N] [--quantum NS]
+//!              [--read-timeout-ms N] [--write-timeout-ms N]
+//!              [--shed-cost NS] [--chaos SPEC] [--chaos-seed N]
 //! ```
 //!
 //! With `--port 0` the OS picks a free port; the daemon prints
 //! `fgdram-serve: listening on IP:PORT` to stdout either way, which is
 //! what `ci.sh` and the integration tests parse.
+//!
+//! `SIGTERM`/`SIGINT` drain gracefully: cells already running finish and
+//! are checkpointed, queued cells stay in the spool for the next start,
+//! and the process exits 0. `--chaos` engages the seeded wire/disk fault
+//! layer (see DESIGN.md "Failure model of the serving layer").
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
-use fgdram_serve::{ServeConfig, Server};
+use fgdram_serve::{ChaosSpec, ServeConfig, Server};
 
 const USAGE: &str = "usage: fgdram-serve [--addr IP] [--port N] [--spool DIR] [--workers N] \
                      [--max-queued-cells N] [--max-job-cost NS] [--tenant-inflight N] \
-                     [--quantum NS]";
+                     [--quantum NS] [--read-timeout-ms N] [--write-timeout-ms N] \
+                     [--shed-cost NS] [--chaos SPEC] [--chaos-seed N]";
 
 fn parse_args(args: &[String]) -> Result<(String, ServeConfig), String> {
     let mut addr = "127.0.0.1".to_string();
@@ -47,11 +57,51 @@ fn parse_args(args: &[String]) -> Result<(String, ServeConfig), String> {
             "--max-job-cost" => cfg.max_job_cost = num("--max-job-cost")?,
             "--tenant-inflight" => cfg.tenant_max_inflight = num("--tenant-inflight")? as usize,
             "--quantum" => cfg.quantum = num("--quantum")?,
+            "--read-timeout-ms" => {
+                cfg.read_timeout = Duration::from_millis(num("--read-timeout-ms")?)
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout = Duration::from_millis(num("--write-timeout-ms")?)
+            }
+            "--shed-cost" => cfg.shed_cost = num("--shed-cost")?,
+            "--chaos" => {
+                cfg.chaos = ChaosSpec::parse(value).map_err(|e| format!("--chaos: {e}"))?
+            }
+            "--chaos-seed" => cfg.chaos_seed = num("--chaos-seed")?,
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
+    if cfg.read_timeout.is_zero() || cfg.write_timeout.is_zero() {
+        return Err("timeouts must be positive (zero would disable the deadline)".to_string());
+    }
     Ok((format!("{addr}:{port}"), cfg))
 }
+
+/// Set by the signal handler; polled by the drain watcher thread.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+// Minimal signal hookup without any registry dependency. The handler
+// does the only thing an async-signal-safe handler may: flip a flag.
+// (The library crates forbid unsafe; binaries carry the single FFI shim.)
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_term(_sig: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_term as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,8 +112,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let chaos_engaged = !cfg.chaos.is_noop();
+    let chaos_seed = cfg.chaos_seed;
     let server = match Server::bind(cfg, &bind_addr) {
-        Ok(s) => s,
+        Ok(s) => std::sync::Arc::new(s),
         Err(e) => {
             eprintln!("fgdram-serve: bind {bind_addr}: {e}");
             return ExitCode::from(6);
@@ -80,9 +132,33 @@ fn main() -> ExitCode {
             return ExitCode::from(6);
         }
     }
+    if chaos_engaged {
+        eprintln!("fgdram-serve: CHAOS ENGAGED (seed {chaos_seed}) — injecting seeded faults");
+    }
+    install_signal_handlers();
+    // Drain watcher: on SIGTERM/SIGINT, stop accepting and shut the
+    // worker pool down gracefully — running cells finish and checkpoint,
+    // queued cells stay in the spool for the next start.
+    let drainer = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || loop {
+            if TERMINATE.load(Ordering::SeqCst) {
+                eprintln!("fgdram-serve: draining (running cells finish and checkpoint)");
+                server.shutdown();
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+    };
     if let Err(e) = server.serve() {
         eprintln!("fgdram-serve: accept loop: {e}");
         return ExitCode::from(6);
+    }
+    if TERMINATE.load(Ordering::SeqCst) {
+        // The accept loop ended because the drainer shut us down; wait
+        // for the drain to complete so checkpoints are flushed.
+        let _ = drainer.join();
+        eprintln!("fgdram-serve: drained, exiting");
     }
     ExitCode::SUCCESS
 }

@@ -209,3 +209,237 @@ fn kill_dash_nine_then_restart_resumes_without_recompute() {
     drop(daemon);
     let _ = std::fs::remove_dir_all(spool);
 }
+
+// ---------------------------------------------------------------------------
+// Chaos hardening: seeded fuzz, wire/disk fault injection, graceful drain.
+// ---------------------------------------------------------------------------
+
+use fgdram_model::rng::SmallRng;
+
+/// A valid request to mutate from: well-formed submit with a body.
+const FUZZ_BASE: &[u8] =
+    b"POST /jobs HTTP/1.1\r\ncontent-length: 14\r\nx-tenant: fuzz\r\n\r\nsuite=compute\n";
+
+/// Seeded request mutator: each draw picks one corruption family, so the
+/// corpus covers oversized headers, bogus framing numbers, NUL bytes,
+/// truncations, and plain byte garbage.
+fn mutate_request(rng: &mut SmallRng) -> Vec<u8> {
+    let mut buf = FUZZ_BASE.to_vec();
+    match rng.random_range(0..7u64) {
+        0 => {
+            // Oversized header line (way past any sane limit).
+            let pad = "a".repeat(64 * 1024);
+            buf = format!("GET /stats HTTP/1.1\r\nx-pad: {pad}\r\n\r\n").into_bytes();
+        }
+        1 => {
+            // Non-numeric / absurd content-length.
+            let cl = if rng.random_bool(0.5) { "banana" } else { "999999999999999999999999" };
+            buf = format!("POST /jobs HTTP/1.1\r\ncontent-length: {cl}\r\n\r\nhi").into_bytes();
+        }
+        2 => {
+            // Content-length larger than the bytes we actually send.
+            buf = b"POST /jobs HTTP/1.1\r\ncontent-length: 5000\r\n\r\nshort".to_vec();
+        }
+        3 => {
+            // NUL bytes sprayed through the request.
+            for _ in 0..rng.random_range(1..8) {
+                let at = rng.random_index(buf.len());
+                buf[at] = 0;
+            }
+        }
+        4 => {
+            // Truncation at an arbitrary byte.
+            buf.truncate(rng.random_index(buf.len()) + 1);
+        }
+        5 => {
+            // Bogus chunked framing (bad chunk-size digits).
+            buf = b"POST /jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nZZZZ\r\njunk\r\n0\r\n\r\n"
+                .to_vec();
+        }
+        _ => {
+            // Random byte garbling.
+            for _ in 0..rng.random_range(1..12) {
+                let at = rng.random_index(buf.len());
+                buf[at] ^= rng.random_range(1..256) as u8;
+            }
+        }
+    }
+    buf
+}
+
+/// In-process half of the fuzz loop: the request parser itself must never
+/// panic, whatever bytes arrive. (Cheap, so it runs a big corpus.)
+#[test]
+fn request_parser_survives_a_seeded_mutation_corpus() {
+    let mut rng = SmallRng::seed_from_u64(0xF022);
+    for _ in 0..500 {
+        let buf = mutate_request(&mut rng);
+        let mut cursor = std::io::Cursor::new(buf);
+        // Ok or a typed error are both fine; only a panic fails the test.
+        let _ = fgdram_serve::http::read_request(&mut cursor);
+    }
+}
+
+/// Live-daemon half: malformed requests over a real socket get a typed
+/// response (or a clean close), and the daemon stays alive throughout.
+#[test]
+fn daemon_survives_malformed_requests_over_the_wire() {
+    use std::io::{Read as _, Write as _};
+    let spool = tmp_dir("fuzzwire");
+    let daemon = Daemon::start(&spool, &["--read-timeout-ms", "400", "--write-timeout-ms", "2000"]);
+    let mut rng = SmallRng::seed_from_u64(0xF0221);
+    for i in 0..60 {
+        let buf = mutate_request(&mut rng);
+        let mut s = std::net::TcpStream::connect(&daemon.addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = s.write_all(&buf);
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut resp = Vec::new();
+        let _ = s.read_to_end(&mut resp);
+        if !resp.is_empty() {
+            assert!(
+                resp.starts_with(b"HTTP/1.1 "),
+                "iteration {i}: non-HTTP response: {:?}",
+                String::from_utf8_lossy(&resp[..resp.len().min(80)])
+            );
+            let status: u16 = String::from_utf8_lossy(&resp[9..12]).parse().unwrap_or(0);
+            assert!(
+                (400..500).contains(&status),
+                "iteration {i}: malformed input answered {status}"
+            );
+        }
+    }
+    // The daemon must still be healthy after the whole corpus.
+    let out = daemon.client(&["stats", "--retries", "2"]);
+    assert!(
+        out.status.success(),
+        "daemon died under fuzz: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = String::from_utf8(out.stdout).unwrap();
+    assert!(stats.contains("\"malformed\":"), "stats: {stats}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(spool);
+}
+
+/// The tentpole acceptance gate: under seeded wire chaos (torn requests,
+/// connection resets, mid-response disconnects) plus disk chaos on the
+/// spool, a retrying client still gets the exact CLI bytes.
+#[test]
+fn served_report_is_byte_identical_under_seeded_chaos_with_retries() {
+    let spool = tmp_dir("chaoswire");
+    let daemon = Daemon::start(
+        &spool,
+        &[
+            "--chaos",
+            "torn=0.3,reset=0.3,disconnect=0.2,ckpt-corrupt=0.3,ckpt-short=0.2",
+            "--chaos-seed",
+            "20250807",
+            "--read-timeout-ms",
+            "2000",
+        ],
+    );
+    let reference = cli_report("3");
+    let out = daemon.client(&submit_args(&["--retries", "16", "--retry-base-ms", "10"]));
+    assert!(
+        out.status.success(),
+        "client failed under chaos: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let served = String::from_utf8(out.stdout).expect("served report is UTF-8");
+    assert_eq!(served, reference, "chaos changed the served bytes");
+    // The injected faults are visible in /stats: the run was not clean.
+    let out = daemon.client(&["stats", "--retries", "16", "--retry-base-ms", "10"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stats = String::from_utf8(out.stdout).unwrap();
+    assert!(stats.contains("\"chaos\":"), "chaos counters missing from stats: {stats}");
+    let injected: u64 = ["\"torn\":", "\"reset\":", "\"disconnect\":"]
+        .iter()
+        .filter_map(|k| {
+            stats.split(k).nth(1).and_then(|s| {
+                s.split(|c: char| !c.is_ascii_digit()).next().and_then(|d| d.parse::<u64>().ok())
+            })
+        })
+        .sum();
+    assert!(injected > 0, "no wire faults actually injected: {stats}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(spool);
+}
+
+/// `kill -9` while disk chaos corrupts and tears checkpoint records: the
+/// restarted (clean) daemon skips damaged records, recomputes those
+/// cells, and still serves the exact CLI bytes.
+#[test]
+fn kill_dash_nine_under_disk_chaos_still_resumes_byte_identical() {
+    let spool = tmp_dir("chaosdisk");
+    let reference = cli_report("2");
+    let daemon = Daemon::start(
+        &spool,
+        &["--workers", "1", "--chaos", "ckpt-corrupt=0.5,ckpt-short=0.3", "--chaos-seed", "777"],
+    );
+    let out = daemon.client(&submit_args(&["--no-wait"]));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let job = String::from_utf8(out.stdout).unwrap().trim().to_string();
+    // Let several (possibly damaged) records land, then SIGKILL.
+    let ckpt = spool.join(format!("{job}.ckpt"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        // Lossy read: chaos corruption can make the spool non-UTF-8.
+        let ends = std::fs::read(&ckpt)
+            .map(|b| String::from_utf8_lossy(&b).lines().filter(|l| l.starts_with("end ")).count())
+            .unwrap_or(0);
+        if ends >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no cells checkpointed within 60s");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    drop(daemon); // SIGKILL
+                  // Restart with chaos off: the loader faces the damaged spool.
+    let daemon = Daemon::start(&spool, &["--workers", "1"]);
+    let out = daemon.client(&["report", &job]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let served = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(served, reference, "resumed-after-disk-chaos report differs from the CLI bytes");
+    let out = daemon.client(&["stats"]);
+    assert!(out.status.success());
+    let stats = String::from_utf8(out.stdout).unwrap();
+    assert!(stats.contains("\"skipped_records\":"), "stats: {stats}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(spool);
+}
+
+/// SIGTERM drains gracefully: the running cell finishes and checkpoints,
+/// the process exits 0, and a restart completes the job byte-identically.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_gracefully_and_a_restart_completes_the_job() {
+    let spool = tmp_dir("drain");
+    let reference = cli_report("2");
+    let mut daemon = Daemon::start(&spool, &["--workers", "1"]);
+    let out = daemon.client(&submit_args(&["--no-wait"]));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let job = String::from_utf8(out.stdout).unwrap().trim().to_string();
+    // Wait until the job is underway, then ask for a graceful stop.
+    let ckpt = spool.join(format!("{job}.ckpt"));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "job never started within 60s");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let kill = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success(), "kill -TERM failed");
+    let status = daemon.child.wait().expect("wait for drained daemon");
+    assert_eq!(status.code(), Some(0), "drain must exit 0, got {status:?}");
+    // The drained spool resumes cleanly and the job completes.
+    let daemon = Daemon::start(&spool, &["--workers", "1"]);
+    let out = daemon.client(&["report", &job]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let served = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(served, reference, "post-drain report differs from the CLI bytes");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(spool);
+}
