@@ -29,12 +29,17 @@ cargo test -q --test golden_identity
 echo "== smoke: perf snapshot writes valid v1-schema JSON =="
 # The integration test spawns `perf-snapshot --smoke` and validates the
 # output with the tests/common JSON validator; run the binary once more
-# by hand so ci logs carry the smoke numbers.
+# by hand so ci logs carry the smoke numbers. The --compare guard fails
+# the build when any cell collapses below 0.6x the checked-in smoke
+# floors (BENCH_baseline.json, min-of-N on the CI host; the slack
+# absorbs the host's wall-clock drift without letting a real engine
+# regression through).
 cargo test -q --test perf_snapshot
 snap="$(mktemp /tmp/fgdram_ci_snapshot.XXXXXX.json)"
 sdir="$(mktemp -d /tmp/fgdram_ci_serve.XXXXXX)"
 trap 'rm -f "$snap"; rm -rf "$sdir"; [ -n "${serve_pid:-}" ] && kill -9 "$serve_pid" 2>/dev/null; true' EXIT
-timeout 300 target/release/perf-snapshot --smoke --out "$snap"
+timeout 300 target/release/perf-snapshot --smoke --repeat 3 --out "$snap" \
+    --compare BENCH_baseline.json --fail-below 0.6
 grep -q '"schema": "fgdram-perf-snapshot-v1"' "$snap"
 
 echo "== smoke: fault storm terminates typed, no panic, no hang =="

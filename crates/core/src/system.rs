@@ -232,19 +232,26 @@ impl SystemBuilder {
             gpu,
             l2,
             events: EventWheel::new(),
-            fill_dest: FxHashMap::default(),
-            retry_reqs: VecDeque::new(),
-            l2_blocked: VecDeque::new(),
-            access_buf: Vec::new(),
-            completion_buf: Vec::new(),
-            wb_buf: Vec::new(),
+            // Pre-size every steady-state container to its backpressure
+            // bound so the step loop never grows them: `fill_dest` tracks
+            // outstanding misses (bounded by the MSHR count), the retry
+            // queues are capped by MAX_RETRY / MAX_L2_BLOCKED.
+            fill_dest: FxHashMap::with_capacity_and_hasher(16_384, Default::default()),
+            retry_reqs: VecDeque::with_capacity(MAX_RETRY),
+            l2_blocked: VecDeque::with_capacity(MAX_L2_BLOCKED),
+            access_buf: Vec::with_capacity(256),
+            completion_buf: Vec::with_capacity(256),
+            // Matches the L2's own writeback reserve: the two buffers swap
+            // on every drain, so both must start at the steady capacity.
+            wb_buf: Vec::with_capacity(4096),
+            waiter_buf: Vec::with_capacity(1024),
             now: 0,
             next_req: 0,
             ctrl_next: 0,
             last_issue: 0,
             telemetry: None,
             faults,
-            retry_attempts: FxHashMap::default(),
+            retry_attempts: FxHashMap::with_capacity_and_hasher(64, Default::default()),
             watchdog_ns,
             progress_sig: 0,
             progress_at: 0,
@@ -307,6 +314,8 @@ pub struct System {
     completion_buf: Vec<fgdram_model::cmd::Completion>,
     /// Reusable drain buffer for L2 writebacks (no per-step allocation).
     wb_buf: Vec<PhysAddr>,
+    /// Reusable buffer for MSHR waiter tokens (no per-fill allocation).
+    waiter_buf: Vec<u64>,
     now: Ns,
     next_req: u64,
     ctrl_next: Ns,
@@ -475,9 +484,12 @@ impl System {
                     if let Some(sector) = self.fill_dest.remove(&req.0) {
                         let xbar = self.gpu_cfg.xbar_latency;
                         let core = self.gpu_cfg.core_latency;
-                        for token in self.l2.fill_done(sector) {
+                        let mut waiters = std::mem::take(&mut self.waiter_buf);
+                        self.l2.fill_done_into(sector, &mut waiters);
+                        for &token in &waiters {
                             self.schedule(now + xbar + core, Event::Wake(token));
                         }
+                        self.waiter_buf = waiters;
                     }
                 }
                 Event::Wake(token) => {

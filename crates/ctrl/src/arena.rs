@@ -1,0 +1,265 @@
+//! Per-channel request arena: fixed-capacity FIFO rings carved from one
+//! flat slab.
+//!
+//! The scheduler used to keep one `VecDeque<Pending>` per (bank,
+//! direction) — on FGDRAM that is 2048 independently growing heap buffers
+//! per stack. [`RequestArena`] allocates one slab per channel sized by the
+//! admission-control depths, and [`FifoRing`] runs each bank queue as a
+//! circular window over its fixed slab segment: enqueue/dequeue never
+//! touch the allocator, so the steady-state step loop is allocation-free
+//! by construction.
+//!
+//! Three earlier layouts measured worse than what they replaced:
+//!
+//! * intrusive `next`/`prev` links through a shared slot slab — every
+//!   scan step chased a pointer into an unpredictable line, and ordinal
+//!   `get`/`remove` re-walked the chain;
+//! * rings of `u32` slot indices into the slab — O(1) ordinal access, but
+//!   each scan entry still cost an extra dependent load into a slab whose
+//!   layout the LIFO free list scrambles over time;
+//! * *circular* inline rings — contiguous scans, but a FIFO's head
+//!   marches through the whole worst-case-sized segment over time, so a
+//!   queue that only ever holds a handful of live entries still cycles
+//!   its footprint through kilobytes of slab per bank.
+//!
+//! The layout that finally wins stores the requests inline in a
+//! *sliding* window: the live block `[start, start+len)` is always
+//! contiguous (scans are plain slice iteration, exactly the access
+//! pattern `VecDeque` wins with), pop-front just advances `start`, and
+//! when the tail reaches the segment end the live block — small, by the
+//! same argument — slides back to offset 0 with one `copy_within`. The
+//! hot footprint of each queue stays proportional to its *live* size, not
+//! its worst-case capacity, while the storage itself never grows.
+//!
+//! Capacity discipline: admission control bounds a channel's live reads
+//! and writes to `read_queue_depth` / `write_buffer_depth`, and any one
+//! bank may transiently hold a whole direction's worth — so each ring's
+//! capacity is the full per-direction depth and [`FifoRing::push_back`]
+//! asserts rather than grows.
+
+use crate::scheduler::Pending;
+
+/// One channel's request slab; every [`FifoRing`] of the channel owns a
+/// fixed segment of `buf`.
+#[derive(Debug)]
+pub(crate) struct RequestArena {
+    buf: Vec<Pending>,
+    next: u32,
+}
+
+impl RequestArena {
+    /// A slab with room for `total` queued requests, pre-filled with
+    /// `fill` (rings only ever read positions they have written).
+    pub fn with_capacity(total: usize, fill: Pending) -> Self {
+        RequestArena { buf: vec![fill; total], next: 0 }
+    }
+
+    /// Carves the next `cap`-entry ring segment out of the slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the segments requested exceed what `with_capacity`
+    /// sized.
+    pub fn new_ring(&mut self, cap: usize) -> FifoRing {
+        let off = self.next;
+        self.next += cap as u32;
+        assert!(
+            self.next as usize <= self.buf.len(),
+            "RequestArena::new_ring past the pre-sized slab"
+        );
+        FifoRing { off, cap: cap as u32, start: 0, len: 0 }
+    }
+}
+
+/// FIFO queue over a fixed [`RequestArena`] segment, live block always
+/// contiguous at `[start, start+len)`. Copyable handle — the backing slab
+/// always comes in as an explicit argument, so one struct can own many
+/// rings plus the shared arena without borrow fights.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FifoRing {
+    off: u32,
+    cap: u32,
+    start: u32,
+    len: u32,
+}
+
+impl FifoRing {
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Physical slab position of ordinal `i`.
+    #[inline]
+    fn pos(self, i: u32) -> usize {
+        (self.off + self.start + i) as usize
+    }
+
+    /// The live block as a slice.
+    #[inline]
+    fn live(self, arena: &RequestArena) -> &[Pending] {
+        &arena.buf[self.pos(0)..self.pos(self.len)]
+    }
+
+    /// Appends at the tail, sliding the live block back to the segment
+    /// start when the tail has drifted to the segment end.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ring is full — admission control keeps the live
+    /// population strictly below every ring's capacity.
+    pub fn push_back(&mut self, arena: &mut RequestArena, p: Pending) {
+        assert!(self.len < self.cap, "FifoRing full: admission control breached");
+        if self.start + self.len == self.cap {
+            // Amortized: one record copy per element per lap of the
+            // segment, and the block is small whenever laps are frequent.
+            arena.buf.copy_within(self.pos(0)..self.pos(self.len), self.off as usize);
+            self.start = 0;
+        }
+        arena.buf[self.pos(self.len)] = p;
+        self.len += 1;
+    }
+
+    /// The oldest entry, if any.
+    pub fn front(self, arena: &RequestArena) -> Option<&Pending> {
+        self.get(arena, 0)
+    }
+
+    /// The entry `ordinal` positions from the front, O(1).
+    pub fn get(self, arena: &RequestArena, ordinal: usize) -> Option<&Pending> {
+        if ordinal >= self.len as usize {
+            return None;
+        }
+        Some(&arena.buf[self.pos(ordinal as u32)])
+    }
+
+    /// Removes and returns the entry `ordinal` positions from the front,
+    /// shifting whichever side of the live block is shorter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ordinal >= len` (callers index entries they just
+    /// scanned).
+    pub fn remove_at(&mut self, arena: &mut RequestArena, ordinal: usize) -> Pending {
+        let len = self.len as usize;
+        assert!(ordinal < len, "FifoRing::remove_at past the tail");
+        let removed = arena.buf[self.pos(ordinal as u32)];
+        if ordinal < len / 2 {
+            // Shift the front portion forward by one, then advance start.
+            arena.buf.copy_within(self.pos(0)..self.pos(ordinal as u32), self.pos(1));
+            self.start += 1;
+        } else {
+            // Shift the tail portion back by one.
+            arena.buf.copy_within(
+                self.pos(ordinal as u32 + 1)..self.pos(len as u32),
+                self.pos(ordinal as u32),
+            );
+        }
+        self.len -= 1;
+        removed
+    }
+
+    /// Iterates front-to-back (plain slice iteration — the live block is
+    /// always contiguous).
+    pub fn iter(self, arena: &RequestArena) -> std::slice::Iter<'_, Pending> {
+        self.live(arena).iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::addr::{Location, MemRequest, PhysAddr, ReqId};
+
+    fn pending(seq: u64) -> Pending {
+        Pending {
+            req: MemRequest { id: ReqId(seq), addr: PhysAddr(seq), is_write: false },
+            loc: Location { channel: 0, bank: 0, row: seq as u32, col: 0 },
+            arrived: 0,
+            seq,
+            slice: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_middle_removal() {
+        let mut arena = RequestArena::with_capacity(4, pending(u64::MAX));
+        let mut l = arena.new_ring(4);
+        for s in 0..4 {
+            l.push_back(&mut arena, pending(s));
+        }
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        assert_eq!(l.front(&arena).unwrap().seq, 0);
+        assert_eq!(l.get(&arena, 2).unwrap().seq, 2);
+        assert!(l.get(&arena, 4).is_none());
+        // Remove from the middle, the front, and the back.
+        assert_eq!(l.remove_at(&mut arena, 1).seq, 1);
+        assert_eq!(l.iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [0, 2, 3]);
+        assert_eq!(l.remove_at(&mut arena, 0).seq, 0);
+        assert_eq!(l.remove_at(&mut arena, 1).seq, 3);
+        assert_eq!(l.iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [2]);
+        assert_eq!(l.remove_at(&mut arena, 0).seq, 2);
+        assert!(l.is_empty());
+        assert!(l.front(&arena).is_none());
+    }
+
+    #[test]
+    fn ring_matches_vec_reference_across_wraps() {
+        // Drive the ring with a deterministic push/remove mix long enough
+        // for head to lap the segment repeatedly; a plain Vec<u64> is the
+        // ordering oracle.
+        let mut arena = RequestArena::with_capacity(5, pending(u64::MAX));
+        let mut l = arena.new_ring(5);
+        let mut oracle: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        let mut rng = 0x2545_f491_4f6c_dd1du64;
+        for step in 0..500 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (l.len() < 5 && rng & 1 == 0) || l.is_empty() {
+                l.push_back(&mut arena, pending(next));
+                oracle.push(next);
+                next += 1;
+            } else {
+                let ord = (rng >> 33) as usize % l.len();
+                let got = l.remove_at(&mut arena, ord).seq;
+                assert_eq!(got, oracle.remove(ord), "step {step}");
+            }
+            assert_eq!(l.iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), oracle, "step {step}");
+            assert_eq!(l.front(&arena).map(|p| p.seq), oracle.first().copied());
+        }
+        assert_eq!(arena.buf.len(), 5, "slab must never grow");
+    }
+
+    #[test]
+    fn interleaved_rings_share_one_slab() {
+        let mut arena = RequestArena::with_capacity(9, pending(u64::MAX));
+        let mut rings = [arena.new_ring(3), arena.new_ring(3), arena.new_ring(3)];
+        for s in 0..8 {
+            rings[(s % 3) as usize].push_back(&mut arena, pending(s));
+        }
+        assert_eq!(rings[0].iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [0, 3, 6]);
+        assert_eq!(rings[1].iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [1, 4, 7]);
+        assert_eq!(rings[2].iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [2, 5]);
+        let got = rings[1].remove_at(&mut arena, 1);
+        assert_eq!(got.seq, 4);
+        assert_eq!(rings[1].iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [1, 7]);
+        // Neighbouring rings are untouched by the shift.
+        assert_eq!(rings[0].iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [0, 3, 6]);
+        assert_eq!(rings[2].iter(&arena).map(|p| p.seq).collect::<Vec<_>>(), [2, 5]);
+        assert_eq!(arena.buf.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission control")]
+    fn push_past_capacity_panics() {
+        let mut arena = RequestArena::with_capacity(2, pending(u64::MAX));
+        let mut l = arena.new_ring(2);
+        for s in 0..3 {
+            l.push_back(&mut arena, pending(s));
+        }
+    }
+}

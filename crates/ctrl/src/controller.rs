@@ -44,10 +44,12 @@ pub struct Controller {
     scheds: Vec<ChannelSched>,
     seq: u64,
     stats: CtrlStats,
-    /// Graceful degradation: grains excluded from the address map. With
+    /// Graceful degradation: grains excluded from the address map, one
+    /// bit per channel (FGDRAM's 512 grains fit in 8 words, so the `route`
+    /// probe on the hot enqueue path stays in one cache line). With
     /// nothing excluded, `route` is exactly `mapper.decode` and the faults
     /// machinery is invisible to scheduling.
-    excluded: Vec<bool>,
+    excluded: Vec<u64>,
     /// Channels still in the map, ascending; the remap target table.
     live: Vec<u32>,
     /// Lazy wake-time queue over the schedulers: an entry `(t, ch)` is
@@ -92,6 +94,8 @@ impl Controller {
                     ctrl,
                     dram.timing.t_refi,
                     phase,
+                    dram.slices_per_row() as usize
+                        * if dram.salp { dram.subarrays_per_bank } else { 1 },
                 )
             })
             .collect();
@@ -100,7 +104,7 @@ impl Controller {
             scheds,
             seq: 0,
             stats: CtrlStats::new(),
-            excluded: vec![false; channels],
+            excluded: vec![0u64; channels.div_ceil(64)],
             live: (0..channels as u32).collect(),
             // Every scheduler starts with an effective wake time of 0.
             due: {
@@ -111,6 +115,12 @@ impl Controller {
             due_scratch: Vec::new(),
             total_pending: 0,
         })
+    }
+
+    /// Whether `ch`'s grain has been excluded from the address map.
+    #[inline]
+    fn is_excluded(&self, ch: u32) -> bool {
+        self.excluded[ch as usize / 64] & (1u64 << (ch % 64)) != 0
     }
 
     /// Channel `ch`'s effective wake time: an injected stall gates the
@@ -154,7 +164,7 @@ impl Controller {
     /// so the aliased capacity costs nothing extra).
     pub fn route(&self, addr: fgdram_model::addr::PhysAddr) -> Location {
         let mut loc = self.mapper.decode(addr);
-        if self.excluded[loc.channel as usize] {
+        if self.is_excluded(loc.channel) {
             loc.channel = self.live[loc.channel as usize % self.live.len()];
         }
         loc
@@ -165,17 +175,17 @@ impl Controller {
     /// in-flight requests on the grain drain normally either way.
     pub fn exclude_channel(&mut self, channel: u32) -> bool {
         let ch = channel as usize;
-        if ch >= self.excluded.len() || self.excluded[ch] || self.live.len() == 1 {
+        if ch >= self.scheds.len() || self.is_excluded(channel) || self.live.len() == 1 {
             return false;
         }
-        self.excluded[ch] = true;
+        self.excluded[ch / 64] |= 1u64 << (channel % 64);
         self.live.retain(|&c| c != channel);
         true
     }
 
     /// Grains currently excluded from the address map.
     pub fn excluded_count(&self) -> usize {
-        self.excluded.iter().filter(|&&e| e).count()
+        self.excluded.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Fault injection: `channel` issues nothing before `until`.

@@ -13,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod arena;
 mod controller;
 mod scheduler;
 pub mod stats;

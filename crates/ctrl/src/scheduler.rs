@@ -15,6 +15,7 @@ use fgdram_model::cmd::{BankRef, Completion, DramCommand};
 use fgdram_model::config::{CtrlConfig, PagePolicy};
 use fgdram_model::units::Ns;
 
+use crate::arena::{FifoRing, RequestArena};
 use crate::stats::CtrlStats;
 
 /// A queued request with its decoded location and arrival order.
@@ -68,8 +69,11 @@ pub(crate) struct ChannelSched {
     atoms_per_activation: u32,
     cfg: CtrlConfig,
     grain_based: bool,
-    read_q: Vec<VecDeque<Pending>>,
-    write_q: Vec<VecDeque<Pending>>,
+    /// All queued requests of this channel live in one slab; the rings
+    /// below hold FIFO order as slab indices (see [`crate::arena`]).
+    arena: RequestArena,
+    read_q: Vec<FifoRing>,
+    write_q: Vec<FifoRing>,
     /// Crossbar partition queue: holds arrivals while the per-bank
     /// scheduler queues are full.
     overflow: VecDeque<Pending>,
@@ -95,6 +99,7 @@ pub(crate) struct ChannelSched {
 }
 
 impl ChannelSched {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         channel: u32,
         banks: usize,
@@ -103,16 +108,43 @@ impl ChannelSched {
         cfg: CtrlConfig,
         refresh_interval: Ns,
         refresh_phase: Ns,
+        open_slots_per_bank: usize,
     ) -> Self {
+        // Admission control bounds live reads/writes to the configured
+        // depths, and any one bank may transiently hold a whole
+        // direction's worth — each ring gets the full per-direction depth.
+        let fill = Pending::new(
+            MemRequest {
+                id: fgdram_model::addr::ReqId(0),
+                addr: fgdram_model::addr::PhysAddr(0),
+                is_write: false,
+            },
+            Location { channel: 0, bank: 0, row: 0, col: 0 },
+            0,
+            0,
+        );
+        let mut arena = RequestArena::with_capacity(
+            banks * (cfg.read_queue_depth + cfg.write_buffer_depth),
+            fill,
+        );
+        let read_q = (0..banks).map(|_| arena.new_ring(cfg.read_queue_depth)).collect();
+        let write_q = (0..banks).map(|_| arena.new_ring(cfg.write_buffer_depth)).collect();
         ChannelSched {
             channel,
             banks,
             atoms_per_activation,
-            cfg,
             grain_based,
-            read_q: (0..banks).map(|_| VecDeque::new()).collect(),
-            write_q: (0..banks).map(|_| VecDeque::new()).collect(),
-            overflow: VecDeque::new(),
+            arena,
+            read_q,
+            write_q,
+            // Hard bound: `can_accept` admits past a non-empty overflow
+            // while *direct* room exists, so overflow can transiently
+            // hold xbar + both direct depths. The capacity is virtual
+            // until touched (no pre-fill), so over-sizing is free.
+            overflow: VecDeque::with_capacity(
+                cfg.xbar_queue_depth + cfg.read_queue_depth + cfg.write_buffer_depth,
+            ),
+            cfg,
             reads: 0,
             writes: 0,
             draining: false,
@@ -120,8 +152,9 @@ impl ChannelSched {
             refresh_interval,
             last_activity: 0,
             hit_cache: vec![[HitCache::Known(None); 2]; banks],
-            fronts_scratch: Vec::new(),
-            refresh_scratch: Vec::new(),
+            // Pre-sized so first use after warmup stays off the allocator.
+            fronts_scratch: Vec::with_capacity(banks),
+            refresh_scratch: Vec::with_capacity(open_slots_per_bank),
             next_try: 0,
             stalled_until: 0,
         }
@@ -159,11 +192,11 @@ impl ChannelSched {
         let bank = p.loc.bank as usize;
         let dir = p.req.is_write as usize;
         let len_before = if p.req.is_write {
-            self.write_q[bank].push_back(p);
+            self.write_q[bank].push_back(&mut self.arena, p);
             self.writes += 1;
             self.write_q[bank].len() - 1
         } else {
-            self.read_q[bank].push_back(p);
+            self.read_q[bank].push_back(&mut self.arena, p);
             self.reads += 1;
             self.read_q[bank].len() - 1
         };
@@ -207,17 +240,21 @@ impl ChannelSched {
     /// (the cache's ground truth).
     fn scan_first_hit(
         &self,
-        ch: &fgdram_dram::Channel,
+        ch: fgdram_dram::Channel<'_>,
         bank: usize,
         use_writes: bool,
     ) -> Option<u32> {
+        let bank_view = ch.bank(bank as u32);
+        // One open-bitset word test skips the whole window scan for banks
+        // with nothing open — the common case on random-access workloads.
+        if !bank_view.any_open() {
+            return None;
+        }
         let scan = self.cfg.reorder_window.max(1);
         self.queue(use_writes)[bank]
-            .iter()
+            .iter(&self.arena)
             .take(scan)
-            .position(|p| {
-                ch.bank(bank as u32).open_at(p.loc.row, p.slice).is_some_and(|o| o.row == p.loc.row)
-            })
+            .position(|p| bank_view.open_at(p.loc.row, p.slice).is_some_and(|o| o.row == p.loc.row))
             .map(|i| i as u32)
     }
 
@@ -392,7 +429,7 @@ impl ChannelSched {
         Ok(Step::Sleep(wake.max(now + 1)))
     }
 
-    fn queue(&self, is_write: bool) -> &Vec<VecDeque<Pending>> {
+    fn queue(&self, is_write: bool) -> &[FifoRing] {
         if is_write {
             &self.write_q
         } else {
@@ -438,7 +475,9 @@ impl ChannelSched {
             };
             let Some(i) = cand_idx else { continue };
             let i = i as usize;
-            let p = &self.queue(use_writes)[b][i];
+            // Infallible: the hit cache (cross-checked against a fresh scan
+            // in debug builds) only holds in-window indices.
+            let p = self.queue(use_writes)[b].get(&self.arena, i).expect("cached hit present");
             let e = ch
                 .earliest_col(b as u32, p.loc.row, p.slice, p.req.is_write, now)
                 .map(|t| t.max(now))
@@ -452,7 +491,7 @@ impl ChannelSched {
             *wake = (*wake).min(e_hint);
             return Ok(None);
         }
-        let p = self.queue(use_writes)[bank][idx];
+        let p = *self.queue(use_writes)[bank].get(&self.arena, idx).expect("scheduled request");
         let slice = p.slice;
         let auto_precharge = self.cfg.page_policy == PagePolicy::Closed
             || !self.row_reusable(bank, idx, use_writes, p.loc.row, slice);
@@ -483,14 +522,11 @@ impl ChannelSched {
         let completion = dev.issue(cmd, now)?;
         let removed = if use_writes {
             self.writes -= 1;
-            self.write_q[bank].remove(idx)
+            self.write_q[bank].remove_at(&mut self.arena, idx)
         } else {
             self.reads -= 1;
-            self.read_q[bank].remove(idx)
-        }
-        // Infallible: `idx` came from `best`, which indexed this very
-        // queue earlier in the call, and nothing has mutated it since.
-        .expect("scheduled request present");
+            self.read_q[bank].remove_at(&mut self.arena, idx)
+        };
         self.note_removal(bank, use_writes, idx);
         stats.row_hits.incr();
         if auto_precharge {
@@ -519,12 +555,12 @@ impl ChannelSched {
         let scan = self.cfg.reorder_window.max(1);
         let matches = |p: &Pending| p.loc.row == row && p.slice == slice;
         self.read_q[bank]
-            .iter()
+            .iter(&self.arena)
             .take(scan)
             .enumerate()
             .any(|(i, p)| (skip_writes || i != skip_idx) && matches(p))
             || self.write_q[bank]
-                .iter()
+                .iter(&self.arena)
                 .take(scan)
                 .enumerate()
                 .any(|(i, p)| (!skip_writes || i != skip_idx) && matches(p))
@@ -545,19 +581,20 @@ impl ChannelSched {
         let mut fronts = std::mem::take(&mut self.fronts_scratch);
         fronts.clear();
         fronts.extend(
-            (0..self.banks).filter_map(|b| self.queue(use_writes)[b].front().map(|p| (p.seq, b))),
+            (0..self.banks)
+                .filter_map(|b| self.queue(use_writes)[b].front(&self.arena).map(|p| (p.seq, b))),
         );
         fronts.sort_unstable();
         let mut ret = None;
         for &(_, b) in fronts.iter() {
             // Infallible: `fronts` was built from banks whose `front()` was
             // `Some`, and the queues are untouched between there and here.
-            let p = *self.queue(use_writes)[b].front().expect("front exists");
+            let p = *self.queue(use_writes)[b].front(&self.arena).expect("front exists");
             let slice = p.slice;
             let bankref = self.bank_ref(b as u32);
             // Already open with the right row: handled by try_column (it
             // was not issuable now; its wake time is already folded in).
-            let open = dev.channel(self.channel).bank(b as u32).open_at(p.loc.row, slice).copied();
+            let open = dev.channel(self.channel).bank(b as u32).open_at(p.loc.row, slice);
             if let Some(o) = open {
                 if o.row == p.loc.row {
                     continue;
@@ -715,7 +752,10 @@ impl ChannelSched {
     /// the open (`row`, `slice`) of `bank`.
     fn row_has_pending(&self, bank: usize, row: u32, slice: u32, use_writes: bool) -> bool {
         let scan = self.cfg.reorder_window.max(1);
-        self.queue(use_writes)[bank].iter().take(scan).any(|p| p.loc.row == row && p.slice == slice)
+        self.queue(use_writes)[bank]
+            .iter(&self.arena)
+            .take(scan)
+            .any(|p| p.loc.row == row && p.slice == slice)
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -1,500 +1,130 @@
-//! One DRAM data channel (an FGDRAM *grain* is modelled as a narrow
-//! channel with two pseudobanks and a private serial data bus).
+//! Channel and bank *views* over the flat [`DeviceState`].
 //!
-//! The channel owns everything the banks share: the data bus and its
-//! read/write turnaround, bank-group column spacing (tCCDS/tCCDL), the
-//! inter-bank activate spacing (tRRD), the rolling tFAW window, refresh
-//! occupancy, and — for grain-based parts — the pseudobank
-//! subarray-conflict guard of Section 3.3.
+//! One DRAM data channel (an FGDRAM *grain* is modelled as a narrow
+//! channel with two pseudobanks and a private serial data bus) used to be
+//! its own heap object; the timing state now lives in
+//! [`crate::state::DeviceState`]'s contiguous arrays. [`Channel`] and
+//! [`Bank`] are copyable `(state, index)` handles that keep the old
+//! read-side API — `dev.channel(ch).bank(b).open_rows()` — working over
+//! the struct-of-arrays layout. All mutation goes through `DeviceState`.
 
-use fgdram_model::config::{DramConfig, TimingParams};
 use fgdram_model::stats::BusyTracker;
 use fgdram_model::units::Ns;
 
-use crate::bank::Bank;
-use crate::error::Rule;
-use crate::faw::ActWindow;
+pub use crate::state::{ChannelCounters, ColOutcome, Reject};
+use crate::state::{DeviceState, OpenRow, OpenRows};
 
-/// Extra data-bus bubble inserted when the bus changes direction.
-const TURNAROUND_BUBBLE: Ns = 2;
-
-/// A rejected channel operation: the violated rule plus, when the rule is
-/// purely temporal, the earliest legal time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Reject {
-    /// Violated rule.
-    pub rule: Rule,
-    /// Earliest legal issue time, for temporal rules.
-    pub earliest: Option<Ns>,
+/// Read-only view of one data channel / grain.
+#[derive(Debug, Clone, Copy)]
+pub struct Channel<'a> {
+    state: &'a DeviceState,
+    ch: u32,
 }
 
-impl Reject {
-    fn structural(rule: Rule) -> Self {
-        Reject { rule, earliest: None }
-    }
-}
-
-/// Data-bus occupancy outcome of an accepted column command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ColOutcome {
-    /// First data beat on the bus.
-    pub data_start: Ns,
-    /// One past the last data beat.
-    pub data_end: Ns,
-}
-
-/// Operation counters for energy accounting and reports.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ChannelCounters {
-    /// Row activations issued.
-    pub activates: u64,
-    /// Read atoms transferred.
-    pub read_atoms: u64,
-    /// Written atoms transferred.
-    pub write_atoms: u64,
-    /// Refresh commands serviced.
-    pub refreshes: u64,
-    /// Precharges (explicit + auto).
-    pub precharges: u64,
-}
-
-/// One data channel / grain.
-#[derive(Debug, Clone)]
-pub struct Channel {
-    banks: Vec<Bank>,
-    bank_groups: usize,
-    timing: TimingParams,
-    grain_guard: bool,
-    rows_per_subarray: u32,
-    last_col_any: Option<Ns>,
-    last_col_group: Vec<Option<Ns>>,
-    last_act: Option<Ns>,
-    faw: ActWindow,
-    data_bus: BusyTracker,
-    last_dir_write: Option<bool>,
-    last_write_data_end: Ns,
-    last_write_group: u32,
-    refresh_until: Ns,
-    counters: ChannelCounters,
-    bank_activates: Vec<u64>,
-    faw_headroom_sum: u64,
-}
-
-impl Channel {
-    /// New idle channel for `cfg`.
-    pub fn new(cfg: &DramConfig) -> Self {
-        Channel {
-            banks: (0..cfg.banks_per_channel).map(|_| Bank::new(cfg)).collect(),
-            bank_groups: cfg.bank_groups,
-            timing: cfg.timing,
-            grain_guard: cfg.is_grain_based(),
-            rows_per_subarray: cfg.rows_per_subarray() as u32,
-            last_col_any: None,
-            last_col_group: vec![None; cfg.bank_groups],
-            last_act: None,
-            faw: ActWindow::new(cfg.timing.acts_in_faw, cfg.timing.t_faw),
-            data_bus: BusyTracker::new(),
-            last_dir_write: None,
-            last_write_data_end: 0,
-            last_write_group: u32::MAX,
-            refresh_until: 0,
-            counters: ChannelCounters::default(),
-            bank_activates: vec![0; cfg.banks_per_channel],
-            faw_headroom_sum: 0,
-        }
+impl<'a> Channel<'a> {
+    pub(crate) fn new(state: &'a DeviceState, ch: u32) -> Self {
+        Channel { state, ch }
     }
 
     /// Read access to a bank's row-buffer state.
-    pub fn bank(&self, bank: u32) -> &Bank {
-        &self.banks[bank as usize]
+    pub fn bank(self, bank: u32) -> Bank<'a> {
+        Bank { state: self.state, ch: self.ch, bank }
     }
 
     /// Number of banks (pseudobanks).
-    pub fn banks(&self) -> usize {
-        self.banks.len()
+    pub fn banks(self) -> usize {
+        self.state.banks()
     }
 
     /// Operation counters.
-    pub fn counters(&self) -> &ChannelCounters {
-        &self.counters
+    pub fn counters(self) -> &'a ChannelCounters {
+        self.state.counters(self.ch)
     }
 
     /// Data-bus occupancy tracker (for utilisation reports).
-    pub fn data_bus(&self) -> &BusyTracker {
-        &self.data_bus
+    pub fn data_bus(self) -> &'a BusyTracker {
+        self.state.data_bus(self.ch)
     }
 
     /// Per-bank activate counts since the last reset (heatmap row for
     /// telemetry; index = bank/pseudobank).
-    pub fn bank_activates(&self) -> &[u64] {
-        &self.bank_activates
+    pub fn bank_activates(self) -> &'a [u64] {
+        self.state.bank_activates(self.ch)
     }
 
     /// Sum over all activates of the tFAW slots still free at issue time
     /// (beyond the slot the activate itself consumes). Dividing the delta
     /// by the epoch's activate count gives the average tFAW headroom —
     /// near 0 means the activate rate is pinned to the power ceiling.
-    pub fn faw_headroom_sum(&self) -> u64 {
-        self.faw_headroom_sum
-    }
-
-    /// Zeroes the operation counters (end-of-warmup bookkeeping).
-    pub fn reset_counters(&mut self) {
-        self.counters = ChannelCounters::default();
-        self.bank_activates.iter_mut().for_each(|b| *b = 0);
-        self.faw_headroom_sum = 0;
-    }
-
-    #[inline]
-    fn group_of(&self, bank: u32) -> u32 {
-        bank % self.bank_groups as u32
-    }
-
-    fn check_bank(&self, bank: u32) -> Result<(), Reject> {
-        if (bank as usize) < self.banks.len() {
-            Ok(())
-        } else {
-            Err(Reject::structural(Rule::OutOfRange))
-        }
+    pub fn faw_headroom_sum(self) -> u64 {
+        self.state.faw_headroom_sum(self.ch)
     }
 
     /// Earliest activate of (`bank`, `row`, `slice`) at or after `at`.
     ///
     /// # Errors
     ///
-    /// Structural rejections: [`Rule::ActOnOpenRow`],
-    /// [`Rule::AdjacentSubarray`], [`Rule::SubarrayConflict`],
-    /// [`Rule::OutOfRange`].
-    pub fn earliest_act(&self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
-        self.check_bank(bank)?;
-        let mut t =
-            self.banks[bank as usize].earliest_act(row, slice, at).map_err(Reject::structural)?;
-        if self.grain_guard {
-            let sub = row / self.rows_per_subarray;
-            for (b, other) in self.banks.iter().enumerate() {
-                if b as u32 == bank {
-                    continue;
-                }
-                let conflict = other
-                    .open_rows()
-                    .any(|o| o.row != row && o.row / self.rows_per_subarray == sub);
-                if conflict {
-                    return Err(Reject::structural(Rule::SubarrayConflict));
-                }
-            }
-        }
-        if let Some(last) = self.last_act {
-            t = t.max(last + self.timing.t_rrd);
-        }
-        t = self.faw.earliest(t);
-        Ok(t.max(self.refresh_until))
-    }
-
-    /// Issues an activate; `at` must be at or after [`Self::earliest_act`].
-    ///
-    /// # Errors
-    ///
-    /// Everything `earliest_act` rejects, plus [`Rule::ActTooEarly`] /
-    /// [`Rule::ActRrd`] / [`Rule::ActFaw`]-class timing violations
-    /// (reported with the earliest legal time).
-    pub fn activate(&mut self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<(), Reject> {
-        let earliest = self.earliest_act(bank, row, slice, at)?;
-        if at < earliest {
-            return Err(Reject { rule: Rule::ActTooEarly, earliest: Some(earliest) });
-        }
-        self.banks[bank as usize].activate(row, slice, at);
-        self.last_act = Some(at);
-        // Headroom is observed before recording: slots free beyond the one
-        // this activate takes.
-        self.faw_headroom_sum += self.faw.free_slots(at).saturating_sub(1) as u64;
-        self.faw.record(at);
-        self.counters.activates += 1;
-        self.bank_activates[bank as usize] += 1;
-        Ok(())
+    /// See [`DeviceState::earliest_act`].
+    pub fn earliest_act(self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
+        self.state.earliest_act(self.ch, bank, row, slice, at)
     }
 
     /// Earliest read/write column command for the open (`bank`,`row`,`slice`).
     ///
     /// # Errors
     ///
-    /// [`Rule::RowNotOpen`] / [`Rule::OutOfRange`] structurally.
+    /// See [`DeviceState::earliest_col`].
     pub fn earliest_col(
-        &self,
+        self,
         bank: u32,
         row: u32,
         slice: u32,
         is_write: bool,
         at: Ns,
     ) -> Result<Ns, Reject> {
-        self.check_bank(bank)?;
-        let mut t =
-            at.max(self.banks[bank as usize].col_ready(row, slice).map_err(Reject::structural)?);
-        let group = self.group_of(bank);
-        // Bank-group spacing.
-        if let Some(any) = self.last_col_any {
-            t = t.max(any + self.timing.t_ccd_s);
-        }
-        if let Some(same) = self.last_col_group[group as usize] {
-            t = t.max(same + self.timing.t_ccd_l);
-        }
-        // Write-to-read turnaround (from end of write data).
-        if !is_write && self.last_write_data_end > 0 {
-            let wtr = if group == self.last_write_group {
-                self.timing.t_wtr_l
-            } else {
-                self.timing.t_wtr_s
-            };
-            t = t.max(self.last_write_data_end + wtr);
-        }
-        // Data bus: in-order, non-overlapping, with a turnaround bubble.
-        let latency = if is_write { self.timing.t_wl } else { self.timing.t_cl };
-        let mut bus_free = self.data_bus.busy_until();
-        if self.last_dir_write.is_some_and(|w| w != is_write) {
-            bus_free += TURNAROUND_BUBBLE;
-        }
-        if bus_free > t + latency {
-            t = bus_free - latency;
-        }
-        Ok(t.max(self.refresh_until))
-    }
-
-    /// Issues a column command, returning its data-bus occupancy.
-    ///
-    /// # Errors
-    ///
-    /// Everything `earliest_col` rejects, plus [`Rule::ColCcd`]-class
-    /// timing violations when `at` is before the legal time.
-    pub fn column(
-        &mut self,
-        bank: u32,
-        row: u32,
-        slice: u32,
-        is_write: bool,
-        at: Ns,
-    ) -> Result<ColOutcome, Reject> {
-        let earliest = self.earliest_col(bank, row, slice, is_write, at)?;
-        if at < earliest {
-            return Err(Reject { rule: Rule::ColCcd, earliest: Some(earliest) });
-        }
-        let group = self.group_of(bank);
-        let latency = if is_write { self.timing.t_wl } else { self.timing.t_cl };
-        let data_start = at + latency;
-        let data_end = data_start + self.timing.t_burst;
-        self.data_bus.occupy(data_start, self.timing.t_burst);
-        self.last_col_any = Some(at);
-        self.last_col_group[group as usize] = Some(at);
-        self.last_dir_write = Some(is_write);
-        if is_write {
-            self.last_write_data_end = data_end;
-            self.last_write_group = group;
-            self.banks[bank as usize].note_write(row, slice, data_end);
-            self.counters.write_atoms += 1;
-        } else {
-            self.banks[bank as usize].note_read(row, slice, at);
-            self.counters.read_atoms += 1;
-        }
-        Ok(ColOutcome { data_start, data_end })
+        self.state.earliest_col(self.ch, bank, row, slice, is_write, at)
     }
 
     /// Earliest precharge of the slot holding (`bank`, `row`, `slice`).
     ///
     /// # Errors
     ///
-    /// [`Rule::PreNothingOpen`] / [`Rule::OutOfRange`].
-    pub fn earliest_pre(&self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
-        self.check_bank(bank)?;
-        let t = self.banks[bank as usize].earliest_pre(row, slice).map_err(Reject::structural)?;
-        Ok(t.max(at).max(self.refresh_until))
-    }
-
-    /// Issues a precharge.
-    ///
-    /// # Errors
-    ///
-    /// Everything `earliest_pre` rejects, plus [`Rule::PreTooEarly`].
-    pub fn precharge(&mut self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<(), Reject> {
-        let earliest = self.earliest_pre(bank, row, slice, at)?;
-        if at < earliest {
-            return Err(Reject { rule: Rule::PreTooEarly, earliest: Some(earliest) });
-        }
-        self.banks[bank as usize].precharge(row, slice, at);
-        self.counters.precharges += 1;
-        Ok(())
+    /// See [`DeviceState::earliest_pre`].
+    pub fn earliest_pre(self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
+        self.state.earliest_pre(self.ch, bank, row, slice, at)
     }
 
     /// Earliest all-bank refresh (requires every row closed).
     ///
     /// # Errors
     ///
-    /// [`Rule::RefreshConflict`] while any row is open.
-    pub fn earliest_refresh(&self, at: Ns) -> Result<Ns, Reject> {
-        if self.banks.iter().any(Bank::any_open) {
-            return Err(Reject::structural(Rule::RefreshConflict));
-        }
-        Ok(at.max(self.refresh_until))
-    }
-
-    /// Issues an all-bank refresh occupying the channel for tRFC.
-    ///
-    /// # Errors
-    ///
-    /// Everything `earliest_refresh` rejects.
-    pub fn refresh(&mut self, at: Ns) -> Result<(), Reject> {
-        let earliest = self.earliest_refresh(at)?;
-        if at < earliest {
-            return Err(Reject { rule: Rule::RefreshConflict, earliest: Some(earliest) });
-        }
-        let until = at + self.timing.t_rfc;
-        for b in &mut self.banks {
-            b.block_until(until);
-        }
-        self.refresh_until = until;
-        self.counters.refreshes += 1;
-        Ok(())
+    /// See [`DeviceState::earliest_refresh`].
+    pub fn earliest_refresh(self, at: Ns) -> Result<Ns, Reject> {
+        self.state.earliest_refresh(self.ch, at)
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fgdram_model::config::DramKind;
+/// Read-only view of one bank's (pseudobank's) row-buffer state.
+#[derive(Debug, Clone, Copy)]
+pub struct Bank<'a> {
+    state: &'a DeviceState,
+    ch: u32,
+    bank: u32,
+}
 
-    fn chan(kind: DramKind) -> Channel {
-        Channel::new(&DramConfig::new(kind))
+impl<'a> Bank<'a> {
+    /// The open row covering (`row`, `slice`), if any row is open there.
+    pub fn open_at(self, row: u32, slice: u32) -> Option<OpenRow> {
+        self.state.open_at(self.ch, self.bank, row, slice)
     }
 
-    /// Figure 4: commands to different bank groups can be tCCDS apart and
-    /// keep the data bus gapless; same group must wait tCCDL.
-    #[test]
-    fn fig4_bank_group_overlap() {
-        let mut c = chan(DramKind::QbHbm);
-        c.activate(0, 10, 0, 0).unwrap();
-        c.activate(1, 20, 0, 2).unwrap(); // tRRD = 2
-        let t0 = c.earliest_col(0, 10, 0, false, 0).unwrap();
-        assert_eq!(t0, 16); // tRCD
-        let o0 = c.column(0, 10, 0, false, t0).unwrap();
-        assert_eq!((o0.data_start, o0.data_end), (32, 34));
-        // Different group: tCCDS later; bus stays gapless.
-        let t1 = c.earliest_col(1, 20, 0, false, t0).unwrap();
-        assert_eq!(t1, 18);
-        let o1 = c.column(1, 20, 0, false, t1).unwrap();
-        assert_eq!((o1.data_start, o1.data_end), (34, 36));
-        // Same group as bank 0: tCCDL after its column.
-        let t2 = c.earliest_col(0, 10, 0, false, t0).unwrap();
-        assert_eq!(t2, t0 + 4);
+    /// True when any slot holds an open row.
+    pub fn any_open(self) -> bool {
+        self.state.any_open(self.ch, self.bank)
     }
 
-    #[test]
-    fn trrd_spaces_activates_across_banks() {
-        let mut c = chan(DramKind::QbHbm);
-        c.activate(0, 1, 0, 0).unwrap();
-        assert_eq!(c.earliest_act(1, 2, 0, 0).unwrap(), 2);
-        let err = c.activate(1, 2, 0, 1).unwrap_err();
-        assert_eq!(err.rule, Rule::ActTooEarly);
-        assert_eq!(err.earliest, Some(2));
-    }
-
-    #[test]
-    fn write_to_read_turnaround() {
-        let mut c = chan(DramKind::QbHbm);
-        c.activate(0, 1, 0, 0).unwrap();
-        c.activate(1, 1, 0, 2).unwrap();
-        let wt = c.earliest_col(0, 1, 0, true, 0).unwrap();
-        let w = c.column(0, 1, 0, true, wt).unwrap();
-        // Same-group read: tWTRl after write data end.
-        let r_same = c.earliest_col(0, 1, 0, false, 0).unwrap();
-        assert!(r_same >= w.data_end + 8, "{r_same} vs {}", w.data_end);
-        // Different-group read: only tWTRs.
-        let r_diff = c.earliest_col(1, 1, 0, false, 0).unwrap();
-        assert!(r_diff >= w.data_end + 3);
-        assert!(r_diff < r_same);
-    }
-
-    #[test]
-    fn data_bus_serialises_and_bubbles_on_turnaround() {
-        let mut c = chan(DramKind::QbHbm);
-        c.activate(0, 1, 0, 0).unwrap();
-        let rt = c.earliest_col(0, 1, 0, false, 0).unwrap();
-        let r = c.column(0, 1, 0, false, rt).unwrap();
-        // Read->write: write data must start after read data + bubble.
-        let wt = c.earliest_col(0, 1, 0, true, rt).unwrap();
-        let w = c.column(0, 1, 0, true, wt).unwrap();
-        assert!(w.data_start >= r.data_end + TURNAROUND_BUBBLE);
-    }
-
-    #[test]
-    fn fgdram_grain_serialises_columns_at_tburst() {
-        let mut c = chan(DramKind::Fgdram);
-        c.activate(0, 1, 0, 0).unwrap();
-        c.activate(1, 1, 0, 2).unwrap();
-        let t0 = c.earliest_col(0, 1, 0, false, 0).unwrap();
-        c.column(0, 1, 0, false, t0).unwrap();
-        // Both pseudobanks share the serial bus: next column >= tCCDL = 16.
-        let t1 = c.earliest_col(1, 1, 0, false, 0).unwrap();
-        assert_eq!(t1, t0 + 16);
-    }
-
-    #[test]
-    fn grain_subarray_conflict_guard() {
-        let mut c = chan(DramKind::Fgdram);
-        // Rows 0 and 5 are both in subarray 0 (512 rows/subarray).
-        c.activate(0, 5, 0, 0).unwrap();
-        let err = c.earliest_act(1, 9, 0, 10).unwrap_err();
-        assert_eq!(err.rule, Rule::SubarrayConflict);
-        // The *same* row in the other pseudobank is fine (same MWL).
-        assert!(c.earliest_act(1, 5, 0, 10).is_ok());
-        // A different subarray is fine.
-        assert!(c.earliest_act(1, 600, 0, 10).is_ok());
-    }
-
-    #[test]
-    fn refresh_blocks_channel_for_trfc() {
-        let mut c = chan(DramKind::QbHbm);
-        c.activate(0, 1, 0, 0).unwrap();
-        // Refresh with an open row is rejected.
-        assert_eq!(c.earliest_refresh(100).unwrap_err().rule, Rule::RefreshConflict);
-        let pre = c.earliest_pre(0, 1, 0, 0).unwrap();
-        c.precharge(0, 1, 0, pre).unwrap();
-        let t = c.earliest_refresh(pre).unwrap();
-        c.refresh(t).unwrap();
-        assert_eq!(c.earliest_act(0, 1, 0, t).unwrap(), t + 160);
-        assert_eq!(c.counters().refreshes, 1);
-    }
-
-    #[test]
-    fn faw_limits_activation_bursts() {
-        // HBM2 channel, 16 banks: issue 8 activates as fast as legal, then
-        // the 9th must respect the 12 ns window.
-        let mut c = chan(DramKind::Hbm2);
-        let mut t = 0;
-        for b in 0..8 {
-            t = c.earliest_act(b, 1, 0, t).unwrap();
-            c.activate(b, 1, 0, t).unwrap();
-        }
-        // 8 activates at 0,2,4,...,14 (tRRD=2). Window not binding here
-        // (spread is already 14 ns > 12), so this documents tRRD dominance.
-        assert_eq!(t, 14);
-        let e = c.earliest_act(8, 1, 0, t).unwrap();
-        assert_eq!(e, 16);
-    }
-
-    #[test]
-    fn counters_track_operations() {
-        let mut c = chan(DramKind::QbHbm);
-        c.activate(0, 1, 0, 0).unwrap();
-        let t = c.earliest_col(0, 1, 0, false, 0).unwrap();
-        c.column(0, 1, 0, false, t).unwrap();
-        let t = c.earliest_col(0, 1, 0, true, t).unwrap();
-        c.column(0, 1, 0, true, t).unwrap();
-        let t = c.earliest_pre(0, 1, 0, t).unwrap();
-        c.precharge(0, 1, 0, t).unwrap();
-        let k = c.counters();
-        assert_eq!((k.activates, k.read_atoms, k.write_atoms, k.precharges), (1, 1, 1, 1));
-    }
-
-    #[test]
-    fn out_of_range_bank_rejected() {
-        let c = chan(DramKind::QbHbm);
-        assert_eq!(c.earliest_act(99, 0, 0, 0).unwrap_err().rule, Rule::OutOfRange);
+    /// Iterates currently open rows in ascending slot order.
+    pub fn open_rows(self) -> OpenRows<'a> {
+        self.state.open_rows(self.ch, self.bank)
     }
 }

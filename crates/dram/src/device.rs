@@ -12,6 +12,7 @@ use fgdram_model::units::Ns;
 
 use crate::channel::{Channel, ChannelCounters, Reject};
 use crate::error::{ProtocolError, Rule};
+use crate::state::DeviceState;
 
 /// Split row/column command-bus occupancy for one command channel.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,7 +45,7 @@ struct CmdBus {
 #[derive(Debug)]
 pub struct DramDevice {
     cfg: DramConfig,
-    channels: Vec<Channel>,
+    state: DeviceState,
     cmd_buses: Vec<CmdBus>,
     trace: Option<Vec<TimedCommand>>,
     /// Running aggregate of every channel's counters, maintained
@@ -64,7 +65,7 @@ impl DramDevice {
     pub fn new(cfg: DramConfig) -> Self {
         cfg.validate().expect("invalid DramConfig");
         DramDevice {
-            channels: (0..cfg.channels).map(|_| Channel::new(&cfg)).collect(),
+            state: DeviceState::new(&cfg),
             cmd_buses: vec![CmdBus::default(); cfg.cmd_channels()],
             trace: None,
             totals: ChannelCounters::default(),
@@ -77,9 +78,15 @@ impl DramDevice {
         &self.cfg
     }
 
-    /// Read access to one channel/grain.
-    pub fn channel(&self, ch: u32) -> &Channel {
-        &self.channels[ch as usize]
+    /// Read access to one channel/grain (a copyable view over the flat
+    /// [`DeviceState`]).
+    pub fn channel(&self, ch: u32) -> Channel<'_> {
+        Channel::new(&self.state, ch)
+    }
+
+    /// Read access to the flat struct-of-arrays timing state.
+    pub fn state(&self) -> &DeviceState {
+        &self.state
     }
 
     /// Begins recording every accepted command (for the protocol checker).
@@ -103,14 +110,12 @@ impl DramDevice {
 
     /// Per-channel counters.
     pub fn channel_counters(&self, ch: u32) -> &ChannelCounters {
-        self.channels[ch as usize].counters()
+        self.state.counters(ch)
     }
 
     /// Zeroes every channel's operation counters (end-of-warmup).
     pub fn reset_counters(&mut self) {
-        for c in &mut self.channels {
-            c.reset_counters();
-        }
+        self.state.reset_counters();
         self.totals = ChannelCounters::default();
     }
 
@@ -188,36 +193,41 @@ impl DramDevice {
         let wrap = |r: Reject| ProtocolError { cmd: *cmd, at, rule: r.rule, earliest: r.earliest };
         self.check_ranges(cmd).map_err(wrap)?;
         let t = match *cmd {
-            DramCommand::Activate { bank, row, slice } => self.channels[bank.channel as usize]
-                .earliest_act(bank.bank, row, slice, at)
-                .map_err(wrap)?,
-            DramCommand::Read { bank, row, col, .. } => self.channels[bank.channel as usize]
-                .earliest_col(bank.bank, row, self.slice_of(col), false, at)
-                .map_err(wrap)?,
-            DramCommand::Write { bank, row, col, .. } => self.channels[bank.channel as usize]
-                .earliest_col(bank.bank, row, self.slice_of(col), true, at)
-                .map_err(wrap)?,
-            DramCommand::Precharge { bank, row, slice } => {
-                let ch = &self.channels[bank.channel as usize];
-                match row {
-                    Some(r) => ch.earliest_pre(bank.bank, r, slice, at).map_err(wrap)?,
-                    None => self.earliest_pre_all(ch, bank.bank, at).map_err(wrap)?,
-                }
+            DramCommand::Activate { bank, row, slice } => {
+                self.state.earliest_act(bank.channel, bank.bank, row, slice, at).map_err(wrap)?
             }
+            DramCommand::Read { bank, row, col, .. } => self
+                .state
+                .earliest_col(bank.channel, bank.bank, row, self.slice_of(col), false, at)
+                .map_err(wrap)?,
+            DramCommand::Write { bank, row, col, .. } => self
+                .state
+                .earliest_col(bank.channel, bank.bank, row, self.slice_of(col), true, at)
+                .map_err(wrap)?,
+            DramCommand::Precharge { bank, row, slice } => match row {
+                Some(r) => {
+                    self.state.earliest_pre(bank.channel, bank.bank, r, slice, at).map_err(wrap)?
+                }
+                None => self.earliest_pre_all(bank.channel, bank.bank, at).map_err(wrap)?,
+            },
             DramCommand::Refresh { channel } => {
-                self.channels[channel as usize].earliest_refresh(at).map_err(wrap)?
+                self.state.earliest_refresh(channel, at).map_err(wrap)?
             }
         };
         Ok(self.cmd_slot(cmd, t))
     }
 
-    fn earliest_pre_all(&self, ch: &Channel, bank: u32, at: Ns) -> Result<Ns, Reject> {
-        let open: Vec<_> =
-            ch.bank(bank).open_rows().map(|o| (o.row, o.slice, o.earliest_pre)).collect();
-        if open.is_empty() {
+    fn earliest_pre_all(&self, ch: u32, bank: u32, at: Ns) -> Result<Ns, Reject> {
+        let mut any = false;
+        let mut t = at;
+        for o in self.state.open_rows(ch, bank) {
+            any = true;
+            t = t.max(o.earliest_pre);
+        }
+        if !any {
             return Err(Reject { rule: Rule::PreNothingOpen, earliest: None });
         }
-        Ok(open.iter().map(|&(_, _, p)| p).fold(at, Ns::max))
+        Ok(t)
     }
 
     /// Issues `cmd` at `at`. Returns the data completion for reads/writes.
@@ -236,19 +246,18 @@ impl DramDevice {
         // A command touches exactly one channel; capture its counters so
         // the running totals can absorb the delta afterwards. (Failed
         // issues leave channel state — and thus the delta — untouched.)
-        let chx = cmd.channel() as usize;
-        let before = *self.channels[chx].counters();
+        let chx = cmd.channel();
+        let before = *self.state.counters(chx);
         let completion = match cmd {
             DramCommand::Activate { bank, row, slice } => {
-                self.channels[bank.channel as usize]
-                    .activate(bank.bank, row, slice, at)
-                    .map_err(wrap)?;
+                self.state.activate(bank.channel, bank.bank, row, slice, at).map_err(wrap)?;
                 None
             }
             DramCommand::Read { bank, row, col, auto_precharge, req } => {
                 let slice = self.slice_of(col);
-                let out = self.channels[bank.channel as usize]
-                    .column(bank.bank, row, slice, false, at)
+                let out = self
+                    .state
+                    .column(bank.channel, bank.bank, row, slice, false, at)
                     .map_err(wrap)?;
                 if auto_precharge {
                     self.auto_precharge(bank.channel, bank.bank, row, slice);
@@ -257,8 +266,9 @@ impl DramDevice {
             }
             DramCommand::Write { bank, row, col, auto_precharge, req } => {
                 let slice = self.slice_of(col);
-                let out = self.channels[bank.channel as usize]
-                    .column(bank.bank, row, slice, true, at)
+                let out = self
+                    .state
+                    .column(bank.channel, bank.bank, row, slice, true, at)
                     .map_err(wrap)?;
                 if auto_precharge {
                     self.auto_precharge(bank.channel, bank.bank, row, slice);
@@ -270,11 +280,11 @@ impl DramDevice {
                 None
             }
             DramCommand::Refresh { channel } => {
-                self.channels[channel as usize].refresh(at).map_err(wrap)?;
+                self.state.refresh(channel, at).map_err(wrap)?;
                 None
             }
         };
-        let after = self.channels[chx].counters();
+        let after = self.state.counters(chx);
         self.totals.activates += after.activates - before.activates;
         self.totals.read_atoms += after.read_atoms - before.read_atoms;
         self.totals.write_atoms += after.write_atoms - before.write_atoms;
@@ -295,24 +305,23 @@ impl DramDevice {
         slice: u32,
         at: Ns,
     ) -> Result<(), Reject> {
-        let ch = &mut self.channels[channel as usize];
         match row {
-            Some(r) => ch.precharge(bank, r, slice, at),
+            Some(r) => self.state.precharge(channel, bank, r, slice, at),
             None => {
-                let open: Vec<(u32, u32)> =
-                    ch.bank(bank).open_rows().map(|o| (o.row, o.slice)).collect();
-                if open.is_empty() {
-                    return Err(Reject { rule: Rule::PreNothingOpen, earliest: None });
-                }
-                for (r, s) in &open {
-                    // Validate all slots are ready before mutating any.
-                    let e = ch.earliest_pre(bank, *r, *s, at)?;
+                // Validate all slots are ready before mutating any.
+                let mut any = false;
+                for o in self.state.open_rows(channel, bank) {
+                    any = true;
+                    let e = self.state.earliest_pre(channel, bank, o.row, o.slice, at)?;
                     if at < e {
                         return Err(Reject { rule: Rule::PreTooEarly, earliest: Some(e) });
                     }
                 }
-                for (r, s) in open {
-                    ch.precharge(bank, r, s, at)?;
+                if !any {
+                    return Err(Reject { rule: Rule::PreNothingOpen, earliest: None });
+                }
+                while let Some(o) = self.state.first_open(channel, bank) {
+                    self.state.precharge(channel, bank, o.row, o.slice, at)?;
                 }
                 Ok(())
             }
@@ -322,9 +331,8 @@ impl DramDevice {
     /// Internally schedules the precharge implied by auto-precharge: it
     /// occurs as soon as tRAS/tRTP/tWR allow, without a command-bus slot.
     fn auto_precharge(&mut self, channel: u32, bank: u32, row: u32, slice: u32) {
-        let ch = &mut self.channels[channel as usize];
-        if let Ok(at) = ch.earliest_pre(bank, row, slice, 0) {
-            let _ = ch.precharge(bank, row, slice, at);
+        if let Ok(at) = self.state.earliest_pre(channel, bank, row, slice, 0) {
+            let _ = self.state.precharge(channel, bank, row, slice, at);
         }
     }
 }

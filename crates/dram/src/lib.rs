@@ -7,9 +7,13 @@
 //! The crate models banks (with per-subarray and per-slice row slots),
 //! channels/grains (bank groups, data-bus occupancy and turnaround, tRRD,
 //! tFAW, refresh), and the stack's split row/column command buses — eight
-//! grains per command channel for FGDRAM. An independent
-//! [`checker::ProtocolChecker`] replays recorded command traces against the
-//! same rules, so scheduler bugs cannot hide inside the device model.
+//! grains per command channel for FGDRAM. All timing state lives in the
+//! struct-of-arrays [`state::DeviceState`]; [`Channel`] and its banks are
+//! copyable views over it. An independent [`checker::ProtocolChecker`]
+//! replays recorded command traces against the same rules, so scheduler
+//! bugs cannot hide inside the device model, and [`reference`] keeps the
+//! original object-model core as an executable specification for the
+//! differential test suite.
 //!
 //! ## Examples
 //!
@@ -33,15 +37,17 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
-pub mod bank;
 pub mod channel;
 pub mod checker;
 pub mod device;
 pub mod error;
 pub mod faw;
+pub mod reference;
+pub mod state;
 mod telemetry;
 
 pub use channel::{Channel, ChannelCounters, ColOutcome, Reject};
 pub use checker::ProtocolChecker;
 pub use device::DramDevice;
 pub use error::{ProtocolError, Rule, ViolationReport};
+pub use state::{DeviceState, OpenRow};

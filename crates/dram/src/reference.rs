@@ -1,0 +1,533 @@
+//! Reference object-model timing state (the pre-SoA engine core).
+//!
+//! [`RefBank`] and [`RefChannel`] are the original heap-per-bank
+//! implementations that [`crate::state::DeviceState`] flattened. They are
+//! kept as an executable specification: `tests/soa_differential.rs` drives
+//! seeded random command streams through both models and asserts identical
+//! accept/reject outcomes and timing fences at every step. They are *not*
+//! on the hot path.
+//!
+//! One deliberate divergence from the historical code: `adjacent_open`
+//! used to recompute `subarrays = open.len() / slices` and rescan every
+//! slice of both neighbouring subarrays on each activate. The reference
+//! now keeps a per-subarray open count, so the check is O(1) — same
+//! observable behaviour, without the quadratic scan.
+
+use fgdram_model::config::{DramConfig, TimingParams};
+use fgdram_model::stats::BusyTracker;
+use fgdram_model::units::Ns;
+
+use crate::error::Rule;
+use crate::faw::ActWindow;
+use crate::state::{ColOutcome, OpenRow, Reject, TURNAROUND_BUBBLE};
+
+/// Row-buffer and row-timing state for one bank (reference model).
+#[derive(Debug, Clone)]
+pub struct RefBank {
+    open: Vec<Option<OpenRow>>,
+    next_act: Vec<Ns>,
+    last_act: Option<Ns>,
+    open_count: usize,
+    /// Open-slot count per subarray: `adjacent_open` probes neighbours in
+    /// O(1) instead of rescanning every slice.
+    sub_open: Vec<u16>,
+    salp: bool,
+    slices: u32,
+    subarrays: u32,
+    rows_per_subarray: u32,
+    timing: TimingParams,
+}
+
+impl RefBank {
+    /// New all-closed bank for `cfg`.
+    pub fn new(cfg: &DramConfig) -> Self {
+        let slices = cfg.slices_per_row() as u32;
+        let subarrays = if cfg.salp { cfg.subarrays_per_bank } else { 1 };
+        let domains = subarrays * slices as usize;
+        RefBank {
+            open: vec![None; domains],
+            next_act: vec![0; domains],
+            last_act: None,
+            open_count: 0,
+            sub_open: vec![0; subarrays],
+            salp: cfg.salp,
+            slices,
+            subarrays: subarrays as u32,
+            rows_per_subarray: cfg.rows_per_subarray() as u32,
+            timing: cfg.timing,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, row: u32, slice: u32) -> usize {
+        let sub = if self.salp { row / self.rows_per_subarray } else { 0 };
+        (sub * self.slices + slice) as usize
+    }
+
+    /// The open row covering (`row`, `slice`), if any row is open there.
+    pub fn open_at(&self, row: u32, slice: u32) -> Option<&OpenRow> {
+        self.open[self.slot(row, slice)].as_ref()
+    }
+
+    /// True when any slot holds an open row.
+    pub fn any_open(&self) -> bool {
+        self.open_count > 0
+    }
+
+    /// Iterates currently open rows in slot order.
+    pub fn open_rows(&self) -> impl Iterator<Item = &OpenRow> + '_ {
+        self.open.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Earliest time an activate of (`row`, `slice`) may issue at or after
+    /// `at`, considering this bank's state only (channel adds tRRD/tFAW).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::ActOnOpenRow`] when the slot still holds a row (precharge
+    /// first), [`Rule::AdjacentSubarray`] when SALP's shared sense-amp
+    /// stripe blocks the neighbouring subarray.
+    pub fn earliest_act(&self, row: u32, slice: u32, at: Ns) -> Result<Ns, Rule> {
+        let slot = self.slot(row, slice);
+        if self.open[slot].is_some() {
+            return Err(Rule::ActOnOpenRow);
+        }
+        if self.salp && self.adjacent_open(row) {
+            return Err(Rule::AdjacentSubarray);
+        }
+        // Shared row decoder: consecutive activates to the same bank keep
+        // at least tRRD between them even across subarrays.
+        let decoder_free = self.last_act.map_or(0, |t| t + self.timing.t_rrd);
+        Ok(at.max(self.next_act[slot]).max(decoder_free))
+    }
+
+    fn adjacent_open(&self, row: u32) -> bool {
+        let sub = row / self.rows_per_subarray;
+        (sub > 0 && self.sub_open[(sub - 1) as usize] > 0)
+            || (sub + 1 < self.subarrays && self.sub_open[(sub + 1) as usize] > 0)
+    }
+
+    /// Records an accepted activate.
+    pub fn activate(&mut self, row: u32, slice: u32, at: Ns) {
+        let slot = self.slot(row, slice);
+        debug_assert!(self.open[slot].is_none());
+        self.open[slot] = Some(OpenRow {
+            row,
+            slice,
+            ready_at: at + self.timing.t_rcd,
+            earliest_pre: at + self.timing.t_ras,
+            act_at: at,
+        });
+        self.next_act[slot] = at + self.timing.t_rc;
+        self.last_act = Some(at);
+        self.open_count += 1;
+        self.sub_open[slot / self.slices as usize] += 1;
+    }
+
+    /// Earliest column command to (`row`, `slice`) (tRCD gate only).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::RowNotOpen`] when the slot is closed or holds another row.
+    pub fn col_ready(&self, row: u32, slice: u32) -> Result<Ns, Rule> {
+        match self.open_at(row, slice) {
+            Some(o) if o.row == row => Ok(o.ready_at),
+            _ => Err(Rule::RowNotOpen),
+        }
+    }
+
+    /// Pushes the precharge fence after a read issued at `col_at`.
+    pub fn note_read(&mut self, row: u32, slice: u32, col_at: Ns) {
+        let t_rtp = self.timing.t_rtp;
+        let slot = self.slot(row, slice);
+        if let Some(o) = self.open[slot].as_mut() {
+            o.earliest_pre = o.earliest_pre.max(col_at + t_rtp);
+        }
+    }
+
+    /// Pushes the precharge fence after a write whose data finishes at
+    /// `data_end` (write recovery).
+    pub fn note_write(&mut self, row: u32, slice: u32, data_end: Ns) {
+        let t_wr = self.timing.t_wr;
+        let slot = self.slot(row, slice);
+        if let Some(o) = self.open[slot].as_mut() {
+            o.earliest_pre = o.earliest_pre.max(data_end + t_wr);
+        }
+    }
+
+    /// Earliest precharge of the slot holding (`row`, `slice`).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::PreNothingOpen`] when nothing is open there.
+    pub fn earliest_pre(&self, row: u32, slice: u32) -> Result<Ns, Rule> {
+        self.open_at(row, slice).map(|o| o.earliest_pre).ok_or(Rule::PreNothingOpen)
+    }
+
+    /// Records an accepted precharge of the slot at `at`.
+    pub fn precharge(&mut self, row: u32, slice: u32, at: Ns) {
+        let slot = self.slot(row, slice);
+        if self.open[slot].take().is_some() {
+            self.open_count -= 1;
+            self.sub_open[slot / self.slices as usize] -= 1;
+        }
+        self.next_act[slot] = self.next_act[slot].max(at + self.timing.t_rp);
+    }
+
+    /// Blocks every slot until `until` (used for refresh).
+    pub fn block_until(&mut self, until: Ns) {
+        for t in &mut self.next_act {
+            *t = (*t).max(until);
+        }
+    }
+}
+
+/// One data channel / grain (reference model).
+#[derive(Debug, Clone)]
+pub struct RefChannel {
+    banks: Vec<RefBank>,
+    bank_groups: usize,
+    timing: TimingParams,
+    grain_guard: bool,
+    rows_per_subarray: u32,
+    last_col_any: Option<Ns>,
+    last_col_group: Vec<Option<Ns>>,
+    last_act: Option<Ns>,
+    faw: ActWindow,
+    data_bus: BusyTracker,
+    last_dir_write: Option<bool>,
+    last_write_data_end: Ns,
+    last_write_group: u32,
+    refresh_until: Ns,
+    bank_activates: Vec<u64>,
+}
+
+impl RefChannel {
+    /// New idle channel for `cfg`.
+    pub fn new(cfg: &DramConfig) -> Self {
+        RefChannel {
+            banks: (0..cfg.banks_per_channel).map(|_| RefBank::new(cfg)).collect(),
+            bank_groups: cfg.bank_groups,
+            timing: cfg.timing,
+            grain_guard: cfg.is_grain_based(),
+            rows_per_subarray: cfg.rows_per_subarray() as u32,
+            last_col_any: None,
+            last_col_group: vec![None; cfg.bank_groups],
+            last_act: None,
+            faw: ActWindow::new(cfg.timing.acts_in_faw, cfg.timing.t_faw),
+            data_bus: BusyTracker::new(),
+            last_dir_write: None,
+            last_write_data_end: 0,
+            last_write_group: u32::MAX,
+            refresh_until: 0,
+            bank_activates: vec![0; cfg.banks_per_channel],
+        }
+    }
+
+    /// Read access to a bank's row-buffer state.
+    pub fn bank(&self, bank: u32) -> &RefBank {
+        &self.banks[bank as usize]
+    }
+
+    /// Number of banks (pseudobanks).
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    #[inline]
+    fn group_of(&self, bank: u32) -> u32 {
+        bank % self.bank_groups as u32
+    }
+
+    fn check_bank(&self, bank: u32) -> Result<(), Reject> {
+        if (bank as usize) < self.banks.len() {
+            Ok(())
+        } else {
+            Err(Reject::structural(Rule::OutOfRange))
+        }
+    }
+
+    /// Earliest activate of (`bank`, `row`, `slice`) at or after `at`.
+    ///
+    /// # Errors
+    ///
+    /// Structural rejections: [`Rule::ActOnOpenRow`],
+    /// [`Rule::AdjacentSubarray`], [`Rule::SubarrayConflict`],
+    /// [`Rule::OutOfRange`].
+    pub fn earliest_act(&self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
+        self.check_bank(bank)?;
+        let mut t =
+            self.banks[bank as usize].earliest_act(row, slice, at).map_err(Reject::structural)?;
+        if self.grain_guard {
+            let sub = row / self.rows_per_subarray;
+            for (b, other) in self.banks.iter().enumerate() {
+                if b as u32 == bank {
+                    continue;
+                }
+                let conflict = other
+                    .open_rows()
+                    .any(|o| o.row != row && o.row / self.rows_per_subarray == sub);
+                if conflict {
+                    return Err(Reject::structural(Rule::SubarrayConflict));
+                }
+            }
+        }
+        if let Some(last) = self.last_act {
+            t = t.max(last + self.timing.t_rrd);
+        }
+        t = self.faw.earliest(t);
+        Ok(t.max(self.refresh_until))
+    }
+
+    /// Issues an activate; `at` must be at or after [`Self::earliest_act`].
+    ///
+    /// # Errors
+    ///
+    /// Everything `earliest_act` rejects, plus [`Rule::ActTooEarly`] with
+    /// the earliest legal time.
+    pub fn activate(&mut self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<(), Reject> {
+        let earliest = self.earliest_act(bank, row, slice, at)?;
+        if at < earliest {
+            return Err(Reject { rule: Rule::ActTooEarly, earliest: Some(earliest) });
+        }
+        self.banks[bank as usize].activate(row, slice, at);
+        self.last_act = Some(at);
+        self.faw.record(at);
+        self.bank_activates[bank as usize] += 1;
+        Ok(())
+    }
+
+    /// Earliest read/write column command for the open (`bank`,`row`,`slice`).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::RowNotOpen`] / [`Rule::OutOfRange`] structurally.
+    pub fn earliest_col(
+        &self,
+        bank: u32,
+        row: u32,
+        slice: u32,
+        is_write: bool,
+        at: Ns,
+    ) -> Result<Ns, Reject> {
+        self.check_bank(bank)?;
+        let mut t =
+            at.max(self.banks[bank as usize].col_ready(row, slice).map_err(Reject::structural)?);
+        let group = self.group_of(bank);
+        // Bank-group spacing.
+        if let Some(any) = self.last_col_any {
+            t = t.max(any + self.timing.t_ccd_s);
+        }
+        if let Some(same) = self.last_col_group[group as usize] {
+            t = t.max(same + self.timing.t_ccd_l);
+        }
+        // Write-to-read turnaround (from end of write data).
+        if !is_write && self.last_write_data_end > 0 {
+            let wtr = if group == self.last_write_group {
+                self.timing.t_wtr_l
+            } else {
+                self.timing.t_wtr_s
+            };
+            t = t.max(self.last_write_data_end + wtr);
+        }
+        // Data bus: in-order, non-overlapping, with a turnaround bubble.
+        let latency = if is_write { self.timing.t_wl } else { self.timing.t_cl };
+        let mut bus_free = self.data_bus.busy_until();
+        if self.last_dir_write.is_some_and(|w| w != is_write) {
+            bus_free += TURNAROUND_BUBBLE;
+        }
+        if bus_free > t + latency {
+            t = bus_free - latency;
+        }
+        Ok(t.max(self.refresh_until))
+    }
+
+    /// Issues a column command, returning its data-bus occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Everything `earliest_col` rejects, plus [`Rule::ColCcd`] when `at`
+    /// is before the legal time.
+    pub fn column(
+        &mut self,
+        bank: u32,
+        row: u32,
+        slice: u32,
+        is_write: bool,
+        at: Ns,
+    ) -> Result<ColOutcome, Reject> {
+        let earliest = self.earliest_col(bank, row, slice, is_write, at)?;
+        if at < earliest {
+            return Err(Reject { rule: Rule::ColCcd, earliest: Some(earliest) });
+        }
+        let group = self.group_of(bank);
+        let latency = if is_write { self.timing.t_wl } else { self.timing.t_cl };
+        let data_start = at + latency;
+        let data_end = data_start + self.timing.t_burst;
+        self.data_bus.occupy(data_start, self.timing.t_burst);
+        self.last_col_any = Some(at);
+        self.last_col_group[group as usize] = Some(at);
+        self.last_dir_write = Some(is_write);
+        if is_write {
+            self.last_write_data_end = data_end;
+            self.last_write_group = group;
+            self.banks[bank as usize].note_write(row, slice, data_end);
+        } else {
+            self.banks[bank as usize].note_read(row, slice, at);
+        }
+        Ok(ColOutcome { data_start, data_end })
+    }
+
+    /// Earliest precharge of the slot holding (`bank`, `row`, `slice`).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::PreNothingOpen`] / [`Rule::OutOfRange`].
+    pub fn earliest_pre(&self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<Ns, Reject> {
+        self.check_bank(bank)?;
+        let t = self.banks[bank as usize].earliest_pre(row, slice).map_err(Reject::structural)?;
+        Ok(t.max(at).max(self.refresh_until))
+    }
+
+    /// Issues a precharge.
+    ///
+    /// # Errors
+    ///
+    /// Everything `earliest_pre` rejects, plus [`Rule::PreTooEarly`].
+    pub fn precharge(&mut self, bank: u32, row: u32, slice: u32, at: Ns) -> Result<(), Reject> {
+        let earliest = self.earliest_pre(bank, row, slice, at)?;
+        if at < earliest {
+            return Err(Reject { rule: Rule::PreTooEarly, earliest: Some(earliest) });
+        }
+        self.banks[bank as usize].precharge(row, slice, at);
+        Ok(())
+    }
+
+    /// Earliest all-bank refresh (requires every row closed).
+    ///
+    /// # Errors
+    ///
+    /// [`Rule::RefreshConflict`] while any row is open.
+    pub fn earliest_refresh(&self, at: Ns) -> Result<Ns, Reject> {
+        if self.banks.iter().any(RefBank::any_open) {
+            return Err(Reject::structural(Rule::RefreshConflict));
+        }
+        Ok(at.max(self.refresh_until))
+    }
+
+    /// Issues an all-bank refresh occupying the channel for tRFC.
+    ///
+    /// # Errors
+    ///
+    /// Everything `earliest_refresh` rejects.
+    pub fn refresh(&mut self, at: Ns) -> Result<(), Reject> {
+        let earliest = self.earliest_refresh(at)?;
+        if at < earliest {
+            return Err(Reject { rule: Rule::RefreshConflict, earliest: Some(earliest) });
+        }
+        let until = at + self.timing.t_rfc;
+        for b in &mut self.banks {
+            b.block_until(until);
+        }
+        self.refresh_until = until;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdram_model::config::DramKind;
+
+    fn bank(kind: DramKind) -> RefBank {
+        RefBank::new(&DramConfig::new(kind))
+    }
+
+    #[test]
+    fn baseline_bank_single_open_row() {
+        let mut b = bank(DramKind::QbHbm);
+        assert_eq!(b.earliest_act(100, 0, 5).unwrap(), 5);
+        b.activate(100, 0, 5);
+        assert!(b.any_open());
+        // Row 200 shares the single slot: blocked until precharge.
+        assert_eq!(b.earliest_act(200, 0, 10), Err(Rule::ActOnOpenRow));
+        // Column gated by tRCD.
+        assert_eq!(b.col_ready(100, 0).unwrap(), 5 + 16);
+        assert_eq!(b.col_ready(200, 0), Err(Rule::RowNotOpen));
+        // Precharge gated by tRAS.
+        assert_eq!(b.earliest_pre(100, 0).unwrap(), 5 + 29);
+        b.precharge(100, 0, 40);
+        assert!(!b.any_open());
+        // Next activate gated by tRP after precharge and tRC after act.
+        let e = b.earliest_act(200, 0, 0).unwrap();
+        assert_eq!(e, 56); // max(pre 40 + tRP 16, act 5 + tRC 45)
+    }
+
+    #[test]
+    fn read_and_write_push_precharge_fence() {
+        let mut b = bank(DramKind::QbHbm);
+        b.activate(7, 0, 0);
+        b.note_read(7, 0, 100);
+        assert_eq!(b.earliest_pre(7, 0).unwrap(), 104); // +tRTP
+        b.note_write(7, 0, 200);
+        assert_eq!(b.earliest_pre(7, 0).unwrap(), 216); // +tWR
+    }
+
+    #[test]
+    fn salp_subarrays_independent_but_adjacent_blocked() {
+        let mut b = bank(DramKind::QbHbmSalpSc);
+        // Rows 0 and 5*512 are in subarrays 0 and 5: both can open.
+        b.activate(0, 0, 0);
+        let e = b.earliest_act(5 * 512, 0, 0).unwrap();
+        assert_eq!(e, 2); // decoder tRRD gap only, no tRC serialisation
+        b.activate(5 * 512, 0, 2);
+        assert_eq!(b.open_rows().count(), 2);
+        // Subarray 1 is adjacent to open subarray 0.
+        assert_eq!(b.earliest_act(512, 0, 50), Err(Rule::AdjacentSubarray));
+        // Subarray 3 is fine (neighbours 2 and 4 closed).
+        assert!(b.earliest_act(3 * 512, 0, 50).is_ok());
+    }
+
+    #[test]
+    fn subchannel_slices_activate_independently() {
+        let mut b = bank(DramKind::QbHbmSalpSc);
+        b.activate(0, 0, 0);
+        // Same subarray, same row, different slice: its own slot.
+        assert!(b.earliest_act(0, 1, 10).is_ok());
+        b.activate(0, 1, 10);
+        assert_eq!(b.col_ready(0, 1).unwrap(), 26);
+        // Same slice again: occupied.
+        assert_eq!(b.earliest_act(0, 1, 20), Err(Rule::ActOnOpenRow));
+    }
+
+    #[test]
+    fn adjacent_mask_clears_when_last_slice_closes() {
+        // Two slices of subarray 0 open; subarray 1 stays blocked until
+        // *both* close (the per-subarray count, not a single flag).
+        let mut b = bank(DramKind::QbHbmSalpSc);
+        b.activate(0, 0, 0);
+        b.activate(0, 1, 2);
+        assert_eq!(b.earliest_act(512, 0, 50), Err(Rule::AdjacentSubarray));
+        b.precharge(0, 0, 50);
+        assert_eq!(b.earliest_act(512, 0, 60), Err(Rule::AdjacentSubarray));
+        b.precharge(0, 1, 60);
+        assert!(b.earliest_act(512, 0, 70).is_ok());
+    }
+
+    #[test]
+    fn block_until_delays_all_slots() {
+        let mut b = bank(DramKind::QbHbm);
+        b.block_until(500);
+        assert_eq!(b.earliest_act(0, 0, 0).unwrap(), 500);
+    }
+
+    #[test]
+    fn fgdram_pseudobank_is_single_slot() {
+        let mut b = bank(DramKind::Fgdram);
+        b.activate(9, 0, 0);
+        assert_eq!(b.earliest_act(10, 0, 0), Err(Rule::ActOnOpenRow));
+        let open: Vec<_> = b.open_rows().collect();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].row, 9);
+    }
+}

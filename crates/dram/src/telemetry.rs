@@ -20,19 +20,19 @@ impl Sampled for DramDevice {
         let channels = self.config().channels;
         let mut act_per_channel = Vec::with_capacity(channels);
         let mut busy_ns_per_channel = Vec::with_capacity(channels);
-        let mut act_per_bank = Vec::with_capacity(channels * self.config().banks_per_channel);
         let mut faw_headroom = 0u64;
         for ch in 0..channels as u32 {
             let c = self.channel(ch);
             act_per_channel.push(c.counters().activates);
             busy_ns_per_channel.push(c.data_bus().busy_total());
-            act_per_bank.extend_from_slice(c.bank_activates());
             faw_headroom += c.faw_headroom_sum();
         }
         out.counter_array("act_per_channel", act_per_channel);
         // The per-bank activate heatmap, channel-major: index = channel *
         // banks_per_channel + bank (a grain's pseudobanks are adjacent).
-        out.counter_array("act_per_bank", act_per_bank);
+        // The SoA state already stores it flat in exactly this order, so
+        // the readout is a single contiguous copy.
+        out.counter_array("act_per_bank", self.state().bank_activates_flat().to_vec());
         // busy_total is monotonic per channel, so the array delta is the
         // data-bus busy time inside the epoch.
         out.counter_array("busy_ns_per_channel", busy_ns_per_channel);

@@ -108,6 +108,10 @@ pub struct L2Cache {
     /// observable order.
     mshr: FxHashMap<u64, MshrEntry>,
     mshr_capacity: usize,
+    /// Recycled waiter vectors: an MSHR's `waiters` buffer returns here
+    /// when the fill completes, so steady-state miss/fill churn allocates
+    /// nothing. Bounded by `mshr_capacity` (one buffer per live entry).
+    waiter_pool: Vec<Vec<u64>>,
     lru_clock: u64,
     writebacks: Vec<PhysAddr>,
     stats: L2Stats,
@@ -123,10 +127,16 @@ impl L2Cache {
             sets,
             ways,
             lines: vec![Line::default(); sets * ways],
-            mshr: FxHashMap::default(),
+            mshr: FxHashMap::with_capacity_and_hasher(mshr_capacity, Default::default()),
             mshr_capacity,
+            // At most `mshr_capacity` entries are live at once, so one
+            // pre-sized buffer per slot means `fill_sector` never falls
+            // back to a fresh (allocating-on-first-push) Vec.
+            waiter_pool: (0..mshr_capacity).map(|_| Vec::with_capacity(16)).collect(),
             lru_clock: 0,
-            writebacks: Vec::new(),
+            // Worst-case drain fan-out: one line eviction per access in a
+            // step's issue budget, each spilling every dirty sector.
+            writebacks: Vec::with_capacity(4096),
             stats: L2Stats::default(),
         }
     }
@@ -254,7 +264,9 @@ impl L2Cache {
                     self.stats.blocked.incr();
                     return L2Access::Blocked;
                 }
-                self.mshr.insert(sector.0, MshrEntry { waiters: vec![token] });
+                let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+                waiters.push(token);
+                self.mshr.insert(sector.0, MshrEntry { waiters });
                 self.lines[line_idx].pending_fills += 1;
                 self.stats.misses.incr();
                 L2Access::Miss { fill: sector }
@@ -288,9 +300,19 @@ impl L2Cache {
     /// Completes an outstanding fill, returning the waiter tokens to wake.
     /// Unknown sectors (e.g. after an unexpected re-fill) return no tokens.
     pub fn fill_done(&mut self, sector: PhysAddr) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.fill_done_into(sector, &mut out);
+        out
+    }
+
+    /// Like [`Self::fill_done`], but appends the waiter tokens to `out`
+    /// (cleared first) and recycles the MSHR's waiter buffer, so the
+    /// steady-state fill path never touches the allocator.
+    pub fn fill_done_into(&mut self, sector: PhysAddr, out: &mut Vec<u64>) {
+        out.clear();
         let sector = sector.sector_base(self.cfg.sector_bytes);
-        let Some(entry) = self.mshr.remove(&sector.0) else {
-            return Vec::new();
+        let Some(mut entry) = self.mshr.remove(&sector.0) else {
+            return;
         };
         let line_addr = self.line_addr(sector);
         let set = self.set_of(line_addr);
@@ -303,7 +325,9 @@ impl L2Cache {
             line.sector_valid |= bit;
             line.pending_fills = line.pending_fills.saturating_sub(1);
         }
-        entry.waiters
+        out.extend_from_slice(&entry.waiters);
+        entry.waiters.clear();
+        self.waiter_pool.push(entry.waiters);
     }
 }
 

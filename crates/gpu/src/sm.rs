@@ -185,7 +185,7 @@ impl Gpu {
                 v
             },
             wave_head: 0,
-            wave_parked: Vec::new(),
+            wave_parked: Vec::with_capacity(n_warps),
             ready_count: vec![cfg.warps_per_sm as u32; cfg.sms],
             next_wake: vec![Ns::MAX; cfg.sms],
             cfg,
@@ -225,11 +225,15 @@ impl Gpu {
     }
 
     fn release_wave_parked(&mut self, now: Ns) {
-        let parked = std::mem::take(&mut self.wave_parked);
-        for (sm_idx, w) in parked {
+        // Compact in place (still-parked entries slide to the front) so the
+        // buffer keeps its capacity instead of re-growing every release.
+        let mut kept = 0;
+        for i in 0..self.wave_parked.len() {
+            let (sm_idx, w) = self.wave_parked[i];
             let issued = self.sms[sm_idx].warps[w].issued;
             if self.wave_closed(issued) {
-                self.wave_parked.push((sm_idx, w));
+                self.wave_parked[kept] = (sm_idx, w);
+                kept += 1;
                 continue;
             }
             let sm = &mut self.sms[sm_idx];
@@ -247,6 +251,7 @@ impl Gpu {
                 }
             }
         }
+        self.wave_parked.truncate(kept);
     }
 
     /// Front-end statistics.

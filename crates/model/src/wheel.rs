@@ -16,6 +16,22 @@
 //! bitmap with a one-word summary above it. Events further out than the
 //! horizon wait in an overflow heap and migrate into the wheel as `base`
 //! advances (which it does in a single jump, never slot-by-slot).
+//!
+//! Slot storage is one inline entry per slot plus a shared node pool
+//! (intrusive chains + free list) for the rare slots holding more, not a
+//! `Vec` per slot: per-slot buffers grow to each slot's individual
+//! worst-case fan-in, and since spike periods are not aligned to the
+//! horizon, every lap lands spikes on fresh residues — 4096 buffers that
+//! keep growing forever. The inline lane makes the dominant
+//! one-event-per-ns case a single array access with no pool touch at
+//! all, and the pool's size is bounded by the *total* live overflow-entry
+//! count, which the simulator's bounded queues cap at a high-water mark
+//! reached during warmup — after that the wheel never touches the
+//! allocator. Entries are `Copy` and popped by `(time, event)` value
+//! (all entries in one slot share one time — a slot holds a single
+//! residue per horizon window), so storage order inside a slot is
+//! unobservable and the pop sequence is identical to the per-slot-`Vec`
+//! wheel's.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -28,6 +44,9 @@ const W: usize = 4096;
 const MASK: u64 = (W as u64) - 1;
 const WORDS: usize = W / 64;
 
+/// Null node index for the intrusive slot chains and the free list.
+const NIL: u32 = u32::MAX;
+
 /// Time-ordered event queue with O(1) near-future operations.
 #[derive(Debug)]
 pub struct EventWheel<T> {
@@ -35,7 +54,16 @@ pub struct EventWheel<T> {
     base: Ns,
     /// Entry count in the slots (excludes `overflow`).
     wheel_len: usize,
-    slots: Vec<Vec<(Ns, T)>>,
+    /// First entry per slot, present iff the slot's occupancy bit is set.
+    /// The common one-event slot lives entirely here.
+    inline: Vec<Option<(Ns, T)>>,
+    /// Chain head per slot for entries beyond the first (`NIL` if none).
+    /// Non-`NIL` implies the inline entry is present.
+    more: Vec<u32>,
+    /// Node pool for the extra entries: `(time, event, next)`. Live nodes
+    /// chain per slot from `more`; free nodes chain from `free_head`.
+    pool: Vec<(Ns, T, u32)>,
+    free_head: u32,
     /// One occupancy bit per slot.
     words: [u64; WORDS],
     /// One bit per `words` entry.
@@ -50,11 +78,40 @@ impl<T: Ord + Copy> EventWheel<T> {
         EventWheel {
             base: 0,
             wheel_len: 0,
-            slots: (0..W).map(|_| Vec::new()).collect(),
+            inline: vec![None; W],
+            more: vec![NIL; W],
+            // Covers typical multi-event-slot high-water without a
+            // mid-run grow; past this the pool doubles amortised, then
+            // sticks.
+            pool: Vec::with_capacity(1024),
+            free_head: NIL,
             words: [0; WORDS],
             summary: 0,
-            overflow: BinaryHeap::new(),
+            overflow: BinaryHeap::with_capacity(64),
         }
+    }
+
+    /// Links `(t, ev)` into its slot (inline lane first, then the pool
+    /// chain) and marks the bitmaps.
+    fn link(&mut self, t: Ns, ev: T) {
+        let s = (t & MASK) as usize;
+        if self.inline[s].is_none() {
+            self.inline[s] = Some((t, ev));
+        } else {
+            let node = if self.free_head != NIL {
+                let n = self.free_head;
+                self.free_head = self.pool[n as usize].2;
+                self.pool[n as usize] = (t, ev, self.more[s]);
+                n
+            } else {
+                self.pool.push((t, ev, self.more[s]));
+                (self.pool.len() - 1) as u32
+            };
+            self.more[s] = node;
+        }
+        self.words[s / 64] |= 1 << (s % 64);
+        self.summary |= 1 << (s / 64);
+        self.wheel_len += 1;
     }
 
     /// Total scheduled events (wheel + overflow).
@@ -79,11 +136,7 @@ impl<T: Ord + Copy> EventWheel<T> {
             self.overflow.push(Reverse((t, ev)));
             return;
         }
-        let s = (t & MASK) as usize;
-        self.slots[s].push((t, ev));
-        self.words[s / 64] |= 1 << (s % 64);
-        self.summary |= 1 << (s / 64);
-        self.wheel_len += 1;
+        self.link(t, ev);
     }
 
     /// The earliest scheduled time, if any. Mutation-free.
@@ -136,26 +189,56 @@ impl<T: Ord + Copy> EventWheel<T> {
             (Some(a), _) => a,
         };
         let s = (m & MASK) as usize;
-        let slot = &mut self.slots[s];
-        debug_assert!(!slot.is_empty(), "bitmap bit set on empty slot {s}");
-        // All entries in one slot share the same time (one residue per
-        // horizon window), so the minimum is decided by the event alone.
-        let mut min_i = 0;
-        for i in 1..slot.len() {
-            if slot[i] < slot[min_i] {
-                min_i = i;
-            }
-        }
-        let (t, ev) = slot.swap_remove(min_i);
-        debug_assert_eq!(t, m);
-        if slot.is_empty() {
+        let (it, iev) = self.inline[s].expect("bitmap bit set on empty slot");
+        debug_assert_eq!(it, m);
+        self.wheel_len -= 1;
+        if self.more[s] == NIL {
+            // Dominant case: a one-event slot never touches the pool.
+            self.inline[s] = None;
             self.words[s / 64] &= !(1 << (s % 64));
             if self.words[s / 64] == 0 {
                 self.summary &= !(1 << (s / 64));
             }
+            return Some((it, iev));
         }
-        self.wheel_len -= 1;
-        Some((t, ev))
+        // All entries in one slot share the same time (one residue per
+        // horizon window), so the minimum is decided by the event alone —
+        // and equal-minimum entries are indistinguishable `Copy` values,
+        // so which of them is removed is unobservable.
+        let mut best = NIL; // NIL = the inline entry is the minimum so far
+        let mut best_prev = NIL;
+        let mut best_key = (it, iev);
+        let mut prev = NIL;
+        let mut cur = self.more[s];
+        while cur != NIL {
+            let c = self.pool[cur as usize];
+            if (c.0, c.1) < best_key {
+                best = cur;
+                best_prev = prev;
+                best_key = (c.0, c.1);
+            }
+            prev = cur;
+            cur = c.2;
+        }
+        if best == NIL {
+            // Inline wins: promote the chain head into the inline lane.
+            let head = self.more[s];
+            let (ht, hev, hnext) = self.pool[head as usize];
+            self.inline[s] = Some((ht, hev));
+            self.more[s] = hnext;
+            self.pool[head as usize].2 = self.free_head;
+            self.free_head = head;
+            return Some((it, iev));
+        }
+        let next = self.pool[best as usize].2;
+        if best_prev == NIL {
+            self.more[s] = next;
+        } else {
+            self.pool[best_prev as usize].2 = next;
+        }
+        self.pool[best as usize].2 = self.free_head;
+        self.free_head = best;
+        Some(best_key)
     }
 
     /// Jumps `base` forward to `nb` (callers guarantee every live entry is
@@ -171,11 +254,7 @@ impl<T: Ord + Copy> EventWheel<T> {
                 break;
             }
             let Reverse((t, ev)) = self.overflow.pop().expect("peeked");
-            let s = (t & MASK) as usize;
-            self.slots[s].push((t, ev));
-            self.words[s / 64] |= 1 << (s % 64);
-            self.summary |= 1 << (s / 64);
-            self.wheel_len += 1;
+            self.link(t, ev);
         }
     }
 

@@ -187,7 +187,10 @@ impl AccessStream for Generator {
                     out.sectors.push(PhysAddr(s));
                 }
                 if rmw {
-                    self.pending_store = out.sectors.clone();
+                    // `append` above drains this buffer but keeps its
+                    // capacity, so refilling in place stays allocation-free.
+                    self.pending_store.clear();
+                    self.pending_store.extend_from_slice(&out.sectors);
                 } else {
                     self.maybe_store(out);
                 }

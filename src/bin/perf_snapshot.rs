@@ -11,7 +11,14 @@
 //!
 //! Usage:
 //!   perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N]
-//!                 [--jobs N]
+//!                 [--jobs N] [--compare OLD.json] [--fail-below RATIO]
+//!
+//! `--compare OLD.json` prints per-bench and aggregate cycles/sec ratios
+//! of this run against a previous snapshot (new / old; above 1.0 is
+//! faster). With `--fail-below RATIO` the process exits 1 when the
+//! aggregate ratio falls below the bound — the CI perf-regression guard.
+//! Ratios are only meaningful against a snapshot taken with the same
+//! horizon and jobs level on the same class of host.
 //!
 //! `--repeat N` runs the whole cell matrix N times (interleaved, so host
 //! noise hits every cell alike) and keeps the minimum wall time per cell —
@@ -45,19 +52,29 @@ struct Flags {
     window: Ns,
     repeat: usize,
     jobs: usize,
+    compare: Option<String>,
+    fail_below: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N] \
-         [--jobs N]"
+         [--jobs N] [--compare OLD.json] [--fail-below RATIO]"
     );
     std::process::exit(2);
 }
 
 fn parse_flags() -> Flags {
-    let mut f =
-        Flags { smoke: false, out: None, warmup: 2_000, window: 20_000, repeat: 1, jobs: 1 };
+    let mut f = Flags {
+        smoke: false,
+        out: None,
+        warmup: 2_000,
+        window: 20_000,
+        repeat: 1,
+        jobs: 1,
+        compare: None,
+        fail_below: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -83,9 +100,21 @@ fn parse_flags() -> Flags {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage())
             }
+            "--compare" => f.compare = Some(args.next().unwrap_or_else(|| usage())),
+            "--fail-below" => {
+                f.fail_below = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .map(Some)
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if f.fail_below.is_some() && f.compare.is_none() {
+        usage();
     }
     if f.smoke {
         f.warmup = 500;
@@ -273,6 +302,89 @@ fn render(results: &[BenchResult], f: &Flags, date: &str) -> String {
     out
 }
 
+/// Per-bench and aggregate cycles/sec pulled out of a previous snapshot.
+struct Baseline {
+    benches: Vec<(String, f64)>,
+    total_cps: f64,
+}
+
+/// Extracts a `"key": "value"` string field from one rendered JSON line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    rest.find('"').map(|end| &rest[..end])
+}
+
+/// Extracts a `"key": number` field from one rendered JSON line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the fields `--compare` needs out of a snapshot this binary
+/// wrote. A stateful line scan, not a JSON parser (the build is
+/// registry-free): a bench's `name` precedes its `cycles_per_sec` and the
+/// `totals` object comes after the bench array in every v1 rendering,
+/// whether one-line-per-bench or pretty-printed.
+fn parse_snapshot(body: &str) -> Option<Baseline> {
+    if !body.contains("\"schema\": \"fgdram-perf-snapshot-v1\"") {
+        return None;
+    }
+    let mut benches = Vec::new();
+    let mut total_cps = None;
+    let mut pending_name: Option<String> = None;
+    let mut in_totals = false;
+    for line in body.lines() {
+        let t = line.trim();
+        if let Some(name) = str_field(t, "name") {
+            pending_name = Some(name.to_string());
+        }
+        if t.starts_with("\"totals\"") {
+            in_totals = true;
+        }
+        if let Some(cps) = num_field(t, "cycles_per_sec") {
+            if in_totals {
+                total_cps = Some(cps);
+            } else if let Some(name) = pending_name.take() {
+                benches.push((name, cps));
+            }
+        }
+    }
+    Some(Baseline { benches, total_cps: total_cps? })
+}
+
+/// Prints per-bench and aggregate new/old ratios; returns the aggregate.
+fn report_comparison(results: &[BenchResult], base: &Baseline, path: &str) -> f64 {
+    eprintln!("[perf-snapshot] comparison against {path} (new/old; >1.0 is faster):");
+    for r in results {
+        let new_cps = r.cycles_per_sec();
+        match base.benches.iter().find(|(n, _)| *n == r.name) {
+            Some(&(_, old_cps)) if old_cps > 0.0 => {
+                eprintln!(
+                    "[perf-snapshot]   {:<16} {:>12.0} vs {:>12.0} cycles/sec = {:.2}x",
+                    r.name,
+                    new_cps,
+                    old_cps,
+                    new_cps / old_cps
+                );
+            }
+            _ => eprintln!("[perf-snapshot]   {:<16} not in baseline, skipped", r.name),
+        }
+    }
+    let (total_ns, total_ms) =
+        results.iter().fold((0u64, 0f64), |(ns, ms), r| (ns + r.simulated_ns, ms + r.wall_ms));
+    let new_total = if total_ms > 0.0 { total_ns as f64 * 1_000.0 / total_ms } else { 0.0 };
+    let ratio = if base.total_cps > 0.0 { new_total / base.total_cps } else { 0.0 };
+    eprintln!(
+        "[perf-snapshot]   {:<16} {:>12.0} vs {:>12.0} cycles/sec = {:.2}x",
+        "aggregate", new_total, base.total_cps, ratio
+    );
+    ratio
+}
+
 fn main() {
     let f = parse_flags();
     let mut results: Vec<BenchResult> = Vec::new();
@@ -303,6 +415,29 @@ fn main() {
     if let Err(e) = write(&path, &body) {
         eprintln!("perf-snapshot: I/O error ({path}): {e}");
         std::process::exit(6);
+    }
+    if let Some(old_path) = &f.compare {
+        let old_body = match std::fs::read_to_string(old_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("perf-snapshot: I/O error ({old_path}): {e}");
+                std::process::exit(6);
+            }
+        };
+        let Some(base) = parse_snapshot(&old_body) else {
+            eprintln!("perf-snapshot: {old_path} is not a fgdram-perf-snapshot-v1 file");
+            std::process::exit(6);
+        };
+        let ratio = report_comparison(&results, &base, old_path);
+        if let Some(bound) = f.fail_below {
+            if ratio < bound {
+                eprintln!(
+                    "perf-snapshot: aggregate ratio {ratio:.2}x below the {bound:.2}x bound \
+                     — performance regression"
+                );
+                std::process::exit(1);
+            }
+        }
     }
     println!("{path}");
 }
