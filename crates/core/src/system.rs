@@ -62,6 +62,7 @@ pub struct SystemBuilder {
     telemetry: Option<TelemetryConfig>,
     faults: Option<FaultSpec>,
     fault_seed: u64,
+    engine_threads: usize,
 }
 
 impl SystemBuilder {
@@ -78,7 +79,17 @@ impl SystemBuilder {
             telemetry: None,
             faults: None,
             fault_seed: 1,
+            engine_threads: 1,
         }
+    }
+
+    /// Shards the DRAM engine (device + controller) across this many
+    /// worker lanes (default 1 = serial). Output is byte-identical at any
+    /// value — the lane merge is deterministic — so this is a wall-clock
+    /// knob only and deliberately not part of any wire-visible spec.
+    pub fn engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = threads.max(1);
+        self
     }
 
     /// Replaces the DRAM configuration (for ablations), re-deriving the
@@ -163,11 +174,11 @@ impl SystemBuilder {
         // The L2 sector is the DRAM atom (Section 2.2 / Table 1).
         gpu_cfg.l2.sector_bytes = self.dram.atom_bytes;
         self.dram.validate()?;
-        let mut dev = DramDevice::new(self.dram.clone());
+        let mut dev = DramDevice::with_lanes(self.dram.clone(), self.engine_threads);
         if self.trace {
             dev.enable_trace();
         }
-        let mut ctrl = Controller::new(&self.dram, self.ctrl)?;
+        let mut ctrl = Controller::with_threads(&self.dram, self.ctrl, self.engine_threads)?;
         let mut faults = None;
         let mut watchdog_ns = DEFAULT_WATCHDOG_NS;
         if let Some(spec) = &self.faults {
@@ -698,15 +709,14 @@ impl System {
     /// and queue depths (not monotone).
     fn progress_signature(&self) -> u64 {
         let g = self.gpu.stats();
-        let c = self.ctrl.stats();
         let k = self.dev.total_counters();
         g.retired
             .wrapping_add(g.sectors)
             .wrapping_add(g.loads_issued)
             .wrapping_add(g.stores_issued)
-            .wrapping_add(c.reads_accepted.get())
-            .wrapping_add(c.writes_accepted.get())
-            .wrapping_add(c.refreshes.get())
+            // Accepted requests + refreshes, O(lanes) — a full stats merge
+            // here would put a per-channel walk on every simulation step.
+            .wrapping_add(self.ctrl.progress_probe())
             .wrapping_add(k.activates)
             .wrapping_add(k.read_atoms)
             .wrapping_add(k.write_atoms)

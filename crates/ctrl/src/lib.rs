@@ -15,6 +15,7 @@
 
 mod arena;
 mod controller;
+mod pool;
 mod scheduler;
 pub mod stats;
 mod telemetry;

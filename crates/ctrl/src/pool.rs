@@ -1,0 +1,162 @@
+//! Scoped worker pool for parallel lane ticking.
+//!
+//! The library forbids `unsafe`, so lane state is not shared with workers
+//! by pointer — it is *moved*. Each fence the controller boxes up one
+//! [`LaneJob`] per worker lane (its `CtrlLane`, its `DevLane`, the fence
+//! time) and places it in that worker's mutex-guarded slot; the worker
+//! takes the job by value, runs the pass with exclusive ownership, and
+//! puts it back. A `Box` move is a pointer copy, so the steady-state cost
+//! is two slot writes and two condvar edges per worker per parallel tick —
+//! and zero allocation, which keeps `tests/zero_alloc.rs` honest with
+//! threads on.
+//!
+//! Slots are pre-sized at construction and workers park on a condvar when
+//! idle, so the pool is invisible (no spinning, no queue growth) during
+//! serial stretches where the threshold gate keeps ticks inline.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use fgdram_dram::DevLane;
+use fgdram_model::units::Ns;
+
+use crate::controller::CtrlLane;
+
+/// One lane's complete tick state, moved to a worker for the duration of
+/// a fence. Self-contained: both halves carry their own config copies.
+#[derive(Debug)]
+pub(crate) struct LaneJob {
+    pub ctrl: Box<CtrlLane>,
+    pub dev: Box<DevLane>,
+    pub now: Ns,
+}
+
+impl LaneJob {
+    fn run(&mut self) {
+        // Workers never trace: the controller forces serial ticking
+        // whenever command tracing is enabled.
+        self.ctrl.run_pass(&mut self.dev, None, self.now);
+    }
+}
+
+#[derive(Debug)]
+struct PoolState {
+    /// Inbound slot per worker; `Some` means work is pending.
+    jobs: Vec<Option<LaneJob>>,
+    /// Outbound slot per worker; `Some` means the pass finished.
+    done: Vec<Option<LaneJob>>,
+    /// Jobs scattered but not yet finished this fence.
+    outstanding: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    m: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// The worker pool: `workers` parked threads, one slot pair each.
+#[derive(Debug)]
+pub(crate) struct TickPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl TickPool {
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            m: Mutex::new(PoolState {
+                jobs: (0..workers).map(|_| None).collect(),
+                done: (0..workers).map(|_| None).collect(),
+                outstanding: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fgdram-lane-{}", i + 1))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn lane worker")
+            })
+            .collect();
+        TickPool { shared, handles }
+    }
+
+    /// Moves every `Some` entry of `jobs` (index = worker slot) to its
+    /// worker and wakes the pool. Call [`Self::gather`] with the same
+    /// slice before the next scatter.
+    pub fn scatter(&self, jobs: &mut [Option<LaneJob>]) {
+        debug_assert_eq!(jobs.len(), self.handles.len());
+        let mut st = self.shared.m.lock().expect("pool lock");
+        debug_assert_eq!(st.outstanding, 0, "scatter before previous gather");
+        let mut outstanding = 0;
+        for (slot, job) in st.jobs.iter_mut().zip(jobs.iter_mut()) {
+            debug_assert!(slot.is_none());
+            *slot = job.take();
+            outstanding += usize::from(slot.is_some());
+        }
+        st.outstanding = outstanding;
+        drop(st);
+        self.work_cv_notify();
+    }
+
+    fn work_cv_notify(&self) {
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Blocks until every scattered job has finished, moving each back
+    /// into its slot of `jobs`.
+    pub fn gather(&self, jobs: &mut [Option<LaneJob>]) {
+        let mut st = self.shared.m.lock().expect("pool lock");
+        while st.outstanding > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool lock");
+        }
+        for (slot, job) in st.done.iter_mut().zip(jobs.iter_mut()) {
+            debug_assert!(job.is_none());
+            *job = slot.take();
+        }
+    }
+}
+
+impl Drop for TickPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.m.lock().expect("pool lock");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, slot: usize) {
+    loop {
+        let mut job = {
+            let mut st = shared.m.lock().expect("pool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.jobs[slot].take() {
+                    break job;
+                }
+                st = shared.work_cv.wait(st).expect("pool lock");
+            }
+        };
+        job.run();
+        let mut st = shared.m.lock().expect("pool lock");
+        st.done[slot] = Some(job);
+        st.outstanding -= 1;
+        if st.outstanding == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}

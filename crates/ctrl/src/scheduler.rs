@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use fgdram_dram::{DramDevice, ProtocolError, Rule};
+use fgdram_dram::{LaneDevice, ProtocolError, Rule};
 use fgdram_model::addr::{Location, MemRequest};
 use fgdram_model::cmd::{BankRef, Completion, DramCommand};
 use fgdram_model::config::{CtrlConfig, PagePolicy};
@@ -66,7 +66,9 @@ const MAX_STEPS_PER_TICK: usize = 64;
 pub(crate) struct ChannelSched {
     channel: u32,
     banks: usize,
-    atoms_per_activation: u32,
+    /// `log2(atoms_per_activation)`: slice decode is a shift on the
+    /// per-request enqueue path (the count is a validated power of two).
+    slice_shift: u32,
     cfg: CtrlConfig,
     grain_based: bool,
     /// All queued requests of this channel live in one slab; the rings
@@ -132,7 +134,10 @@ impl ChannelSched {
         ChannelSched {
             channel,
             banks,
-            atoms_per_activation,
+            slice_shift: {
+                debug_assert!(atoms_per_activation.is_power_of_two());
+                atoms_per_activation.trailing_zeros()
+            },
             grain_based,
             arena,
             read_q,
@@ -229,7 +234,7 @@ impl ChannelSched {
 
     #[inline]
     fn slice_of(&self, loc: &Location) -> u32 {
-        loc.col / self.atoms_per_activation
+        loc.col >> self.slice_shift
     }
 
     fn bank_ref(&self, bank: u32) -> BankRef {
@@ -307,7 +312,7 @@ impl ChannelSched {
     /// leaving `next_try` at the channel's next wake time.
     pub fn pass(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         stats: &mut CtrlStats,
         out: &mut Vec<Completion>,
@@ -329,7 +334,7 @@ impl ChannelSched {
     /// One scheduling attempt at `now`.
     pub fn step(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         stats: &mut CtrlStats,
     ) -> Result<Step, ProtocolError> {
@@ -377,7 +382,7 @@ impl ChannelSched {
     /// list per bank per call.
     fn step_refresh(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         stats: &mut CtrlStats,
         mut wake: Ns,
@@ -446,7 +451,7 @@ impl ChannelSched {
     /// same-group accesses at tCCDL.
     fn try_column(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         use_writes: bool,
         stats: &mut CtrlStats,
@@ -570,7 +575,7 @@ impl ChannelSched {
     /// front-of-queue request per bank.
     fn try_activate(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         use_writes: bool,
         stats: &mut CtrlStats,
@@ -652,7 +657,7 @@ impl ChannelSched {
     /// conflict can make progress — clamped past `now`.
     fn conflict_fence(
         &self,
-        dev: &DramDevice,
+        dev: &LaneDevice<'_>,
         bank: u32,
         row: u32,
         slice: u32,
@@ -670,7 +675,7 @@ impl ChannelSched {
     #[allow(clippy::too_many_arguments)]
     fn resolve_act_block(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         bank: u32,
         p: &Pending,
@@ -761,7 +766,7 @@ impl ChannelSched {
     #[allow(clippy::too_many_arguments)]
     fn try_precharge(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         bank: BankRef,
         row: u32,
@@ -786,7 +791,7 @@ impl ChannelSched {
     /// the configured timeout. Returns the (possibly earlier) wake time.
     fn maybe_idle_close(
         &mut self,
-        dev: &mut DramDevice,
+        dev: &mut LaneDevice<'_>,
         now: Ns,
         stats: &mut CtrlStats,
         wake: Ns,

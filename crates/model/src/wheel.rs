@@ -164,6 +164,54 @@ impl<T: Ord + Copy> EventWheel<T> {
         self.pop_min()
     }
 
+    /// Moves every due entry (`time <= now`) into `out`, in **slot order
+    /// but unordered within a slot** — the whole chain of a multi-entry
+    /// slot is unlinked in one O(k) walk instead of k O(k) min-scans.
+    /// Callers that need total order must sort `out` themselves; callers
+    /// whose downstream is order-insensitive (the controller's due-channel
+    /// collection sorts and dedupes its result) get the exact `pop_due`
+    /// result set at a fraction of the cost when many events share one
+    /// wake time. Base advances exactly as a `pop_due` drain would, so a
+    /// subsequent `push` at `now` stays legal.
+    pub fn drain_due_unordered(&mut self, now: Ns, out: &mut Vec<(Ns, T)>) {
+        loop {
+            let Some(m) = self.next_time() else { return };
+            if m > now {
+                self.advance_base(m.min(now));
+                return;
+            }
+            self.advance_base(m);
+            // Overflow entries at exactly `m` that the advance migrated are
+            // now in the wheel; any still in the heap are later than `m`.
+            if self.wheel_len == 0 {
+                // `m` lives in the overflow heap beyond the horizon jump.
+                let Some(Reverse(e)) = self.overflow.pop() else { return };
+                out.push(e);
+                continue;
+            }
+            let s = (m & MASK) as usize;
+            let (it, iev) = self.inline[s].take().expect("bitmap bit set on empty slot");
+            debug_assert_eq!(it, m);
+            out.push((it, iev));
+            self.wheel_len -= 1;
+            let mut cur = self.more[s];
+            while cur != NIL {
+                let (t, ev, next) = self.pool[cur as usize];
+                debug_assert_eq!(t, m);
+                out.push((t, ev));
+                self.pool[cur as usize].2 = self.free_head;
+                self.free_head = cur;
+                self.wheel_len -= 1;
+                cur = next;
+            }
+            self.more[s] = NIL;
+            self.words[s / 64] &= !(1 << (s % 64));
+            if self.words[s / 64] == 0 {
+                self.summary &= !(1 << (s / 64));
+            }
+        }
+    }
+
     /// Pops the minimum `(time, event)` unconditionally (heap-`pop`
     /// equivalent, for lazy-deletion users that must discard stale
     /// entries beyond `now`). Does *not* advance `base` — the minimum may
@@ -378,6 +426,49 @@ mod tests {
                     Some(t) if mix(&mut s) % 2 == 0 => t,
                     _ => now + 1 + mix(&mut s) % 32,
                 };
+            }
+        }
+    }
+
+    /// The bulk drain must return the exact `pop_due` result *set* (order
+    /// within a slot is the caller's problem) and leave the wheel in a
+    /// state where pushes at `now` stay legal — across near events, slot
+    /// aliasing, heavy same-time pileups (the GUPS pattern), and overflow.
+    #[test]
+    fn drain_due_unordered_matches_pop_due_set() {
+        for seed in [2u64, 13, 99] {
+            let mut s = seed;
+            let mut a = EventWheel::new();
+            let mut b = EventWheel::new();
+            let mut now: Ns = 0;
+            for round in 0..2_000u64 {
+                for _ in 0..(mix(&mut s) % 6) {
+                    let r = mix(&mut s);
+                    let dt = match r % 10 {
+                        // Same-time pileup: many events on one slot.
+                        0..=4 => 1,
+                        5..=6 => r % 64,
+                        7..=8 => (r % 4) * W as u64,
+                        _ => W as u64 + r % 50_000,
+                    };
+                    let ev = (mix(&mut s) % 512) as u32;
+                    a.push(now + dt, ev);
+                    b.push(now + dt, ev);
+                }
+                let mut drained = Vec::new();
+                a.drain_due_unordered(now, &mut drained);
+                drained.sort_unstable();
+                let mut popped = Vec::new();
+                while let Some(e) = b.pop_due(now) {
+                    popped.push(e);
+                }
+                assert_eq!(drained, popped, "seed {seed} round {round} at {now}");
+                assert_eq!(a.len(), b.len());
+                assert_eq!(a.next_time(), b.next_time());
+                // Both wheels must accept a push at `now` after the drain.
+                a.push(now, 7);
+                b.push(now, 7);
+                now += 1 + mix(&mut s) % 96;
             }
         }
     }

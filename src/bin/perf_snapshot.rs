@@ -11,14 +11,18 @@
 //!
 //! Usage:
 //!   perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N]
-//!                 [--jobs N] [--compare OLD.json] [--fail-below RATIO]
+//!                 [--jobs N] [--engine-threads N] [--compare OLD.json]
+//!                 [--fail-below RATIO]
 //!
 //! `--compare OLD.json` prints per-bench and aggregate cycles/sec ratios
 //! of this run against a previous snapshot (new / old; above 1.0 is
 //! faster). With `--fail-below RATIO` the process exits 1 when the
 //! aggregate ratio falls below the bound — the CI perf-regression guard.
 //! Ratios are only meaningful against a snapshot taken with the same
-//! horizon and jobs level on the same class of host.
+//! horizon and jobs level on the same class of host. A baseline whose
+//! bench-name set does not match this run, or that is missing a required
+//! field, is a typed configuration error (exit 3) — never a panic, and
+//! never a silent partial comparison.
 //!
 //! `--repeat N` runs the whole cell matrix N times (interleaved, so host
 //! noise hits every cell alike) and keeps the minimum wall time per cell —
@@ -41,7 +45,7 @@ use std::time::Instant;
 use fgdram::core::experiments::{self, Parallelism, Scale};
 use fgdram::core::SimError;
 use fgdram::core::SystemBuilder;
-use fgdram::model::config::DramKind;
+use fgdram::model::config::{ConfigError, DramKind};
 use fgdram::model::units::Ns;
 use fgdram::workloads::{suites, Workload};
 
@@ -52,6 +56,7 @@ struct Flags {
     window: Ns,
     repeat: usize,
     jobs: usize,
+    engine_threads: usize,
     compare: Option<String>,
     fail_below: Option<f64>,
 }
@@ -59,7 +64,7 @@ struct Flags {
 fn usage() -> ! {
     eprintln!(
         "usage: perf-snapshot [--smoke] [--out PATH] [--warmup NS] [--window NS] [--repeat N] \
-         [--jobs N] [--compare OLD.json] [--fail-below RATIO]"
+         [--jobs N] [--engine-threads N] [--compare OLD.json] [--fail-below RATIO]"
     );
     std::process::exit(2);
 }
@@ -72,6 +77,7 @@ fn parse_flags() -> Flags {
         window: 20_000,
         repeat: 1,
         jobs: 1,
+        engine_threads: 1,
         compare: None,
         fail_below: None,
     };
@@ -95,6 +101,13 @@ fn parse_flags() -> Flags {
             }
             "--jobs" => {
                 f.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--engine-threads" => {
+                f.engine_threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
@@ -206,7 +219,10 @@ impl BenchResult {
 
 fn bench_cell(w: &Workload, kind: DramKind, f: &Flags) -> Result<BenchResult, SimError> {
     let t0 = Instant::now();
-    let report = SystemBuilder::new(kind).workload(w.clone()).run(f.warmup, f.window)?;
+    let report = SystemBuilder::new(kind)
+        .workload(w.clone())
+        .engine_threads(f.engine_threads)
+        .run(f.warmup, f.window)?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
     // The report only proves the run happened; the metric is wall time
     // over the whole horizon (warmup + window), which is what a sweep pays.
@@ -266,6 +282,7 @@ fn render(results: &[BenchResult], f: &Flags, date: &str) -> String {
     out.push_str(&format!("  \"window_ns\": {},\n", f.window));
     out.push_str(&format!("  \"repeat\": {},\n", f.repeat));
     out.push_str(&format!("  \"jobs\": {},\n", f.jobs));
+    out.push_str(&format!("  \"engine_threads\": {},\n", f.engine_threads));
     out.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -328,19 +345,22 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
 /// wrote. A stateful line scan, not a JSON parser (the build is
 /// registry-free): a bench's `name` precedes its `cycles_per_sec` and the
 /// `totals` object comes after the bench array in every v1 rendering,
-/// whether one-line-per-bench or pretty-printed.
-fn parse_snapshot(body: &str) -> Option<Baseline> {
+/// whether one-line-per-bench or pretty-printed. Every structural defect
+/// is a typed reason, never a panic or a silent partial parse.
+fn parse_snapshot(body: &str) -> Result<Baseline, String> {
     if !body.contains("\"schema\": \"fgdram-perf-snapshot-v1\"") {
-        return None;
+        return Err("missing the fgdram-perf-snapshot-v1 schema marker".to_string());
     }
-    let mut benches = Vec::new();
+    let mut benches: Vec<(String, f64)> = Vec::new();
     let mut total_cps = None;
     let mut pending_name: Option<String> = None;
     let mut in_totals = false;
     for line in body.lines() {
         let t = line.trim();
         if let Some(name) = str_field(t, "name") {
-            pending_name = Some(name.to_string());
+            if let Some(prev) = pending_name.replace(name.to_string()) {
+                return Err(format!("bench \"{prev}\" has no cycles_per_sec field"));
+            }
         }
         if t.starts_with("\"totals\"") {
             in_totals = true;
@@ -353,10 +373,47 @@ fn parse_snapshot(body: &str) -> Option<Baseline> {
             }
         }
     }
-    Some(Baseline { benches, total_cps: total_cps? })
+    if let Some(prev) = pending_name {
+        return Err(format!("bench \"{prev}\" has no cycles_per_sec field"));
+    }
+    if benches.is_empty() {
+        return Err("no bench entries".to_string());
+    }
+    let total_cps =
+        total_cps.ok_or_else(|| "totals object has no cycles_per_sec field".to_string())?;
+    Ok(Baseline { benches, total_cps })
+}
+
+/// The baseline must cover exactly the benches this run produced — a
+/// ratio over half-matched sets would silently compare different work.
+fn check_bench_sets(results: &[BenchResult], base: &Baseline, path: &str) -> Result<(), SimError> {
+    let missing: Vec<&str> = results
+        .iter()
+        .filter(|r| !base.benches.iter().any(|(n, _)| *n == r.name))
+        .map(|r| r.name.as_str())
+        .collect();
+    let extra: Vec<&str> = base
+        .benches
+        .iter()
+        .filter(|(n, _)| !results.iter().any(|r| r.name == *n))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if missing.is_empty() && extra.is_empty() {
+        return Ok(());
+    }
+    Err(SimError::Config(ConfigError::Artifact {
+        reason: format!(
+            "snapshot {path} bench set does not match this run \
+             (missing from baseline: [{}]; only in baseline: [{}])",
+            missing.join(", "),
+            extra.join(", ")
+        ),
+    }))
 }
 
 /// Prints per-bench and aggregate new/old ratios; returns the aggregate.
+/// Callers have already verified the name sets match via
+/// [`check_bench_sets`].
 fn report_comparison(results: &[BenchResult], base: &Baseline, path: &str) -> f64 {
     eprintln!("[perf-snapshot] comparison against {path} (new/old; >1.0 is faster):");
     for r in results {
@@ -371,7 +428,7 @@ fn report_comparison(results: &[BenchResult], base: &Baseline, path: &str) -> f6
                     new_cps / old_cps
                 );
             }
-            _ => eprintln!("[perf-snapshot]   {:<16} not in baseline, skipped", r.name),
+            _ => eprintln!("[perf-snapshot]   {:<16} baseline cycles/sec is zero, skipped", r.name),
         }
     }
     let (total_ns, total_ms) =
@@ -424,10 +481,20 @@ fn main() {
                 std::process::exit(6);
             }
         };
-        let Some(base) = parse_snapshot(&old_body) else {
-            eprintln!("perf-snapshot: {old_path} is not a fgdram-perf-snapshot-v1 file");
-            std::process::exit(6);
+        let base = match parse_snapshot(&old_body) {
+            Ok(b) => b,
+            Err(reason) => {
+                let e = SimError::Config(ConfigError::Artifact {
+                    reason: format!("snapshot {old_path}: {reason}"),
+                });
+                eprintln!("perf-snapshot: {e}");
+                std::process::exit(e.exit_code() as i32);
+            }
         };
+        if let Err(e) = check_bench_sets(&results, &base, old_path) {
+            eprintln!("perf-snapshot: {e}");
+            std::process::exit(e.exit_code() as i32);
+        }
         let ratio = report_comparison(&results, &base, old_path);
         if let Some(bound) = f.fail_below {
             if ratio < bound {

@@ -1,6 +1,6 @@
 //! Byte-identity gate for the engine rewrite: the full quick-scale suite,
 //! telemetry JSONL, and fault output must match the committed golden
-//! exactly, at `--jobs 1` and `--jobs 8` alike.
+//! exactly, at `--jobs` 1 and 8 and `--engine-threads` 1, 2, and 8 alike.
 //!
 //! Provenance: the engine rebuild (event wheel, scheduler hit caches,
 //! batched issue, refresh drain) was verified byte-identical to the
@@ -8,7 +8,12 @@
 //! golden was then regenerated once, after the busy-wait fence fix —
 //! the one *intentional* behaviour change, which alters channel wake
 //! times and is observable through the GPU issue batcher (see
-//! DESIGN.md "Engine").
+//! DESIGN.md "Engine"). It was regenerated a second time for the
+//! refresh-stagger clamp (PR 10): the parallel lane refactor and the
+//! wheel-drain/slice-shift perf fixes were first verified byte-identical
+//! against the previous golden at every thread count, then the phase
+//! formula's `% t_refi` clamp landed as that PR's one intentional
+//! change (only the last channel's refresh phase moves, t_refi -> 0).
 //!
 //! `Debug` formatting round-trips every `f64` exactly, so equal strings
 //! mean equal bits. Regenerate the golden (only when an *intentional*
@@ -29,11 +34,14 @@ const GOLDEN_PATH: &str = "tests/golden/quick_suite.txt";
 
 /// The quick-scale suite matrix (the `Scale::quick` cells every bench and
 /// CI smoke run exercises), rendered via `Debug`.
-fn matrix_snapshot(jobs: usize) -> String {
+fn matrix_snapshot(jobs: usize, engine_threads: usize) -> String {
     let scale = Scale::quick().with_jobs(jobs);
     let suite = suites::compute_suite();
     let workloads = &suite[..4.min(suite.len())];
-    let rows = experiments::run_matrix(workloads, &DramKind::ALL, scale).expect("quick matrix");
+    let rows = experiments::run_matrix_with(workloads, &DramKind::ALL, scale, |w, k| {
+        SystemBuilder::new(k).workload(w.clone()).engine_threads(engine_threads)
+    })
+    .expect("quick matrix");
     let mut out = String::new();
     for row in rows {
         out.push_str(&format!("{row:?}\n"));
@@ -42,10 +50,11 @@ fn matrix_snapshot(jobs: usize) -> String {
 }
 
 /// One instrumented STREAM run on FGDRAM: epoch telemetry as JSONL.
-fn telemetry_snapshot() -> String {
+fn telemetry_snapshot(engine_threads: usize) -> String {
     let (report, t) = SystemBuilder::new(DramKind::Fgdram)
         .workload(suites::by_name("STREAM").expect("in suite"))
         .telemetry(TelemetryConfig::for_window(1_000, 5_000))
+        .engine_threads(engine_threads)
         .run_instrumented(1_000, 5_000)
         .expect("instrumented run");
     let jsonl = export::to_jsonl_string(&[("arch", "FGDRAM")], &t.expect("telemetry enabled"));
@@ -53,28 +62,29 @@ fn telemetry_snapshot() -> String {
 }
 
 /// One faulted STREAM run on FGDRAM: report plus fault counters.
-fn fault_snapshot() -> String {
+fn fault_snapshot(engine_threads: usize) -> String {
     let report = SystemBuilder::new(DramKind::Fgdram)
         .workload(suites::by_name("STREAM").expect("in suite"))
         .faults(FaultSpec::parse("ce=0.05,due=0.002,threshold=64").expect("valid spec"))
         .fault_seed(7)
+        .engine_threads(engine_threads)
         .run(1_000, 5_000)
         .expect("faulted run");
     format!("{report:?}\n")
 }
 
-fn full_snapshot(jobs: usize) -> String {
+fn full_snapshot(jobs: usize, engine_threads: usize) -> String {
     format!(
         "== matrix (quick scale) ==\n{}== telemetry ==\n{}== faults ==\n{}",
-        matrix_snapshot(jobs),
-        telemetry_snapshot(),
-        fault_snapshot(),
+        matrix_snapshot(jobs, engine_threads),
+        telemetry_snapshot(engine_threads),
+        fault_snapshot(engine_threads),
     )
 }
 
 #[test]
-fn quick_suite_output_is_byte_identical_to_golden_at_any_jobs_level() {
-    let serial = full_snapshot(1);
+fn quick_suite_output_is_byte_identical_to_golden_at_any_jobs_and_thread_level() {
+    let serial = full_snapshot(1, 1);
     if std::env::var_os("FGDRAM_UPDATE_GOLDEN").is_some() {
         std::fs::create_dir_all("tests/golden").expect("mkdir golden");
         std::fs::write(GOLDEN_PATH, &serial).expect("write golden");
@@ -85,8 +95,18 @@ fn quick_suite_output_is_byte_identical_to_golden_at_any_jobs_level() {
         .expect("golden missing; run FGDRAM_UPDATE_GOLDEN=1 cargo test --test golden_identity");
     assert_eq!(
         serial, golden,
-        "jobs=1 quick-suite output diverged from the committed pre-rewrite golden"
+        "jobs=1 engine-threads=1 quick-suite output diverged from the committed golden"
     );
-    let sharded = full_snapshot(8);
-    assert_eq!(sharded, golden, "jobs=8 quick-suite output diverged from the golden");
+    for jobs in [1, 8] {
+        for engine_threads in [1, 2, 8] {
+            if (jobs, engine_threads) == (1, 1) {
+                continue;
+            }
+            let sharded = full_snapshot(jobs, engine_threads);
+            assert_eq!(
+                sharded, golden,
+                "jobs={jobs} engine-threads={engine_threads} output diverged from the golden"
+            );
+        }
+    }
 }

@@ -54,24 +54,34 @@ const WINDOW: u64 = 10_000;
 
 #[test]
 fn steady_state_step_loop_makes_no_allocations() {
-    for kind in [DramKind::QbHbm, DramKind::Fgdram] {
-        for workload in ["STREAM", "GUPS"] {
-            let w = suites::by_name(workload).expect("suite exists");
-            let mut sys = SystemBuilder::new(kind).workload(w).build().expect("system builds");
-            sys.run_for(WARMUP).expect("warmup runs");
+    // engine_threads > 1 routes due channels through the TickPool; its
+    // worker threads share this global allocator, so any hand-off or
+    // merge allocation in the parallel path is counted here too.
+    for engine_threads in [1, 4] {
+        for kind in [DramKind::QbHbm, DramKind::Fgdram] {
+            for workload in ["STREAM", "GUPS"] {
+                let w = suites::by_name(workload).expect("suite exists");
+                let mut sys = SystemBuilder::new(kind)
+                    .workload(w)
+                    .engine_threads(engine_threads)
+                    .build()
+                    .expect("system builds");
+                sys.run_for(WARMUP).expect("warmup runs");
 
-            let allocs_before = ALLOCS.load(Relaxed);
-            let reallocs_before = REALLOCS.load(Relaxed);
-            sys.run_for(WINDOW).expect("window runs");
-            let allocs = ALLOCS.load(Relaxed) - allocs_before;
-            let reallocs = REALLOCS.load(Relaxed) - reallocs_before;
+                let allocs_before = ALLOCS.load(Relaxed);
+                let reallocs_before = REALLOCS.load(Relaxed);
+                sys.run_for(WINDOW).expect("window runs");
+                let allocs = ALLOCS.load(Relaxed) - allocs_before;
+                let reallocs = REALLOCS.load(Relaxed) - reallocs_before;
 
-            assert_eq!(
-                (allocs, reallocs),
-                (0, 0),
-                "steady-state step loop allocated: kind {kind:?} workload {workload} \
-                 ({allocs} allocs, {reallocs} reallocs over {WINDOW} simulated ns)"
-            );
+                assert_eq!(
+                    (allocs, reallocs),
+                    (0, 0),
+                    "steady-state step loop allocated: kind {kind:?} workload {workload} \
+                     engine_threads {engine_threads} \
+                     ({allocs} allocs, {reallocs} reallocs over {WINDOW} simulated ns)"
+                );
+            }
         }
     }
 }
